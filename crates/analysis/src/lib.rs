@@ -1,0 +1,20 @@
+//! # crew-analysis
+//!
+//! The §6 performance analysis, reproduced exactly: the Table 3 parameter
+//! space, the closed-form per-instance load and message expressions of
+//! Tables 4 (central), 5 (parallel) and 6 (distributed), and the Table 7
+//! architecture-recommendation derivation. Unit tests pin every normalized
+//! value the paper prints; the `crew-bench` harness prints these tables
+//! side-by-side with measured simulator counts.
+
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod recommend;
+pub mod tables;
+
+pub use params::Params;
+pub use recommend::{cost, rank, table7, Criterion, Profile, Ranked};
+pub use tables::{
+    load, load_expression, message_expression, messages, table, Architecture, Mechanism, Row,
+};

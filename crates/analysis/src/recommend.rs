@@ -1,0 +1,219 @@
+//! Deriving the architecture recommendation matrix — Table 7.
+//!
+//! The paper ranks the three architectures by two criteria (load at a
+//! node, physical messages) under three requirement profiles: normal
+//! execution only, normal + failures (input changes, aborts, step
+//! failures), and normal + coordinated execution. Ties get equal rank, as
+//! in the paper's "(2) Parallel / (2) Central" rows.
+
+use crate::params::Params;
+use crate::tables::{load, messages, Architecture, Mechanism};
+
+/// The three requirement profiles of Table 7's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Normal (failure-free) execution.
+    Normal,
+    /// Normalplusfailures.
+    NormalPlusFailures,
+    /// Normalpluscoordinated.
+    NormalPlusCoordinated,
+}
+
+impl Profile {
+    /// Const.
+    pub const ALL: [Profile; 3] = [
+        Profile::Normal,
+        Profile::NormalPlusFailures,
+        Profile::NormalPlusCoordinated,
+    ];
+
+    /// Label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Profile::Normal => "Normal",
+            Profile::NormalPlusFailures => "Normal + Failures",
+            Profile::NormalPlusCoordinated => "Normal + Coordinated",
+        }
+    }
+
+    fn mechanisms(self) -> Vec<Mechanism> {
+        match self {
+            Profile::Normal => vec![Mechanism::Normal],
+            Profile::NormalPlusFailures => vec![
+                Mechanism::Normal,
+                Mechanism::InputChange,
+                Mechanism::Abort,
+                Mechanism::FailureHandling,
+            ],
+            Profile::NormalPlusCoordinated => {
+                vec![Mechanism::Normal, Mechanism::CoordinatedExecution]
+            }
+        }
+    }
+}
+
+/// The two ranking criteria of Table 7's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Loadatnode.
+    LoadAtNode,
+    /// Physicalmessages.
+    PhysicalMessages,
+}
+
+impl Criterion {
+    /// Const.
+    pub const ALL: [Criterion; 2] = [Criterion::LoadAtNode, Criterion::PhysicalMessages];
+
+    /// Label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Criterion::LoadAtNode => "Load at Engine",
+            Criterion::PhysicalMessages => "Physical Messages",
+        }
+    }
+}
+
+/// Aggregate cost of an architecture under a profile and criterion.
+pub fn cost(arch: Architecture, profile: Profile, criterion: Criterion, p: &Params) -> f64 {
+    profile
+        .mechanisms()
+        .into_iter()
+        .map(|m| match criterion {
+            Criterion::LoadAtNode => load(arch, m, p),
+            Criterion::PhysicalMessages => messages(arch, m, p),
+        })
+        .sum()
+}
+
+/// One ranked entry: architecture and its rank (1 = best; ties share a
+/// rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ranked {
+    /// The architecture ranked.
+    pub arch: Architecture,
+    /// 1 = best; ties share a rank.
+    pub rank: u32,
+}
+
+/// Rank the three architectures for a profile and criterion. Costs within
+/// `tie_eps` relative difference share a rank (the paper treats central
+/// and parallel message counts as tied).
+pub fn rank(profile: Profile, criterion: Criterion, p: &Params) -> Vec<Ranked> {
+    let mut costs: Vec<(Architecture, f64)> = Architecture::ALL
+        .iter()
+        .map(|&a| (a, cost(a, profile, criterion, p)))
+        .collect();
+    costs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    let tie_eps = 1e-9;
+    let mut out = Vec::with_capacity(3);
+    let mut rank = 0u32;
+    let mut prev: Option<f64> = None;
+    for (i, (arch, c)) in costs.into_iter().enumerate() {
+        let tied = prev.is_some_and(|pv| (c - pv).abs() <= tie_eps * (1.0 + pv.abs()));
+        if !tied {
+            rank = i as u32 + 1;
+        }
+        prev = Some(c);
+        out.push(Ranked { arch, rank });
+    }
+    out
+}
+
+/// The full Table 7 at a parameter point: (criterion, profile) → ranking.
+pub fn table7(p: &Params) -> Vec<(Criterion, Profile, Vec<Ranked>)> {
+    let mut out = Vec::new();
+    for criterion in Criterion::ALL {
+        for profile in Profile::ALL {
+            out.push((criterion, profile, rank(profile, criterion, p)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(profile: Profile, criterion: Criterion) -> Vec<(Architecture, u32)> {
+        rank(profile, criterion, &Params::paper_mean())
+            .into_iter()
+            .map(|r| (r.arch, r.rank))
+            .collect()
+    }
+
+    /// Table 7, "Load at Engine" row: Distributed > Parallel > Central for
+    /// all three profiles.
+    #[test]
+    fn load_ranking_matches_table7() {
+        for profile in Profile::ALL {
+            let r = ranking(profile, Criterion::LoadAtNode);
+            assert_eq!(
+                r,
+                vec![
+                    (Architecture::Distributed, 1),
+                    (Architecture::Parallel, 2),
+                    (Architecture::Central, 3),
+                ],
+                "{profile:?}"
+            );
+        }
+    }
+
+    /// Table 7, "Physical Messages" row, Normal and Normal+Failures:
+    /// Distributed first, Parallel and Central tied second.
+    #[test]
+    fn message_ranking_normal_matches_table7() {
+        for profile in [Profile::Normal, Profile::NormalPlusFailures] {
+            let r = ranking(profile, Criterion::PhysicalMessages);
+            assert_eq!(r[0].0, Architecture::Distributed, "{profile:?}");
+            assert_eq!(r[0].1, 1);
+            assert_eq!(r[1].1, 2, "{profile:?}: tie at rank 2");
+            assert_eq!(r[2].1, 2, "{profile:?}: tie at rank 2");
+        }
+    }
+
+    /// Table 7, "Physical Messages" row, Normal+Coordinated:
+    /// Central (1), Distributed (2), Parallel (3).
+    #[test]
+    fn message_ranking_coordinated_matches_table7() {
+        let r = ranking(Profile::NormalPlusCoordinated, Criterion::PhysicalMessages);
+        assert_eq!(
+            r,
+            vec![
+                (Architecture::Central, 1),
+                (Architecture::Distributed, 2),
+                (Architecture::Parallel, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn table7_covers_all_cells() {
+        let t = table7(&Params::paper_mean());
+        assert_eq!(t.len(), 6);
+        for (_, _, ranks) in &t {
+            assert_eq!(ranks.len(), 3);
+        }
+    }
+
+    /// §6's closing caveat: "In the unlikely case that several steps have
+    /// coordinated execution requirements then central or parallel control
+    /// is preferable" — with heavy coordination and a·d > e the distributed
+    /// message bill explodes past parallel's.
+    #[test]
+    fn heavy_coordination_flips_distributed_below_parallel() {
+        let mut p = Params::paper_mean();
+        p.me = 4.0;
+        p.ro = 4.0;
+        p.rd = 2.0;
+        p.a = 4.0;
+        p.d = 2.0;
+        p.e = 2.0;
+        let r = rank(Profile::NormalPlusCoordinated, Criterion::PhysicalMessages, &p);
+        let dist_rank = r.iter().find(|x| x.arch == Architecture::Distributed).unwrap().rank;
+        let par_rank = r.iter().find(|x| x.arch == Architecture::Parallel).unwrap().rank;
+        assert!(dist_rank > par_rank);
+    }
+}

@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices DESIGN.md calls out: OCR vs
+//! Saga-style recovery cost, compensation-dependent-set size, coordination
+//! density (the (me+ro+rd)/s scalability knob), and packet growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crew_bench::measure;
+use crew_core::Architecture;
+use crew_workload::SetupParams;
+
+fn base() -> SetupParams {
+    SetupParams {
+        s: 10,
+        c: 2,
+        z: 12,
+        a: 2,
+        me: 0,
+        ro: 0,
+        rd: 0,
+        r: 4,
+        pf: 0.15,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.25,
+        seed: 31,
+    }
+}
+
+/// OCR reuse (pr = 0.25) vs Saga-like always-redo (pr = 1.0): the same
+/// failure pattern costs more work without opportunistic reuse.
+fn ocr_vs_saga(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ocr_vs_saga");
+    for (label, pr) in [("ocr-reuse", 0.25), ("saga-always-redo", 1.0)] {
+        let p = SetupParams { pr, ..base() };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| measure(Architecture::Distributed { agents: p.z }, p, 8))
+        });
+    }
+    g.finish();
+}
+
+/// Coordination density sweep: (me+ro+rd)/s drives the distributed
+/// coordination message bill.
+fn coordination_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/coordination_density");
+    for density in [0u32, 2, 4] {
+        let p = SetupParams { me: density, ro: density, rd: density / 2, pf: 0.0, ..base() };
+        g.bench_with_input(BenchmarkId::from_parameter(density), &p, |b, p| {
+            b.iter(|| measure(Architecture::Distributed { agents: p.z }, p, 4))
+        });
+    }
+    g.finish();
+}
+
+/// Rollback depth sweep (the paper's r): failure-handling cost grows with
+/// the number of steps crossed during rollback.
+fn rollback_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/rollback_depth");
+    for r in [1u32, 4, 8] {
+        let p = SetupParams { r, pf: 0.2, ..base() };
+        g.bench_with_input(BenchmarkId::from_parameter(r), &p, |b, p| {
+            b.iter(|| measure(Architecture::Distributed { agents: p.z }, p, 8))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ocr_vs_saga, coordination_density, rollback_depth
+}
+criterion_main!(benches);

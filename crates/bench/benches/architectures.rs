@@ -1,0 +1,57 @@
+//! Criterion benches: wall-clock cost of simulating each control
+//! architecture at the paper's mean parameter point — one bench group per
+//! evaluation table (Table 4 = central, Table 5 = parallel, Table 6 =
+//! distributed), plus a throughput sweep over the instance count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crew_bench::measure;
+use crew_core::Architecture;
+use crew_workload::SetupParams;
+
+fn mean_point() -> SetupParams {
+    // A scaled-down mean point (c=4 schemas instead of 20) keeps bench
+    // iterations fast while preserving the per-instance ratios.
+    SetupParams { c: 4, ..SetupParams::default() }
+}
+
+fn arch_central(c: &mut Criterion) {
+    let p = mean_point();
+    c.bench_function("table4/central/mean-point", |b| {
+        b.iter(|| measure(Architecture::Central { agents: p.z }, &p, 8))
+    });
+}
+
+fn arch_parallel(c: &mut Criterion) {
+    let p = mean_point();
+    c.bench_function("table5/parallel/mean-point", |b| {
+        b.iter(|| measure(Architecture::Parallel { agents: p.z, engines: 4 }, &p, 8))
+    });
+}
+
+fn arch_distributed(c: &mut Criterion) {
+    let p = mean_point();
+    c.bench_function("table6/distributed/mean-point", |b| {
+        b.iter(|| measure(Architecture::Distributed { agents: p.z }, &p, 8))
+    });
+}
+
+fn instance_scaling(c: &mut Criterion) {
+    let p = mean_point();
+    let mut g = c.benchmark_group("table7/scaling");
+    for n in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("distributed", n), &n, |b, &n| {
+            b.iter(|| measure(Architecture::Distributed { agents: p.z }, &p, n))
+        });
+        g.bench_with_input(BenchmarkId::new("central", n), &n, |b, &n| {
+            b.iter(|| measure(Architecture::Central { agents: p.z }, &p, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = arch_central, arch_parallel, arch_distributed, instance_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,907 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro table3            parameter space (Table 3)
+//! repro table4            central control: paper vs analytic vs measured
+//! repro table5            parallel control
+//! repro table6            distributed control
+//! repro table7            architecture recommendation matrix
+//! repro fig1 .. fig7      executable reproductions of the figures
+//! repro ablations         OCR/coordination/rollback/packet/selection ablations
+//! repro sweep             parameter sweeps over s, z, a (closed-form series)
+//! repro all               everything above
+//! ```
+
+use crew_analysis::{
+    load, message_expression, messages, rank, table7, Architecture as AArch, Criterion,
+    Mechanism as AMech, Params, Profile,
+};
+use crew_bench::{measure, row, to_analysis_params, MECH_LABELS};
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_model::{SchemaId, StepId, Value};
+use crew_workload::SetupParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "table3" => table3(),
+        "table4" => arch_table(AArch::Central, "Table 4: Centralized Workflow Control"),
+        "table5" => arch_table(AArch::Parallel, "Table 5: Parallel Workflow Control"),
+        "table6" => arch_table(AArch::Distributed, "Table 6: Distributed Workflow Control"),
+        "table7" => table7_repro(),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "ablations" => ablations(),
+        "sweep" => sweep(),
+        "all" => {
+            table3();
+            arch_table(AArch::Central, "Table 4: Centralized Workflow Control");
+            arch_table(AArch::Parallel, "Table 5: Parallel Workflow Control");
+            arch_table(AArch::Distributed, "Table 6: Distributed Workflow Control");
+            table7_repro();
+            fig1();
+            fig2();
+            fig3();
+            fig4();
+            fig5();
+            fig6();
+            fig7();
+            ablations();
+            sweep();
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}; see module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+// ---------------------------------------------------------------- Table 3
+
+fn table3() {
+    header("Table 3: Parameters used in Analysis");
+    let widths = [44, 8, 14, 10];
+    println!(
+        "{}",
+        row(
+            &["Parameter".into(), "Symbol".into(), "Range".into(), "Mean".into()],
+            &widths
+        )
+    );
+    let mean = Params::paper_mean();
+    let mean_of = |sym: &str| -> f64 {
+        match sym {
+            "s" => mean.s,
+            "c" => mean.c,
+            "i" => mean.i,
+            "e" => mean.e,
+            "z" => mean.z,
+            "a" => mean.a,
+            "d" => mean.d,
+            "r" => mean.r,
+            "v" => mean.v,
+            "f" => mean.f,
+            "w" => mean.w,
+            "me" => mean.me,
+            "ro" => mean.ro,
+            "rd" => mean.rd,
+            "pf" => mean.pf,
+            "pi" => mean.pi,
+            "pa" => mean.pa,
+            "pr" => mean.pr,
+            _ => f64::NAN,
+        }
+    };
+    let names: [(&str, &str); 18] = [
+        ("Number of Steps per Workflow", "s"),
+        ("Number of Workflow Schemas", "c"),
+        ("Number of Concurrent Instances per Schema", "i"),
+        ("Number of Engines", "e"),
+        ("Number of Agents", "z"),
+        ("Number of Eligible Agents per Step", "a"),
+        ("Number of Conflicting Definitions per Step", "d"),
+        ("Number of Steps Rolled Back on a Failure", "r"),
+        ("Number of Steps Invalidated on a Step Failure", "v"),
+        ("Number of Final Steps in a Workflow", "f"),
+        ("Steps Compensated on a Workflow Abort", "w"),
+        ("Steps/WF needing Mutual Exclusion", "me"),
+        ("Steps/WF needing Relative Ordering", "ro"),
+        ("Steps/WF having Rollback Dependency", "rd"),
+        ("Probability of Logical Step Failure", "pf"),
+        ("Probability of Workflow Input Change", "pi"),
+        ("Probability of Workflow Abort", "pa"),
+        ("Probability of Step Re-execution", "pr"),
+    ];
+    for (name, sym) in names {
+        let (lo, hi) = Params::ranges()
+            .into_iter()
+            .find(|(s, _, _)| *s == sym)
+            .map(|(_, lo, hi)| (lo, hi))
+            .unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    sym.into(),
+                    format!("{lo} - {hi}"),
+                    format!("{}", mean_of(sym)),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+// ------------------------------------------------------------ Tables 4-6
+
+/// Paper-printed normalized values (load, messages) for cross-checking.
+fn paper_values(arch: AArch) -> ([f64; 5], [f64; 5]) {
+    match arch {
+        AArch::Central => (
+            [15.0, 0.125, 0.05, 0.5, 75.0],
+            [60.0, 0.125, 0.2, 0.5, 0.0],
+        ),
+        AArch::Parallel => (
+            [3.75, 0.0313, 0.0125, 0.125, 75.0],
+            [60.0, 0.125, 0.2, 0.5, 300.0],
+        ),
+        AArch::Distributed => (
+            // Load row prints the paper's 1.5l for coordinated execution;
+            // the expression itself evaluates to 3.0 (see EXPERIMENTS.md).
+            [0.3, 0.0025, 0.001, 0.01, 1.5],
+            [32.0, 0.45, 0.2, 1.8, 150.0],
+        ),
+    }
+}
+
+fn arch_table(arch: AArch, title: &str) {
+    header(title);
+    let p = Params::paper_mean();
+    let mechs = [
+        AMech::Normal,
+        AMech::InputChange,
+        AMech::Abort,
+        AMech::FailureHandling,
+        AMech::CoordinatedExecution,
+    ];
+    let (paper_load, paper_msgs) = paper_values(arch);
+
+    // Analytic columns.
+    println!("-- Load at a node (per instance, units of l) --");
+    let widths = [24, 26, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["Mechanism".into(), "Expression".into(), "Paper".into(), "Analytic".into()],
+            &widths
+        )
+    );
+    for (i, m) in mechs.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    MECH_LABELS[i].into(),
+                    crew_analysis::load_expression(arch, *m).into(),
+                    format!("{}", paper_load[i]),
+                    format!("{:.4}", load(arch, *m, &p)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("-- Physical messages exchanged (per instance) --");
+    println!(
+        "{}",
+        row(
+            &[
+                "Mechanism".into(),
+                "Expression".into(),
+                "Paper".into(),
+                "Analytic".into()
+            ],
+            &widths
+        )
+    );
+    for (i, m) in mechs.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    MECH_LABELS[i].into(),
+                    message_expression(arch, *m).into(),
+                    format!("{}", paper_msgs[i]),
+                    format!("{:.4}", messages(arch, *m, &p)),
+                ],
+                &widths
+            )
+        );
+    }
+
+    // Measured counterpart on the simulator (scaled-down mean point).
+    let sp = SetupParams { c: 4, ..SetupParams::default() };
+    let (sys_arch, engines) = match arch {
+        AArch::Central => (Architecture::Central { agents: sp.z }, 1),
+        AArch::Parallel => (Architecture::Parallel { agents: sp.z, engines: 4 }, 4),
+        AArch::Distributed => (Architecture::Distributed { agents: sp.z }, 1),
+    };
+    let measured = measure(sys_arch, &sp, 24);
+    let ap = to_analysis_params(&sp, engines, 1.0, sp.r as f64, 2.0, 1.0);
+    println!(
+        "-- Measured on the simulator (c=4, 24 instances, seed {}) --",
+        sp.seed
+    );
+    let widths = [24, 14, 14];
+    println!(
+        "{}",
+        row(&["Mechanism".into(), "Measured/inst".into(), "Analytic".into()], &widths)
+    );
+    for (i, m) in mechs.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    MECH_LABELS[i].into(),
+                    format!("{:.3}", measured.msgs[i]),
+                    format!("{:.3}", messages(arch, *m, &ap)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "committed {} / aborted {}; scheduler load/inst: mean {:.1}, max {:.1} (l = 100)",
+        measured.committed, measured.aborted, measured.mean_load, measured.max_load
+    );
+}
+
+// ---------------------------------------------------------------- Table 7
+
+fn table7_repro() {
+    header("Table 7: Recommended Choice of Architectures");
+    let p = Params::paper_mean();
+    let widths = [20, 22, 40];
+    println!(
+        "{}",
+        row(&["Criteria".into(), "Profile".into(), "Ranking".into()], &widths)
+    );
+    for (criterion, profile, ranks) in table7(&p) {
+        let ranking = ranks
+            .iter()
+            .map(|r| format!("({}) {}", r.rank, r.arch.label()))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!(
+            "{}",
+            row(
+                &[criterion.label().into(), profile.label().into(), ranking],
+                &widths
+            )
+        );
+    }
+    // Sanity: the coordination column flips to Central-first.
+    let msgs = rank(Profile::NormalPlusCoordinated, Criterion::PhysicalMessages, &p);
+    assert_eq!(msgs[0].arch, AArch::Central);
+}
+
+// ---------------------------------------------------------------- Figures
+
+/// Figure 1: centralized architecture — print the component topology and a
+/// one-instance message trace.
+fn fig1() {
+    header("Figure 1: Components of Centralized Workflow Control (message trace)");
+    let mut deployment = crew_exec::Deployment::new([crew_workload::order_processing()]);
+    crew_workload::register_programs(&mut deployment.registry);
+    let ids: Vec<StepId> = deployment.schemas[&SchemaId(1)].steps().map(|d| d.id).collect();
+    {
+        let schema = std::sync::Arc::make_mut(deployment.schemas.get_mut(&SchemaId(1)).unwrap());
+        for (i, s) in ids.iter().enumerate() {
+            schema.set_eligible_agents(*s, vec![crew_model::AgentId(i as u32 % 2)]);
+        }
+    }
+    let mut run = crew_central::CentralRun::new(deployment, 2, 1);
+    run.sim.enable_trace();
+    run.start_instance(SchemaId(1), vec![(1, Value::Int(40)), (2, Value::Int(250))]);
+    run.run();
+    println!("nodes: agents A0 A1 (n0 n1), engine E0 (n2), WFDB embedded in engine");
+    for e in run.sim.trace.entries() {
+        println!("  {e}");
+    }
+}
+
+/// Figure 2: dependencies across workflows — run two linked order
+/// workflows under relative ordering and show the preserved order.
+fn fig2() {
+    header("Figure 2: Relative ordering across concurrent workflows");
+    let p = SetupParams {
+        s: 5,
+        c: 2,
+        z: 6,
+        a: 1,
+        me: 0,
+        ro: 3,
+        rd: 0,
+        r: 0,
+        pf: 0.0,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.0,
+        seed: 2,
+    };
+    let m = measure(Architecture::Distributed { agents: p.z }, &p, 2);
+    println!(
+        "two linked instances, 3 conflicting pairs: committed {} / coordination msgs per inst {:.1}",
+        m.committed, m.msgs[4]
+    );
+    println!("(ordering invariants are asserted by tests/coordination.rs)");
+}
+
+/// Figure 3: rollback with if-then-else branch switch.
+fn fig3() {
+    header("Figure 3: Rollback in a workflow with if-then-else branching");
+    // The integration test builds the exact shape; here we run the travel
+    // scenario variant and report the branch decision + compensations.
+    let mut deployment = crew_exec::Deployment::new([crew_workload::travel_booking()]);
+    crew_workload::register_programs(&mut deployment.registry);
+    let ids: Vec<StepId> = deployment.schemas[&SchemaId(2)].steps().map(|d| d.id).collect();
+    {
+        let schema = std::sync::Arc::make_mut(deployment.schemas.get_mut(&SchemaId(2)).unwrap());
+        for (i, s) in ids.iter().enumerate() {
+            schema.set_eligible_agents(*s, vec![crew_model::AgentId(i as u32 % 4)]);
+        }
+    }
+    let system = WorkflowSystem::with_deployment(
+        deployment,
+        Architecture::Distributed { agents: 4 },
+    );
+    let mut scenario = Scenario::new();
+    scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
+    let report = system.run(scenario);
+    println!(
+        "travel booking (XOR on total): committed {}, messages {}, failure msgs/inst {:.1}",
+        report.committed(),
+        report.metrics.total_messages,
+        report.messages_per_instance(crew_simnet::Mechanism::FailureHandling),
+    );
+    println!("(the branch-switch compensation path is asserted by tests/failure_handling.rs)");
+}
+
+/// Figure 4: enforcing relative order via AddRule/AddEvent/AddPrecondition
+/// — print the coordination primitive traffic of a linked pair.
+fn fig4() {
+    header("Figure 4: Enforcing relative order (primitive call trace)");
+    let p = SetupParams {
+        s: 4,
+        c: 2,
+        z: 4,
+        a: 1,
+        me: 0,
+        ro: 2,
+        rd: 0,
+        r: 0,
+        pf: 0.0,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.0,
+        seed: 4,
+    };
+    let mut deployment = crew_workload::build_deployment(&p, false);
+    crew_workload::link_instances(
+        &mut deployment,
+        &[
+            crew_model::InstanceId::new(SchemaId(1), 1),
+            crew_model::InstanceId::new(SchemaId(2), 2),
+        ],
+    );
+    let mut run = crew_distributed::DistRun::new(
+        deployment,
+        p.z,
+        crew_distributed::DistConfig::default(),
+    );
+    run.sim.enable_trace();
+    run.start_instance(SchemaId(1), vec![(1, Value::Int(5)), (2, Value::Int(1))]);
+    run.start_instance(SchemaId(2), vec![(1, Value::Int(5)), (2, Value::Int(1))]);
+    run.run();
+    for e in run.sim.trace.entries() {
+        if matches!(e.kind, "AddRule" | "AddEvent" | "AddPrecondition") {
+            println!("  {e}");
+        }
+    }
+    println!("(AddRule carries the first-pair claim; AddEvent releases guards)");
+}
+
+/// Figure 5: the OCR decision procedure — decision table over all
+/// condition combinations.
+fn fig5() {
+    header("Figure 5: Opportunistic Compensation and Re-execution (decision table)");
+    use crew_exec::{ocr_decide, FailurePlan, InstanceHistory};
+    use crew_model::{CompensationKind, InstanceId, ReexecPolicy, StepDef};
+    let widths = [20, 18, 16, 40];
+    println!(
+        "{}",
+        row(
+            &[
+                "Policy".into(),
+                "Prev execution".into(),
+                "Inputs".into(),
+                "Decision".into()
+            ],
+            &widths
+        )
+    );
+    let inst = InstanceId::new(SchemaId(1), 1);
+    let combos: Vec<(&str, ReexecPolicy, bool, bool, CompensationKind)> = vec![
+        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, true, false, CompensationKind::Complete),
+        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, true, true, CompensationKind::Complete),
+        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, true, true, CompensationKind::Partial),
+        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, false, false, CompensationKind::Complete),
+        ("Always", ReexecPolicy::Always, true, false, CompensationKind::Complete),
+        ("Never", ReexecPolicy::Never, true, true, CompensationKind::Complete),
+    ];
+    for (label, policy, executed, changed, comp) in combos {
+        let mut def = StepDef::new(StepId(1), "S", "p");
+        def.reexec = policy;
+        def.compensation_kind = comp;
+        def.inputs = vec![crew_model::InputBinding { source: crew_model::ItemKey::input(1) }];
+        let mut history = InstanceHistory::new();
+        let mut env = crew_model::DataEnv::new();
+        env.set(crew_model::ItemKey::input(1), Value::Int(1));
+        if executed {
+            let a = history.begin_attempt(def.id);
+            history.record_done(def.id, a, vec![Some(Value::Int(1))], vec![]);
+        }
+        if changed {
+            env.set(crew_model::ItemKey::input(1), Value::Int(2));
+        }
+        let d = ocr_decide(&def, inst, &history, &env, &FailurePlan::none());
+        println!(
+            "{}",
+            row(
+                &[
+                    label.into(),
+                    if executed { "done" } else { "none" }.into(),
+                    if changed { "changed" } else { "unchanged" }.into(),
+                    format!("{d:?}"),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+/// Figure 6: the three control architectures — the same schema under each,
+/// with message-flow statistics.
+fn fig6() {
+    header("Figure 6: Workflow control architectures (same workload, three ways)");
+    let p = SetupParams {
+        s: 6,
+        c: 2,
+        z: 8,
+        a: 1,
+        me: 0,
+        ro: 0,
+        rd: 0,
+        r: 0,
+        pf: 0.0,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.0,
+        seed: 6,
+    };
+    let widths = [14, 12, 14, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "Architecture".into(),
+                "Messages".into(),
+                "Mean load".into(),
+                "Busiest node".into()
+            ],
+            &widths
+        )
+    );
+    for (label, arch) in [
+        ("Central", Architecture::Central { agents: p.z }),
+        ("Parallel", Architecture::Parallel { agents: p.z, engines: 4 }),
+        ("Distributed", Architecture::Distributed { agents: p.z }),
+    ] {
+        let m = measure(arch, &p, 8);
+        println!(
+            "{}",
+            row(
+                &[
+                    label.into(),
+                    format!("{}", m.total_messages),
+                    format!("{:.0}", m.mean_load),
+                    format!("{:.0}", m.max_load),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+/// Figure 7: the sample workflow packet, byte for byte in the paper's
+/// layout.
+fn fig7() {
+    header("Figure 7: Sample Workflow Packet in Distributed Control");
+    use crew_distributed::{RoTag, WorkflowPacket};
+    use crew_model::{DataEnv, InstanceId, ItemKey};
+    let instance = InstanceId::new(SchemaId(2), 4);
+    let mut data = DataEnv::new();
+    data.set(ItemKey::input(1), Value::Int(90));
+    data.set(ItemKey::input(2), Value::from("Blower"));
+    data.set(ItemKey::output(StepId(1), 1), Value::Int(20));
+    data.set(ItemKey::output(StepId(1), 2), Value::from("Gasket"));
+    data.set(ItemKey::output(StepId(2), 1), Value::Int(45));
+    data.set(ItemKey::output(StepId(2), 2), Value::Int(400));
+    let packet = WorkflowPacket {
+        instance,
+        target_step: StepId(3),
+        source_step: Some(StepId(2)),
+        executor: None,
+        epoch: 0,
+        data,
+        events: vec![
+            (crew_rules::EventKind::WorkflowStart, 1),
+            (crew_rules::EventKind::StepDone(StepId(1)), 1),
+            (crew_rules::EventKind::StepDone(StepId(2)), 1),
+        ],
+        ro_leading: vec![RoTag {
+            local_step: StepId(3),
+            tag: 0,
+            partner: InstanceId::new(SchemaId(3), 15),
+            partner_step: StepId(5),
+        }],
+        ro_lagging: vec![RoTag {
+            local_step: StepId(2),
+            tag: 0,
+            partner: InstanceId::new(SchemaId(5), 12),
+            partner_step: StepId(2),
+        }],
+        weight: crew_distributed::Weight::ONE,
+    };
+    print!("{}", packet.render("WF2"));
+    println!("approx wire size: {} bytes", packet.approx_size());
+}
+
+// ------------------------------------------------------------------ Sweep
+
+/// Parameter sweeps over the Table 3 ranges: the measured per-instance
+/// normal-execution message count and busiest-node load as `s`, `z` and
+/// `a` vary — the series behind the §6 scalability discussion.
+fn sweep() {
+    header("Sweep: messages & busiest-node load vs workflow length s");
+    let widths = [6, 16, 16, 16, 16, 16, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "s".into(),
+                "cent msgs/inst".into(),
+                "par msgs/inst".into(),
+                "dist msgs/inst".into(),
+                "cent max load".into(),
+                "par max load".into(),
+                "dist max load".into(),
+            ],
+            &widths
+        )
+    );
+    for s_steps in [5u32, 10, 15, 20, 25] {
+        let p = SetupParams {
+            s: s_steps,
+            c: 2,
+            z: 20,
+            a: 2,
+            me: 0,
+            ro: 0,
+            rd: 0,
+            r: 0,
+            pf: 0.0,
+            pi: 0.0,
+            pa: 0.0,
+            pr: 0.0,
+            seed: 9,
+        };
+        let cent = measure(Architecture::Central { agents: p.z }, &p, 8);
+        let par = measure(Architecture::Parallel { agents: p.z, engines: 4 }, &p, 8);
+        let dist = measure(Architecture::Distributed { agents: p.z }, &p, 8);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{s_steps}"),
+                    format!("{:.1}", cent.msgs[0]),
+                    format!("{:.1}", par.msgs[0]),
+                    format!("{:.1}", dist.msgs[0]),
+                    format!("{:.0}", cent.max_load),
+                    format!("{:.0}", par.max_load),
+                    format!("{:.0}", dist.max_load),
+                ],
+                &widths
+            )
+        );
+    }
+
+    header("Sweep: distributed busiest-node load vs agent pool z");
+    let widths = [6, 18, 18];
+    println!(
+        "{}",
+        row(&["z".into(), "max load/inst".into(), "mean load/inst".into()], &widths)
+    );
+    for z in [10u32, 20, 50, 100] {
+        let p = SetupParams {
+            s: 15,
+            c: 2,
+            z,
+            a: 2,
+            me: 0,
+            ro: 0,
+            rd: 0,
+            r: 0,
+            pf: 0.0,
+            pi: 0.0,
+            pa: 0.0,
+            pr: 0.0,
+            seed: 9,
+        };
+        let dist = measure(Architecture::Distributed { agents: z }, &p, 12);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{z}"),
+                    format!("{:.0}", dist.max_load),
+                    format!("{:.0}", dist.mean_load),
+                ],
+                &widths
+            )
+        );
+    }
+
+    header("Sweep: messages vs eligible agents a (distributed s·a+f vs central 2·s·a)");
+    let widths = [6, 18, 18];
+    println!(
+        "{}",
+        row(&["a".into(), "cent msgs/inst".into(), "dist msgs/inst".into()], &widths)
+    );
+    for a in [1u32, 2, 3, 4] {
+        let p = SetupParams {
+            s: 10,
+            c: 2,
+            z: 12,
+            a,
+            me: 0,
+            ro: 0,
+            rd: 0,
+            r: 0,
+            pf: 0.0,
+            pi: 0.0,
+            pa: 0.0,
+            pr: 0.0,
+            seed: 9,
+        };
+        let cent = measure(Architecture::Central { agents: p.z }, &p, 8);
+        let dist = measure(Architecture::Distributed { agents: p.z }, &p, 8);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{a}"),
+                    format!("{:.1}", cent.msgs[0]),
+                    format!("{:.1}", dist.msgs[0]),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+// -------------------------------------------------------------- Ablations
+
+fn ablations() {
+    header("Ablation: OCR vs Saga-style recovery (pr sweep)");
+    let base = SetupParams {
+        s: 10,
+        c: 2,
+        z: 12,
+        a: 1,
+        me: 0,
+        ro: 0,
+        rd: 0,
+        r: 4,
+        pf: 0.2,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.0,
+        seed: 31,
+    };
+    let widths = [22, 14, 16, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "pr (reexec prob)".into(),
+                "Messages".into(),
+                "Mean load/inst".into(),
+                "Committed".into()
+            ],
+            &widths
+        )
+    );
+    for pr in [0.0, 0.25, 0.5, 1.0] {
+        let p = SetupParams { pr, ..base };
+        let m = measure(Architecture::Distributed { agents: p.z }, &p, 12);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{pr}"),
+                    format!("{}", m.total_messages),
+                    format!("{:.0}", m.mean_load),
+                    format!("{}", m.committed),
+                ],
+                &widths
+            )
+        );
+    }
+
+    header("Ablation: coordination density ((me+ro+rd)/s sweep, distributed)");
+    println!(
+        "{}",
+        row(
+            &[
+                "me=ro".into(),
+                "Coord msgs/inst".into(),
+                "Total msgs".into(),
+                "Committed".into()
+            ],
+            &widths
+        )
+    );
+    for density in [0u32, 1, 2, 4] {
+        let p = SetupParams {
+            me: density,
+            ro: density,
+            rd: 0,
+            pf: 0.0,
+            r: 0,
+            ..base
+        };
+        let m = measure(Architecture::Distributed { agents: p.z }, &p, 8);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{density}"),
+                    format!("{:.2}", m.msgs[4]),
+                    format!("{}", m.total_messages),
+                    format!("{}", m.committed),
+                ],
+                &widths
+            )
+        );
+    }
+
+    header("Ablation: rollback depth r (failure-handling messages, distributed)");
+    println!(
+        "{}",
+        row(
+            &[
+                "r".into(),
+                "Failure msgs/inst".into(),
+                "Total msgs".into(),
+                "Committed".into()
+            ],
+            &widths
+        )
+    );
+    for r in [1u32, 2, 4, 8] {
+        let p = SetupParams { r, pf: 0.2, pr: 0.5, ..base };
+        let m = measure(Architecture::Distributed { agents: p.z }, &p, 12);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{r}"),
+                    format!("{:.2}", m.msgs[3]),
+                    format!("{}", m.total_messages),
+                    format!("{}", m.committed),
+                ],
+                &widths
+            )
+        );
+    }
+
+    header("Ablation: successor selection (rendezvous hash vs two-phase state poll)");
+    println!(
+        "{}",
+        row(
+            &[
+                "mode".into(),
+                "Total msgs".into(),
+                "Normal msgs/inst".into(),
+                "Committed".into()
+            ],
+            &widths
+        )
+    );
+    {
+        use crew_distributed::SuccessorSelection;
+        let p = SetupParams { a: 3, pf: 0.0, r: 0, ..base };
+        for (label, mode) in [
+            ("designated-hash", SuccessorSelection::DesignatedHash),
+            ("load-balanced", SuccessorSelection::LoadBalanced),
+        ] {
+            let mut deployment = crew_workload::build_deployment(&p, false);
+            deployment.seed = p.seed;
+            let mut system = WorkflowSystem::with_deployment(
+                deployment,
+                Architecture::Distributed { agents: p.z },
+            );
+            system.dist_config.successor_selection = mode;
+            let mut scenario = Scenario::new();
+            let schemas: Vec<SchemaId> = system.deployment.schemas.keys().copied().collect();
+            for k in 0..8u32 {
+                scenario.start(
+                    schemas[(k as usize) % schemas.len()],
+                    vec![(1, Value::Int(5)), (2, Value::Int(1))],
+                );
+            }
+            let report = system.run(scenario);
+            println!(
+                "{}",
+                row(
+                    &[
+                        label.into(),
+                        format!("{}", report.metrics.total_messages),
+                        format!(
+                            "{:.1}",
+                            report.messages_per_instance(crew_simnet::Mechanism::Normal)
+                        ),
+                        format!("{}", report.committed()),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+
+    header("Ablation: packet size growth vs workflow length (distributed)");
+    println!(
+        "{}",
+        row(
+            &["s".into(), "Total bytes".into(), "Bytes/message".into(), "Messages".into()],
+            &widths
+        )
+    );
+    for s in [5u32, 10, 15, 25] {
+        let p = SetupParams { s, pf: 0.0, r: 0, ..base };
+        let m = measure(Architecture::Distributed { agents: p.z }, &p, 8);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{s}"),
+                    format!("{}", m.total_bytes),
+                    format!("{:.0}", m.total_bytes as f64 / m.total_messages.max(1) as f64),
+                    format!("{}", m.total_messages),
+                ],
+                &widths
+            )
+        );
+    }
+}

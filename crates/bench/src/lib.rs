@@ -1,0 +1,210 @@
+//! Measurement harness shared by the `repro` binary (table/figure
+//! reproduction) and the Criterion benches.
+//!
+//! [`measure`] runs one architecture over a Table 3 parameter point on the
+//! deterministic simulator and returns per-mechanism, per-instance message
+//! counts plus scheduler loads — the measured counterpart of the paper's
+//! closed-form Tables 4–6. User-initiated input changes and aborts are
+//! injected mid-flight according to the failure plan's `pi`/`pa` draws, so
+//! the corresponding mechanisms actually exercise their protocols.
+
+#![warn(missing_docs)]
+
+use crew_analysis::Params;
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_model::{SchemaId, Value};
+use crew_simnet::Mechanism;
+use crew_workload::{build_deployment, link_instances, SetupParams};
+
+/// Measured per-instance quantities for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Measured {
+    /// Messages per instance, by mechanism (indexed via [`mech_index`]).
+    pub msgs: [f64; 5],
+    /// Mean scheduler-node navigation load per instance (instruction
+    /// units).
+    pub mean_load: f64,
+    /// Busiest scheduler-node load per instance.
+    pub max_load: f64,
+    /// Instances committed.
+    pub committed: usize,
+    /// Instances aborted.
+    pub aborted: usize,
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Total payload bytes (approximate).
+    pub total_bytes: u64,
+    /// Virtual duration of the run.
+    pub virtual_time: u64,
+}
+
+/// Index of a mechanism in [`Measured::msgs`].
+pub fn mech_index(m: Mechanism) -> Option<usize> {
+    match m {
+        Mechanism::Normal => Some(0),
+        Mechanism::InputChange => Some(1),
+        Mechanism::Abort => Some(2),
+        Mechanism::FailureHandling => Some(3),
+        Mechanism::CoordinatedExecution => Some(4),
+        Mechanism::Control => None,
+    }
+}
+
+/// Labels matching the paper's table rows.
+pub const MECH_LABELS: [&str; 5] = [
+    "Normal Execution",
+    "Workflow Input Change",
+    "Workflow Abort",
+    "Failure Handling",
+    "Coordinated Execution",
+];
+
+/// Convert an experiment point to the analytical parameter point (for the
+/// analytic column next to the measured one).
+pub fn to_analysis_params(p: &SetupParams, e: u32, f: f64, v: f64, w: f64, d: f64) -> Params {
+    Params {
+        s: p.s as f64,
+        c: p.c as f64,
+        i: 1.0,
+        e: e as f64,
+        z: p.z as f64,
+        a: p.a as f64,
+        d,
+        r: p.r as f64,
+        v,
+        f,
+        w,
+        me: p.me as f64,
+        ro: p.ro as f64,
+        rd: p.rd as f64,
+        pf: p.pf,
+        pi: p.pi,
+        pa: p.pa,
+        pr: p.pr,
+    }
+}
+
+/// Run `instances` workflow instances under `arch` at parameter point `p`
+/// and measure. With coordination requirements present, consecutive
+/// instances of paired schemas are linked. `pi`/`pa` draws inject user
+/// input changes / aborts mid-flight.
+pub fn measure(arch: Architecture, p: &SetupParams, instances: u32) -> Measured {
+    let mut deployment = build_deployment(p, false);
+    let schemas: Vec<SchemaId> = deployment.schemas.keys().copied().collect();
+
+    // Pre-compute the instance ids the scenario will allocate, for linking.
+    let mut planned: Vec<crew_model::InstanceId> = Vec::new();
+    for k in 0..instances {
+        let schema = schemas[(k as usize) % schemas.len()];
+        planned.push(crew_model::InstanceId::new(schema, k + 1));
+    }
+    if !deployment.coordination.is_empty() {
+        link_instances(&mut deployment, &planned);
+    }
+    let plan = deployment.plan.clone();
+
+    let system = WorkflowSystem::with_deployment(deployment, arch);
+    let mut scenario = Scenario::new();
+    for (k, inst) in planned.iter().enumerate() {
+        let idx = scenario.start(inst.schema, vec![(1, Value::Int(5)), (2, Value::Int(1))]);
+        debug_assert_eq!(scenario.instance_id(idx), *inst);
+        // Mid-flight user actions per the pi/pa draws. The injection time
+        // is spread so the instance is typically a few steps in.
+        let at = 10 + (k as u64 % 7) * 4;
+        if plan.user_aborts(*inst) {
+            scenario.abort_at(idx, at);
+        } else if plan.inputs_change(*inst) {
+            scenario.change_inputs_at(idx, at, vec![(1, Value::Int(99))]);
+        }
+    }
+    let report = system.run(scenario);
+
+    let mut out = Measured {
+        committed: report.committed(),
+        aborted: report.aborted(),
+        total_messages: report.metrics.total_messages,
+        total_bytes: report.metrics.total_bytes,
+        virtual_time: report.virtual_time,
+        mean_load: report.scheduler_load_per_instance(),
+        max_load: report.max_scheduler_load_per_instance(),
+        ..Measured::default()
+    };
+    for m in Mechanism::ALL {
+        if let Some(i) = mech_index(m) {
+            out.msgs[i] = report.messages_per_instance(m);
+        }
+    }
+    out
+}
+
+/// Render a fixed-width table row.
+pub fn row(cols: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        s.push_str(&format!("{c:<w$}  ", w = w));
+    }
+    s.trim_end().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_small_point_all_archs() {
+        let p = SetupParams {
+            s: 5,
+            c: 2,
+            z: 6,
+            a: 1,
+            me: 0,
+            ro: 0,
+            rd: 0,
+            r: 2,
+            pf: 0.1,
+            pi: 0.0,
+            pa: 0.0,
+            pr: 0.25,
+            seed: 21,
+        };
+        for arch in [
+            Architecture::Central { agents: p.z },
+            Architecture::Parallel { agents: p.z, engines: 2 },
+            Architecture::Distributed { agents: p.z },
+        ] {
+            let m = measure(arch, &p, 6);
+            assert_eq!(m.committed, 6, "{arch:?}");
+            assert!(m.msgs[0] > 0.0, "{arch:?}: normal traffic");
+            assert!(m.mean_load > 0.0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn aborts_and_changes_injected() {
+        let p = SetupParams {
+            s: 8,
+            c: 2,
+            z: 8,
+            a: 1,
+            me: 0,
+            ro: 0,
+            rd: 0,
+            r: 2,
+            pf: 0.0,
+            pi: 0.3, // exaggerated so the draws actually hit
+            pa: 0.3,
+            pr: 1.0,
+            seed: 23,
+        };
+        let m = measure(Architecture::Distributed { agents: p.z }, &p, 12);
+        assert!(m.aborted > 0, "some instances aborted: {m:?}");
+        assert_eq!(m.committed + m.aborted, 12, "{m:?}");
+    }
+
+    #[test]
+    fn mech_index_partition() {
+        assert_eq!(mech_index(Mechanism::Normal), Some(0));
+        assert_eq!(mech_index(Mechanism::Control), None);
+        assert_eq!(MECH_LABELS.len(), 5);
+    }
+}

@@ -1,0 +1,1363 @@
+//! The workflow engine of centralized and parallel control.
+//!
+//! One engine manages every instance it owns: it holds the complete rule
+//! set, data table and execution history per instance (backed by the
+//! WFDB), navigates by firing rules, dispatches step programs to
+//! application agents, and runs every recovery and coordination mechanism
+//! *locally* — which is why centralized control needs zero coordination
+//! messages (Table 4) but concentrates all navigation load on one node.
+//!
+//! Under parallel control (§6) several engines each run this same node
+//! class; an instance is owned by `hash(instance) mod e`. Coordination
+//! requirements spanning instances on different engines are mediated by a
+//! per-requirement *manager engine* through [`CoordMsg`] traffic — the
+//! source of Table 5's coordinated-execution message count.
+
+use crate::msg::{CentralMsg, CoordMsg};
+use crate::topology::Topology;
+use crew_exec::{ocr_decide, Deployment, InstanceHistory, OcrDecision, StepState, Weight};
+use crew_model::{
+    DataEnv, InstanceId, ItemKey, SchemaStep, SplitKind, StepId, Value, WorkflowSchema,
+};
+use crew_rules::{compile_schema, Action, EventKind, RuleId, RuleSet};
+use crew_simnet::{Ctx, Node, NodeId};
+use crew_storage::InstanceStatus;
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Why a compensation was queued (drives message attribution and what
+/// happens when the queue drains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompReason {
+    Failure,
+    Abort,
+    BranchSwitch,
+}
+
+#[derive(Debug, Clone)]
+struct CompItem {
+    step: StepId,
+    partial: bool,
+    reason: CompReason,
+}
+
+/// Per-instance engine state.
+#[derive(Debug, Default)]
+struct EngineInst {
+    rules: RuleSet,
+    data: DataEnv,
+    history: InstanceHistory,
+    rule_ids: BTreeMap<StepId, Vec<RuleId>>,
+    committed: bool,
+    aborted: bool,
+    terminal_weights: BTreeMap<StepId, Weight>,
+    /// Incoming flow weight per step, keyed by source step (re-executions
+    /// replace their slot instead of double-counting at joins). The
+    /// workflow's initial token uses `StepId(0)`.
+    weight_in: BTreeMap<StepId, BTreeMap<StepId, Weight>>,
+    branch_choice: BTreeMap<StepId, StepId>,
+    rollback_counts: BTreeMap<StepId, u32>,
+    /// Steps whose program execution is in flight: step → attempt.
+    pending_exec: BTreeMap<StepId, u32>,
+    /// Ordered compensation work; processed one item at a time so
+    /// dependent sets compensate in reverse execution order.
+    comp_queue: VecDeque<CompItem>,
+    comp_active: bool,
+    /// Origin to re-execute once the compensation queue drains.
+    reexec_after_comp: Option<StepId>,
+    parent: Option<(InstanceId, StepId)>,
+    pending_nested: BTreeMap<StepId, InstanceId>,
+    /// Steps deferred on a coordination guard.
+    ro_waiting: BTreeSet<StepId>,
+    mutex_waiting: BTreeSet<StepId>,
+    /// Steps invalidated by a rollback and not yet revisited — the OCR
+    /// decision applies exactly to these; re-firings outside a rollback
+    /// (loop iterations) always execute fresh.
+    revisit_pending: BTreeSet<StepId>,
+}
+
+/// Relative-order decision as known at an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoState {
+    Undecided,
+    /// Side 0 (the requirement's first components) leads.
+    SideALeads,
+    SideBLeads,
+}
+
+/// The engine node.
+pub struct Engine {
+    /// This engine's index (0 for centralized control).
+    pub index: u32,
+    topo: Topology,
+    deployment: Arc<Deployment>,
+    instances: BTreeMap<InstanceId, EngineInst>,
+    templates: BTreeMap<crew_model::SchemaId, Arc<Vec<crew_rules::TemplateRule>>>,
+    /// Instance status summary (the WFDB instance summary table).
+    pub statuses: BTreeMap<InstanceId, InstanceStatus>,
+    // ---- coordination state ----
+    /// Relative-order decisions, keyed by (req, side-0 instance, side-1
+    /// instance). Present at the manager engine and mirrored at owners.
+    ro_decisions: BTreeMap<(u32, InstanceId, InstanceId), RoState>,
+    /// Releases received for lagging steps: (req, pair index, instance).
+    ro_released: BTreeSet<(u32, usize, InstanceId)>,
+    /// Mutex manager state (at the manager engine): req → holder + queue.
+    mutex_holders: BTreeMap<u32, Option<(InstanceId, StepId, u32)>>,
+    mutex_queues: BTreeMap<u32, VecDeque<(InstanceId, StepId, u32)>>,
+    /// Grants this engine holds for its instances.
+    mutex_held: BTreeSet<(u32, InstanceId, StepId)>,
+    probe_token: u64,
+    load: u64,
+}
+
+impl Engine {
+    pub fn new(index: u32, deployment: Arc<Deployment>, topo: Topology) -> Self {
+        Engine {
+            index,
+            topo,
+            deployment,
+            instances: BTreeMap::new(),
+            templates: BTreeMap::new(),
+            statuses: BTreeMap::new(),
+            ro_decisions: BTreeMap::new(),
+            ro_released: BTreeSet::new(),
+            mutex_holders: BTreeMap::new(),
+            mutex_queues: BTreeMap::new(),
+            mutex_held: BTreeSet::new(),
+            probe_token: 0,
+            load: 0,
+        }
+    }
+
+    fn schema(&self, instance: InstanceId) -> Arc<WorkflowSchema> {
+        self.deployment.expect_schema(instance.schema).clone()
+    }
+
+    fn nav_load(&mut self, ctx: &mut Ctx<CentralMsg>) {
+        let l = self.deployment.nav_load;
+        self.load += l;
+        ctx.add_load(l);
+    }
+
+    fn inst(&mut self, instance: InstanceId) -> &mut EngineInst {
+        self.instances.entry(instance).or_default()
+    }
+
+    /// Total navigation load charged so far.
+    pub fn total_load(&self) -> u64 {
+        self.load
+    }
+
+    /// Instance status (the administrative `WorkflowStatus` interface; the
+    /// admin tool reads the WFDB summary directly in this architecture).
+    pub fn status_of(&self, instance: InstanceId) -> Option<InstanceStatus> {
+        self.statuses.get(&instance).copied()
+    }
+
+    /// The instance's current data table (test introspection).
+    pub fn data_of(&self, instance: InstanceId) -> Option<&DataEnv> {
+        self.instances.get(&instance).map(|s| &s.data)
+    }
+
+    /// The instance's execution history (test introspection).
+    pub fn history_of(&self, instance: InstanceId) -> Option<&InstanceHistory> {
+        self.instances.get(&instance).map(|s| &s.history)
+    }
+
+    // ---- instantiation -----------------------------------------------------
+
+    fn start_instance(
+        &mut self,
+        instance: InstanceId,
+        inputs: Vec<(ItemKey, Value)>,
+        parent: Option<(InstanceId, StepId)>,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let schema = self.schema(instance);
+        let template = self
+            .templates
+            .entry(instance.schema)
+            .or_insert_with(|| Arc::new(compile_schema(&schema)))
+            .clone();
+        self.nav_load(ctx);
+        {
+            let st = self.inst(instance);
+            st.parent = parent;
+            for t in template.iter() {
+                let id = st.rules.add_rule(t.rule.clone());
+                st.rule_ids.entry(t.step).or_default().push(id);
+            }
+            for (k, v) in inputs {
+                st.data.set(k, v);
+            }
+            st.rules.add_event(EventKind::WorkflowStart);
+            st.weight_in
+                .entry(schema.start_step())
+                .or_default()
+                .insert(StepId(0), Weight::ONE);
+        }
+        self.statuses.insert(instance, InstanceStatus::Executing);
+        self.fire_rules(instance, ctx);
+    }
+
+    // ---- rule firing ---------------------------------------------------------
+
+    fn fire_rules(&mut self, instance: InstanceId, ctx: &mut Ctx<CentralMsg>) {
+        loop {
+            let firings = {
+                let st = self.inst(instance);
+                if st.aborted {
+                    return;
+                }
+                let data = st.data.clone();
+                st.rules.fire_ready(&data)
+            };
+            if firings.is_empty() {
+                break;
+            }
+            for f in firings {
+                if let Action::StartStep(step) = f.action {
+                    self.start_step(instance, step, ctx);
+                }
+            }
+        }
+    }
+
+    // ---- coordination guards ---------------------------------------------------
+
+    /// Pair index of `step` within requirement `r` for `instance`'s side,
+    /// plus the canonical (a, b) pair with `partner`, if applicable.
+    fn ro_position(
+        &self,
+        r: &crew_model::RelativeOrder,
+        instance: InstanceId,
+        partner: InstanceId,
+        step: StepId,
+    ) -> Option<(u8, usize, InstanceId, InstanceId)> {
+        let (side, steps) = ro_side(r, instance, partner)?;
+        let k = steps.iter().position(|&s| s == step)?;
+        let (a, b) = if side == 0 { (instance, partner) } else { (partner, instance) };
+        Some((side, k, a, b))
+    }
+
+    /// Should `step` of `instance` wait on a relative-order guard?
+    fn ro_blocked(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) -> bool {
+        let dep = self.deployment.clone();
+        for r in &dep.coordination.relative_orders {
+            for partner in dep.ro_links.partners_of(instance) {
+                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step)
+                else {
+                    continue;
+                };
+                self.nav_load(ctx); // the coordination check itself costs
+                let decision = self
+                    .ro_decisions
+                    .get(&(r.id, a, b))
+                    .copied()
+                    .unwrap_or(RoState::Undecided);
+                match decision {
+                    RoState::Undecided => {
+                        // First pair: claim leadership at the manager (the
+                        // serialization point); the step waits for the
+                        // decision (leader) or the leader's completion
+                        // (lagger).
+                        if k == 0 {
+                            let manager = self.manager_engine(r.id);
+                            if manager == self.index {
+                                self.ro_decide(r.id, a, b, side, ctx);
+                                // Decided in our favour: re-check below.
+                                let d = self.ro_decisions[&(r.id, a, b)];
+                                let we_lead = matches!(
+                                    (d, side),
+                                    (RoState::SideALeads, 0) | (RoState::SideBLeads, 1)
+                                );
+                                if we_lead {
+                                    continue;
+                                }
+                            } else {
+                                ctx.send(
+                                    self.topo.engine_node(manager),
+                                    CentralMsg::Coord(CoordMsg::RoFirstDone {
+                                        req: r.id,
+                                        claimant: instance,
+                                        partner,
+                                    }),
+                                );
+                            }
+                        }
+                        return true;
+                    }
+                    RoState::SideALeads if side == 0 => {}
+                    RoState::SideBLeads if side == 1 => {}
+                    _ => {
+                        // We lag: wait for the leading step k's release.
+                        if !self.ro_released.contains(&(r.id, k, instance)) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Should `step` wait on a mutual-exclusion grant? Issues the acquire
+    /// if needed.
+    fn mutex_blocked(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) -> bool {
+        let dep = self.deployment.clone();
+        let mut blocked = false;
+        for m in &dep.coordination.mutual_exclusions {
+            if !m.members.contains(&SchemaStep::new(instance.schema, step)) {
+                continue;
+            }
+            self.nav_load(ctx);
+            if self.mutex_held.contains(&(m.id, instance, step)) {
+                continue;
+            }
+            blocked = true;
+            let manager = self.manager_engine(m.id);
+            if manager == self.index {
+                self.mutex_try_acquire(m.id, instance, step, self.index, ctx);
+            } else {
+                ctx.send(
+                    self.topo.engine_node(manager),
+                    CentralMsg::Coord(CoordMsg::MutexAcquire { req: m.id, instance, step }),
+                );
+            }
+        }
+        if blocked {
+            // Re-check after the grant arrives.
+            let held_all = dep
+                .coordination
+                .mutual_exclusions
+                .iter()
+                .filter(|m| m.members.contains(&SchemaStep::new(instance.schema, step)))
+                .all(|m| self.mutex_held.contains(&(m.id, instance, step)));
+            return !held_all;
+        }
+        false
+    }
+
+    fn manager_engine(&self, req: u32) -> u32 {
+        req % self.topo.engines
+    }
+
+    /// Manager side: grant or queue.
+    fn mutex_try_acquire(
+        &mut self,
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+        owner_engine: u32,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let holder = self.mutex_holders.entry(req).or_default();
+        if holder.is_none() {
+            *holder = Some((instance, step, owner_engine));
+            self.mutex_grant(req, instance, step, owner_engine, ctx);
+        } else if *holder != Some((instance, step, owner_engine)) {
+            let q = self.mutex_queues.entry(req).or_default();
+            if !q.contains(&(instance, step, owner_engine)) {
+                q.push_back((instance, step, owner_engine));
+            }
+        }
+    }
+
+    fn mutex_grant(
+        &mut self,
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+        owner_engine: u32,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        if owner_engine == self.index {
+            let terminal = {
+                let st = self.inst(instance);
+                st.aborted || st.committed
+            };
+            if terminal {
+                self.mutex_do_release(req, instance, step, ctx);
+                return;
+            }
+            self.mutex_held.insert((req, instance, step));
+            self.resume_waiting(instance, step, ctx);
+        } else {
+            ctx.send(
+                self.topo.engine_node(owner_engine),
+                CentralMsg::Coord(CoordMsg::MutexGrant { req, instance, step }),
+            );
+        }
+    }
+
+    fn mutex_release(
+        &mut self,
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        self.mutex_held.remove(&(req, instance, step));
+        let manager = self.manager_engine(req);
+        if manager == self.index {
+            self.mutex_do_release(req, instance, step, ctx);
+        } else {
+            ctx.send(
+                self.topo.engine_node(manager),
+                CentralMsg::Coord(CoordMsg::MutexRelease { req, instance, step }),
+            );
+        }
+    }
+
+    fn mutex_do_release(
+        &mut self,
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        // Drop any queued request of the releasing (instance, step) — an
+        // aborted instance must not be granted later.
+        self.mutex_queues
+            .entry(req)
+            .or_default()
+            .retain(|(i, s, _)| !(*i == instance && *s == step));
+        let holder = self.mutex_holders.entry(req).or_default();
+        if matches!(holder, Some((i, s, _)) if *i == instance && *s == step) {
+            *holder = self.mutex_queues.entry(req).or_default().pop_front();
+            if let Some((i, s, e)) = *holder {
+                self.mutex_grant(req, i, s, e, ctx);
+            }
+        }
+    }
+
+    fn resume_waiting(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) {
+        let waiting = {
+            let st = self.inst(instance);
+            st.mutex_waiting.remove(&step) || st.ro_waiting.remove(&step)
+        };
+        if waiting {
+            self.start_step(instance, step, ctx);
+        }
+    }
+
+    /// Resume every deferred step of an instance whose guard may have
+    /// cleared (after a decision or release).
+    fn resume_all_ro(&mut self, instance: InstanceId, ctx: &mut Ctx<CentralMsg>) {
+        let steps: Vec<StepId> = {
+            let st = self.inst(instance);
+            st.ro_waiting.iter().copied().collect()
+        };
+        for step in steps {
+            self.inst(instance).ro_waiting.remove(&step);
+            self.start_step(instance, step, ctx);
+        }
+    }
+
+    // ---- step lifecycle -----------------------------------------------------------
+
+    fn start_step(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) {
+        {
+            let st = self.inst(instance);
+            if st.aborted || st.pending_exec.contains_key(&step) {
+                return;
+            }
+        }
+        if self.ro_blocked(instance, step, ctx) {
+            self.inst(instance).ro_waiting.insert(step);
+            return;
+        }
+        if self.mutex_blocked(instance, step, ctx) {
+            self.inst(instance).mutex_waiting.insert(step);
+            return;
+        }
+        let schema = self.schema(instance);
+        if let Some(&child_schema) = schema.nested.get(&step) {
+            self.launch_nested(instance, step, child_schema, ctx);
+            return;
+        }
+        let def = schema.expect_step(step).clone();
+        let is_revisit = self.inst(instance).revisit_pending.remove(&step);
+        let decision = if is_revisit {
+            let plan = self.deployment.plan.clone();
+            let st = self.inst(instance);
+            ocr_decide(&def, instance, &st.history, &st.data, &plan)
+        } else {
+            OcrDecision::ExecuteFresh
+        };
+        match decision {
+            OcrDecision::Reuse => self.after_step_done(instance, step, ctx),
+            OcrDecision::ExecuteFresh => self.dispatch(instance, &def, ctx),
+            OcrDecision::PartialCompensateIncrementalReexec
+            | OcrDecision::CompleteCompensateCompleteReexec => {
+                let partial = decision == OcrDecision::PartialCompensateIncrementalReexec;
+                // Compensation dependent set: queue the members executed
+                // after `step` in reverse execution order first.
+                let mut items: Vec<CompItem> = Vec::new();
+                if let Some(set) = schema.compensation_set_of(step) {
+                    let members: Vec<StepId> = set.members.iter().copied().collect();
+                    let ordered = {
+                        let st = self.inst(instance);
+                        st.history.members_reverse_order(&members)
+                    };
+                    let my_seq = self
+                        .inst(instance)
+                        .history
+                        .record(step)
+                        .map(|r| r.seq)
+                        .unwrap_or(0);
+                    for m in ordered {
+                        let seq = self
+                            .inst(instance)
+                            .history
+                            .record(m)
+                            .map(|r| r.seq)
+                            .unwrap_or(0);
+                        if m != step && seq > my_seq {
+                            items.push(CompItem {
+                                step: m,
+                                partial: false,
+                                reason: CompReason::Failure,
+                            });
+                        }
+                    }
+                }
+                items.push(CompItem { step, partial, reason: CompReason::Failure });
+                {
+                    let st = self.inst(instance);
+                    st.comp_queue.extend(items);
+                    st.reexec_after_comp = Some(step);
+                }
+                self.pump_comp_queue(instance, ctx);
+            }
+        }
+    }
+
+    /// Send the next queued compensation to its agent (or apply it locally
+    /// when the step has no compensation program).
+    fn pump_comp_queue(&mut self, instance: InstanceId, ctx: &mut Ctx<CentralMsg>) {
+        loop {
+            let item = {
+                let st = self.inst(instance);
+                if st.comp_active {
+                    return;
+                }
+                st.comp_queue.pop_front()
+            };
+            let Some(item) = item else {
+                // Queue drained: re-execute the deferred origin, if any.
+                let origin = self.inst(instance).reexec_after_comp.take();
+                if let Some(origin) = origin {
+                    let def = self.schema(instance).expect_step(origin).clone();
+                    self.dispatch(instance, &def, ctx);
+                }
+                return;
+            };
+            let schema = self.schema(instance);
+            let def = schema.expect_step(item.step).clone();
+            let done = self.inst(instance).history.state(item.step) == StepState::Done;
+            if !done {
+                continue; // not executed: nothing to undo
+            }
+            self.nav_load(ctx);
+            if let Some(program) = def.compensation_program.clone() {
+                let agent = crew_exec::hash::combine(
+                    self.deployment.seed,
+                    &[
+                        instance.schema.0 as u64,
+                        instance.serial as u64,
+                        item.step.0 as u64,
+                    ],
+                ) % def.eligible_agents.len() as u64;
+                let agent = def.eligible_agents[agent as usize];
+                self.inst(instance).comp_active = true;
+                ctx.send(
+                    self.topo.agent_node(agent),
+                    CentralMsg::CompensateRequest {
+                        instance,
+                        step: item.step,
+                        program: Some(program),
+                        partial: item.partial,
+                        for_abort: item.reason == CompReason::Abort,
+                    },
+                );
+                return; // wait for CompensateResult
+            }
+            // No compensation program: bookkeeping only.
+            self.apply_compensation(instance, item.step, ctx);
+        }
+    }
+
+    /// Local effects of a completed compensation.
+    fn apply_compensation(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) {
+        let schema = self.schema(instance);
+        {
+            let st = self.inst(instance);
+            st.data.clear_step_outputs(step);
+            st.history.record_compensated(step);
+            st.rules.add_event(EventKind::StepCompensated(step));
+            st.rules.invalidate_event(EventKind::StepDone(step));
+            for arc_to in schema.forward_outgoing(step).map(|a| a.to).collect::<Vec<_>>() {
+                if let Some(slots) = st.weight_in.get_mut(&arc_to) {
+                    slots.remove(&step);
+                }
+            }
+            if schema.terminal_steps().contains(&step) {
+                st.terminal_weights.insert(step, Weight::ZERO);
+            }
+        }
+        let _ = ctx;
+    }
+
+    /// Scatter-gather dispatch of a step's program: `ExecRequest` to the
+    /// chosen executor, `StateProbe` to the other eligible agents — the
+    /// `2·a` messages per step of the §6 model.
+    fn dispatch(&mut self, instance: InstanceId, def: &crew_model::StepDef, ctx: &mut Ctx<CentralMsg>) {
+        self.nav_load(ctx);
+        let (attempt, inputs) = {
+            let st = self.inst(instance);
+            let attempt = st.history.begin_attempt(def.id);
+            st.pending_exec.insert(def.id, attempt);
+            (attempt, st.data.project(&def.input_keys()))
+        };
+        let chosen_idx = crew_exec::hash::combine(
+            self.deployment.seed,
+            &[
+                instance.schema.0 as u64,
+                instance.serial as u64,
+                def.id.0 as u64,
+            ],
+        ) % def.eligible_agents.len() as u64;
+        for (i, agent) in def.eligible_agents.iter().enumerate() {
+            let node = self.topo.agent_node(*agent);
+            if i as u64 == chosen_idx {
+                ctx.send(
+                    node,
+                    CentralMsg::ExecRequest {
+                        instance,
+                        step: def.id,
+                        program: def.program.clone(),
+                        inputs: inputs.clone(),
+                        attempt,
+                        cost: def.cost,
+                    },
+                );
+            } else {
+                self.probe_token += 1;
+                ctx.send(node, CentralMsg::StateProbe { token: self.probe_token });
+            }
+        }
+    }
+
+    fn on_exec_result(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        attempt: u32,
+        outputs: Option<Vec<Value>>,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let valid = {
+            let st = self.inst(instance);
+            st.pending_exec.get(&step) == Some(&attempt)
+        };
+        if !valid {
+            return; // stale result from a rolled-back attempt
+        }
+        self.inst(instance).pending_exec.remove(&step);
+        self.nav_load(ctx);
+        let schema = self.schema(instance);
+        match outputs {
+            Some(outputs) => {
+                let def = schema.expect_step(step);
+                {
+                    let st = self.inst(instance);
+                    let inputs = st.data.project(&def.input_keys());
+                    for (i, v) in outputs.iter().enumerate() {
+                        let slot = (i + 1) as u16;
+                        if slot <= def.output_slots {
+                            st.data.set(ItemKey::output(step, slot), v.clone());
+                        }
+                    }
+                    st.history.record_done(step, attempt, inputs, outputs);
+                }
+                self.after_step_done(instance, step, ctx);
+            }
+            None => {
+                {
+                    let st = self.inst(instance);
+                    st.history.record_failed(step);
+                    st.rules.add_event(EventKind::StepFail(step));
+                }
+                self.handle_failure(instance, step, ctx);
+            }
+        }
+    }
+
+    fn after_step_done(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) {
+        let schema = self.schema(instance);
+        {
+            let st = self.inst(instance);
+            st.rules.add_event(EventKind::StepDone(step));
+        }
+        self.ro_after_done(instance, step, ctx);
+        // Mutex release.
+        let dep = self.deployment.clone();
+        for m in &dep.coordination.mutual_exclusions {
+            if m.members.contains(&SchemaStep::new(instance.schema, step))
+                && self.mutex_held.contains(&(m.id, instance, step))
+            {
+                self.mutex_release(m.id, instance, step, ctx);
+            }
+        }
+        // Branch switch detection at XOR splits.
+        if schema.split_kind(step) == Some(SplitKind::Xor) {
+            self.detect_branch_switch(instance, step, &schema, ctx);
+        }
+        // Weight propagation along outgoing arcs (per-source slots so a
+        // re-execution replaces rather than double-counts).
+        let flow = self.flow_weight(instance, step);
+        let forward: Vec<StepId> = schema.forward_outgoing(step).map(|a| a.to).collect();
+        let branch_weight = match schema.split_kind(step) {
+            Some(SplitKind::And) if forward.len() > 1 => flow.split(forward.len() as u64),
+            _ => flow,
+        };
+        {
+            let st = self.inst(instance);
+            for t in &forward {
+                st.weight_in.entry(*t).or_default().insert(step, branch_weight);
+            }
+            for arc in schema.outgoing(step).filter(|a| a.loop_back) {
+                // A loop re-enters with the same thread: the back-edge
+                // replaces the head's incoming weight rather than adding a
+                // second slot next to the original entry arc's.
+                st.weight_in.insert(arc.to, BTreeMap::from([(step, flow)]));
+            }
+        }
+        // Terminal: account completion weight; commit at 1.
+        if schema.terminal_steps().contains(&step) {
+            let flow = self.flow_weight(instance, step);
+            let committed = {
+                let st = self.inst(instance);
+                st.terminal_weights.insert(step, flow);
+                let total = st
+                    .terminal_weights
+                    .values()
+                    .fold(Weight::ZERO, |acc, w| acc.plus(*w));
+                if total.is_one() && !st.committed {
+                    st.committed = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            if committed {
+                self.statuses.insert(instance, InstanceStatus::Committed);
+                let parent = self.inst(instance).parent;
+                if let Some((p, pstep)) = parent {
+                    let outputs = self.nested_outputs(instance);
+                    let owner = self.topo.owner_engine(p);
+                    if owner == self.index {
+                        self.on_child_done(p, pstep, outputs, ctx);
+                    } else {
+                        ctx.send(
+                            self.topo.engine_node(owner),
+                            CentralMsg::ChildDone { parent: p, parent_step: pstep, outputs },
+                        );
+                    }
+                }
+            }
+        }
+        self.fire_rules(instance, ctx);
+    }
+
+    /// Thread weight flowing through `step`: sum of the per-source slots,
+    /// defaulting to 1.
+    fn flow_weight(&mut self, instance: InstanceId, step: StepId) -> Weight {
+        let st = self.inst(instance);
+        match st.weight_in.get(&step) {
+            Some(slots) if !slots.is_empty() => {
+                slots.values().fold(Weight::ZERO, |acc, w| acc.plus(*w))
+            }
+            _ => Weight::ONE,
+        }
+    }
+
+    fn nested_outputs(&mut self, instance: InstanceId) -> Vec<Value> {
+        let schema = self.schema(instance);
+        let st = self.inst(instance);
+        schema
+            .terminal_steps()
+            .iter()
+            .rev()
+            .find_map(|t| st.history.record(*t).map(|r| r.outputs.clone()))
+            .unwrap_or_default()
+    }
+
+    fn launch_nested(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        child_schema: crew_model::SchemaId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        if self.inst(instance).pending_nested.contains_key(&step) {
+            return;
+        }
+        let schema = self.schema(instance);
+        let def = schema.expect_step(step).clone();
+        let child = InstanceId::new(
+            child_schema,
+            instance.serial.wrapping_mul(1009).wrapping_add(step.0) | 0x4000_0000,
+        );
+        self.inst(instance).pending_nested.insert(step, child);
+        let inputs: Vec<(ItemKey, Value)> = {
+            let st = self.inst(instance);
+            def.input_keys()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, k)| {
+                    st.data
+                        .get(k)
+                        .cloned()
+                        .map(|v| (ItemKey::input((i + 1) as u16), v))
+                })
+                .collect()
+        };
+        let owner = self.topo.owner_engine(child);
+        if owner == self.index {
+            self.start_instance(child, inputs, Some((instance, step)), ctx);
+        } else {
+            ctx.send(
+                self.topo.engine_node(owner),
+                CentralMsg::ChildStart {
+                    child,
+                    inputs,
+                    parent: instance,
+                    parent_step: step,
+                },
+            );
+        }
+    }
+
+    fn on_child_done(
+        &mut self,
+        parent: InstanceId,
+        parent_step: StepId,
+        outputs: Vec<Value>,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let schema = self.schema(parent);
+        let def = schema.expect_step(parent_step).clone();
+        {
+            let st = self.inst(parent);
+            st.pending_nested.remove(&parent_step);
+            let attempt = st.history.begin_attempt(parent_step);
+            st.history.record_done(parent_step, attempt, vec![], outputs.clone());
+            for (i, v) in outputs.iter().enumerate() {
+                let slot = (i + 1) as u16;
+                if slot <= def.output_slots {
+                    st.data.set(ItemKey::output(parent_step, slot), v.clone());
+                }
+            }
+        }
+        self.after_step_done(parent, parent_step, ctx);
+    }
+
+    fn detect_branch_switch(
+        &mut self,
+        instance: InstanceId,
+        split: StepId,
+        schema: &WorkflowSchema,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let data = self.inst(instance).data.clone();
+        let mut chosen: Option<StepId> = None;
+        let mut otherwise: Option<StepId> = None;
+        for arc in schema.forward_outgoing(split) {
+            match &arc.condition {
+                Some(c) => {
+                    if c.eval_bool(&data).unwrap_or(false) && chosen.is_none() {
+                        chosen = Some(arc.to);
+                    }
+                }
+                None => otherwise = Some(arc.to),
+            }
+        }
+        let Some(new_head) = chosen.or(otherwise) else { return };
+        let prev = self.inst(instance).branch_choice.insert(split, new_head);
+        if let Some(old_head) = prev {
+            if old_head != new_head {
+                // Compensate the executed steps of the abandoned branch in
+                // reverse execution order.
+                let members: Vec<StepId> =
+                    schema.branch_steps(split, old_head).into_iter().collect();
+                let ordered = {
+                    let st = self.inst(instance);
+                    st.history.members_reverse_order(&members)
+                };
+                {
+                    let st = self.inst(instance);
+                    for m in ordered {
+                        st.comp_queue.push_back(CompItem {
+                            step: m,
+                            partial: false,
+                            reason: CompReason::BranchSwitch,
+                        });
+                    }
+                }
+                self.pump_comp_queue(instance, ctx);
+            }
+        }
+    }
+
+    // ---- failure handling -------------------------------------------------------
+
+    fn handle_failure(&mut self, instance: InstanceId, failed: StepId, ctx: &mut Ctx<CentralMsg>) {
+        let schema = self.schema(instance);
+        let origin = schema
+            .rollback_spec_for(failed)
+            .map(|r| r.origin)
+            .unwrap_or(failed);
+        let max_attempts = schema
+            .rollback_spec_for(failed)
+            .map(|r| r.max_attempts)
+            .unwrap_or(3);
+        {
+            let exhausted = {
+                let st = self.inst(instance);
+                let count = st.rollback_counts.entry(origin).or_default();
+                *count += 1;
+                *count >= max_attempts
+            };
+            if exhausted {
+                self.abort_instance(instance, ctx);
+                return;
+            }
+        }
+        self.rollback_to(instance, origin, false, ctx);
+    }
+
+    fn rollback_to(
+        &mut self,
+        instance: InstanceId,
+        origin: StepId,
+        from_dependency: bool,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        self.nav_load(ctx);
+        let schema = self.schema(instance);
+        let invalidated = schema.invalidation_set(origin);
+        {
+            let st = self.inst(instance);
+            for &s in &invalidated {
+                st.rules.invalidate_event(EventKind::StepDone(s));
+                st.weight_in.remove(&s);
+                st.pending_exec.remove(&s);
+            }
+            st.pending_exec.remove(&origin);
+            for id in st.rule_ids.get(&origin).cloned().unwrap_or_default() {
+                st.rules.reset_rule(id);
+            }
+            st.revisit_pending.insert(origin);
+            st.revisit_pending.extend(invalidated.iter().copied());
+        }
+        // Rollback dependencies (one level, like distributed control).
+        if !from_dependency {
+            let dep = self.deployment.clone();
+            for rd in &dep.coordination.rollback_dependencies {
+                let hit = rd.source.schema == instance.schema
+                    && (rd.source.step == origin || invalidated.contains(&rd.source.step));
+                if !hit {
+                    continue;
+                }
+                for partner in dep.ro_links.partners_of(instance) {
+                    if partner.schema != rd.dependent_schema {
+                        continue;
+                    }
+                    let owner = self.topo.owner_engine(partner);
+                    if owner == self.index {
+                        self.rollback_to(partner, rd.dependent_origin, true, ctx);
+                    } else {
+                        ctx.send(
+                            self.topo.engine_node(owner),
+                            CentralMsg::Coord(CoordMsg::RollbackDep {
+                                instance: partner,
+                                origin: rd.dependent_origin,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+        self.fire_rules(instance, ctx);
+    }
+
+    fn abort_instance(&mut self, instance: InstanceId, ctx: &mut Ctx<CentralMsg>) {
+        let reject = {
+            let st = self.inst(instance);
+            st.committed || st.aborted
+        };
+        if reject {
+            return;
+        }
+        self.nav_load(ctx);
+        self.inst(instance).aborted = true;
+        self.statuses.insert(instance, InstanceStatus::Aborted);
+        // Hand back (or de-queue) every mutex this instance may be holding
+        // or waiting on — a wedged resource would deadlock the contenders.
+        let dep = self.deployment.clone();
+        for m in &dep.coordination.mutual_exclusions {
+            for member in &m.members {
+                if member.schema != instance.schema {
+                    continue;
+                }
+                self.mutex_held.remove(&(m.id, instance, member.step));
+                let manager = self.manager_engine(m.id);
+                if manager == self.index {
+                    self.mutex_do_release(m.id, instance, member.step, ctx);
+                } else {
+                    ctx.send(
+                        self.topo.engine_node(manager),
+                        CentralMsg::Coord(CoordMsg::MutexRelease {
+                            req: m.id,
+                            instance,
+                            step: member.step,
+                        }),
+                    );
+                }
+            }
+        }
+        let schema = self.schema(instance);
+        // Compensate executed compensatable steps, reverse execution order.
+        let done: Vec<StepId> = {
+            let st = self.inst(instance);
+            st.history.done_steps_reverse_order()
+        };
+        let items: Vec<CompItem> = done
+            .into_iter()
+            .filter(|s| schema.expect_step(*s).is_compensatable())
+            .map(|step| CompItem { step, partial: false, reason: CompReason::Abort })
+            .collect();
+        {
+            let st = self.inst(instance);
+            st.comp_queue.extend(items);
+            st.reexec_after_comp = None;
+        }
+        self.pump_comp_queue(instance, ctx);
+    }
+
+    fn change_inputs(
+        &mut self,
+        instance: InstanceId,
+        new_inputs: Vec<(ItemKey, Value)>,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let reject = {
+            let st = self.inst(instance);
+            st.committed || st.aborted
+        };
+        if reject {
+            return;
+        }
+        self.nav_load(ctx);
+        let schema = self.schema(instance);
+        let changed: BTreeSet<ItemKey> = new_inputs.iter().map(|(k, _)| *k).collect();
+        {
+            let st = self.inst(instance);
+            for (k, v) in new_inputs {
+                st.data.set(k, v);
+            }
+        }
+        let origin = schema
+            .topo_order()
+            .iter()
+            .copied()
+            .find(|s| {
+                schema
+                    .expect_step(*s)
+                    .input_keys()
+                    .iter()
+                    .any(|k| changed.contains(k))
+            })
+            .unwrap_or(schema.start_step());
+        self.rollback_to(instance, origin, false, ctx);
+    }
+
+    // ---- relative ordering -----------------------------------------------------
+
+    fn ro_after_done(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) {
+        let dep = self.deployment.clone();
+        for r in &dep.coordination.relative_orders {
+            for partner in dep.ro_links.partners_of(instance) {
+                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step)
+                else {
+                    continue;
+                };
+                // If we lead, a completed pair-k step releases the lagging
+                // partner's step k (including the serialized first pair).
+                let decision = self
+                    .ro_decisions
+                    .get(&(r.id, a, b))
+                    .copied()
+                    .unwrap_or(RoState::Undecided);
+                let we_lead = matches!(
+                    (decision, side),
+                    (RoState::SideALeads, 0) | (RoState::SideBLeads, 1)
+                );
+                if we_lead {
+                    let owner = self.topo.owner_engine(partner);
+                    if owner == self.index {
+                        self.ro_apply_release(r.id, k, partner, ctx);
+                    } else {
+                        ctx.send(
+                            self.topo.engine_node(owner),
+                            CentralMsg::Coord(CoordMsg::RoRelease {
+                                req: r.id,
+                                k,
+                                lagging: partner,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Manager: first claim wins; broadcast the decision to the owner
+    /// engines of both instances.
+    fn ro_decide(
+        &mut self,
+        req: u32,
+        a: InstanceId,
+        b: InstanceId,
+        winner_side: u8,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let key = (req, a, b);
+        if self.ro_decisions.get(&key).copied().unwrap_or(RoState::Undecided)
+            != RoState::Undecided
+        {
+            return;
+        }
+        let state = if winner_side == 0 { RoState::SideALeads } else { RoState::SideBLeads };
+        self.ro_decisions.insert(key, state);
+        self.nav_load(ctx);
+        for engine in [self.topo.owner_engine(a), self.topo.owner_engine(b)] {
+            if engine == self.index {
+                self.ro_apply_decision(req, a, b, winner_side, ctx);
+            } else {
+                ctx.send(
+                    self.topo.engine_node(engine),
+                    CentralMsg::Coord(CoordMsg::RoDecision { req, a, b, leader_side: winner_side }),
+                );
+            }
+        }
+    }
+
+    fn ro_apply_decision(
+        &mut self,
+        req: u32,
+        a: InstanceId,
+        b: InstanceId,
+        leader_side: u8,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let state = if leader_side == 0 { RoState::SideALeads } else { RoState::SideBLeads };
+        self.ro_decisions.insert((req, a, b), state);
+        // The decision may unblock deferred steps of instances we own.
+        for inst in [a, b] {
+            if self.topo.owner_engine(inst) == self.index && self.instances.contains_key(&inst) {
+                self.resume_all_ro(inst, ctx);
+                // If the leading side already completed later pairs before
+                // the decision landed, emit the pending releases now.
+                let done: Vec<StepId> = self
+                    .instances
+                    .get(&inst)
+                    .map(|st| {
+                        st.history
+                            .iter()
+                            .filter(|r| r.state == StepState::Done)
+                            .map(|r| r.step)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for step in done {
+                    self.ro_after_done_releases_only(inst, step, ctx);
+                }
+            }
+        }
+    }
+
+    /// Re-run only the release half of [`Self::ro_after_done`] (used when a
+    /// decision arrives after the leading side already progressed).
+    fn ro_after_done_releases_only(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        let dep = self.deployment.clone();
+        for r in &dep.coordination.relative_orders {
+            for partner in dep.ro_links.partners_of(instance) {
+                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step)
+                else {
+                    continue;
+                };
+                let decision = self
+                    .ro_decisions
+                    .get(&(r.id, a, b))
+                    .copied()
+                    .unwrap_or(RoState::Undecided);
+                let we_lead = matches!(
+                    (decision, side),
+                    (RoState::SideALeads, 0) | (RoState::SideBLeads, 1)
+                );
+                if we_lead {
+                    let owner = self.topo.owner_engine(partner);
+                    if owner == self.index {
+                        self.ro_apply_release(r.id, k, partner, ctx);
+                    } else {
+                        ctx.send(
+                            self.topo.engine_node(owner),
+                            CentralMsg::Coord(CoordMsg::RoRelease { req: r.id, k, lagging: partner }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn ro_apply_release(
+        &mut self,
+        req: u32,
+        k: usize,
+        lagging: InstanceId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        self.ro_released.insert((req, k, lagging));
+        if self.instances.contains_key(&lagging) {
+            self.resume_all_ro(lagging, ctx);
+        }
+    }
+
+    fn on_coord(&mut self, msg: CoordMsg, ctx: &mut Ctx<CentralMsg>) {
+        match msg {
+            CoordMsg::RoFirstDone { req, claimant, partner } => {
+                let dep = self.deployment.clone();
+                let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req)
+                else {
+                    return;
+                };
+                let Some((side, _)) = ro_side(r, claimant, partner) else { return };
+                let (a, b) = if side == 0 { (claimant, partner) } else { (partner, claimant) };
+                self.ro_decide(req, a, b, side, ctx);
+            }
+            CoordMsg::RoDecision { req, a, b, leader_side } => {
+                self.ro_apply_decision(req, a, b, leader_side, ctx);
+            }
+            CoordMsg::RoRelease { req, k, lagging } => {
+                self.ro_apply_release(req, k, lagging, ctx);
+            }
+            CoordMsg::MutexAcquire { req, instance, step } => {
+                let owner = self.topo.owner_engine(instance);
+                self.mutex_try_acquire(req, instance, step, owner, ctx);
+            }
+            CoordMsg::MutexGrant { req, instance, step } => {
+                let terminal = {
+                    let st = self.inst(instance);
+                    st.aborted || st.committed
+                };
+                if terminal {
+                    // The grant raced a terminal transition: hand it back.
+                    self.mutex_release(req, instance, step, ctx);
+                } else {
+                    self.mutex_held.insert((req, instance, step));
+                    self.resume_waiting(instance, step, ctx);
+                }
+            }
+            CoordMsg::MutexRelease { req, instance, step } => {
+                self.mutex_do_release(req, instance, step, ctx);
+            }
+            CoordMsg::RollbackDep { instance, origin } => {
+                self.rollback_to(instance, origin, true, ctx);
+            }
+        }
+    }
+}
+
+/// Side and ordered steps of `mine` under requirement `r` against
+/// `partner` (same contract as the distributed agent's helper).
+fn ro_side(
+    r: &crew_model::RelativeOrder,
+    mine: InstanceId,
+    partner: InstanceId,
+) -> Option<(u8, Vec<StepId>)> {
+    let a_schema = r.pairs.first()?.0.schema;
+    let b_schema = r.pairs.first()?.1.schema;
+    if mine.schema == a_schema && partner.schema == b_schema {
+        if a_schema == b_schema && mine.serial > partner.serial {
+            return Some((1, r.pairs.iter().map(|(_, b)| b.step).collect()));
+        }
+        Some((0, r.pairs.iter().map(|(a, _)| a.step).collect()))
+    } else if mine.schema == b_schema && partner.schema == a_schema {
+        Some((1, r.pairs.iter().map(|(_, b)| b.step).collect()))
+    } else {
+        None
+    }
+}
+
+impl Node<CentralMsg> for Engine {
+    fn on_message(&mut self, _from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
+        match msg {
+            CentralMsg::WorkflowStart { instance, inputs } => {
+                self.start_instance(instance, inputs, None, ctx)
+            }
+            CentralMsg::WorkflowChangeInputs { instance, new_inputs } => {
+                self.change_inputs(instance, new_inputs, ctx)
+            }
+            CentralMsg::WorkflowAbort { instance } => self.abort_instance(instance, ctx),
+            CentralMsg::WorkflowStatus { .. } => {
+                // The admin tool reads the WFDB summary (self.statuses)
+                // directly in this architecture.
+            }
+            CentralMsg::ExecResult { instance, step, attempt, outputs, .. } => {
+                self.on_exec_result(instance, step, attempt, outputs, ctx)
+            }
+            CentralMsg::CompensateResult { instance, step, .. } => {
+                self.apply_compensation(instance, step, ctx);
+                self.inst(instance).comp_active = false;
+                self.pump_comp_queue(instance, ctx);
+                self.fire_rules(instance, ctx);
+            }
+            CentralMsg::StateProbeReply { .. } => {
+                // Load information feeds future dispatch choices; the
+                // deterministic chooser already balances, so replies are
+                // informational.
+            }
+            CentralMsg::Coord(c) => self.on_coord(c, ctx),
+            CentralMsg::ChildStart { child, inputs, parent, parent_step } => {
+                self.start_instance(child, inputs, Some((parent, parent_step)), ctx)
+            }
+            CentralMsg::ChildDone { parent, parent_step, outputs } => {
+                self.on_child_done(parent, parent_step, outputs, ctx)
+            }
+            CentralMsg::ExecRequest { .. }
+            | CentralMsg::StateProbe { .. }
+            | CentralMsg::CompensateRequest { .. } => {
+                // Agent-bound messages; an engine receiving one is a
+                // routing bug surfaced by tests.
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,240 @@
+//! Messages of the centralized / parallel control architectures.
+//!
+//! The engine(s) hold all workflow state; application agents only run
+//! programs. Per step the engine performs a one-phase scatter-gather over
+//! the step's `a` eligible agents: an `ExecRequest` to the (least-loaded
+//! estimated) executor plus `StateProbe`s to the rest, each answered — the
+//! `2·s·a` messages per instance of Table 4. Engine↔engine messages exist
+//! only under parallel control, for coordination requirements whose
+//! instances live on different engines (Table 5's coordinated-execution
+//! row).
+
+use crew_model::{InstanceId, ItemKey, StepId, Value};
+use crew_simnet::{Classify, Mechanism};
+
+/// Engine↔engine coordination traffic (parallel control only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordMsg {
+    /// Relative order: first conflicting step of `claimant` (linked with
+    /// `partner`) completed; the requirement's manager engine decides.
+    RoFirstDone { req: u32, claimant: InstanceId, partner: InstanceId },
+    /// Manager → owner engine: the decision (leading instance).
+    RoDecision { req: u32, a: InstanceId, b: InstanceId, leader_side: u8 },
+    /// Leading side's step `k` completed: release the lagging instance's
+    /// step (owner engine of the lagging instance applies it).
+    RoRelease { req: u32, k: usize, lagging: InstanceId },
+    /// Mutual exclusion request for `(instance, step)`.
+    MutexAcquire { req: u32, instance: InstanceId, step: StepId },
+    /// Manager → owner engine: grant.
+    MutexGrant { req: u32, instance: InstanceId, step: StepId },
+    /// Release the resource.
+    MutexRelease { req: u32, instance: InstanceId, step: StepId },
+    /// Rollback dependency: roll `instance` back to `origin`.
+    RollbackDep { instance: InstanceId, origin: StepId },
+}
+
+/// The centralized/parallel control message set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CentralMsg {
+    // ---- administrative interface (external → engine) ----
+    WorkflowStart { instance: InstanceId, inputs: Vec<(ItemKey, Value)> },
+    WorkflowChangeInputs { instance: InstanceId, new_inputs: Vec<(ItemKey, Value)> },
+    WorkflowAbort { instance: InstanceId },
+    WorkflowStatus { instance: InstanceId },
+
+    // ---- engine → agent ----
+    /// Execute a step's program.
+    ExecRequest {
+        instance: InstanceId,
+        step: StepId,
+        program: String,
+        inputs: Vec<Option<Value>>,
+        attempt: u32,
+        /// Charged at the agent on success (the program's cost).
+        cost: u64,
+    },
+    /// Load probe to the non-chosen eligible agents (scatter half).
+    StateProbe { token: u64 },
+    /// Compensate a previously executed step.
+    CompensateRequest {
+        instance: InstanceId,
+        step: StepId,
+        program: Option<String>,
+        partial: bool,
+        /// The mechanism this compensation belongs to (failure vs abort),
+        /// so replies are attributed correctly.
+        for_abort: bool,
+    },
+
+    // ---- agent → engine ----
+    ExecResult {
+        instance: InstanceId,
+        step: StepId,
+        attempt: u32,
+        outputs: Option<Vec<Value>>,
+        error: Option<String>,
+    },
+    StateProbeReply { token: u64, load: u64 },
+    CompensateResult { instance: InstanceId, step: StepId, for_abort: bool },
+
+    // ---- engine ↔ engine (parallel only) ----
+    Coord(CoordMsg),
+    /// Nested workflow hand-off between owner engines.
+    ChildStart {
+        child: InstanceId,
+        inputs: Vec<(ItemKey, Value)>,
+        parent: InstanceId,
+        parent_step: StepId,
+    },
+    ChildDone {
+        parent: InstanceId,
+        parent_step: StepId,
+        outputs: Vec<Value>,
+    },
+}
+
+impl Classify for CentralMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CentralMsg::WorkflowStart { .. } => "WorkflowStart",
+            CentralMsg::WorkflowChangeInputs { .. } => "WorkflowChangeInputs",
+            CentralMsg::WorkflowAbort { .. } => "WorkflowAbort",
+            CentralMsg::WorkflowStatus { .. } => "WorkflowStatus",
+            CentralMsg::ExecRequest { .. } => "ExecRequest",
+            CentralMsg::StateProbe { .. } => "StateProbe",
+            CentralMsg::CompensateRequest { .. } => "CompensateRequest",
+            CentralMsg::ExecResult { .. } => "ExecResult",
+            CentralMsg::StateProbeReply { .. } => "StateProbeReply",
+            CentralMsg::CompensateResult { .. } => "CompensateResult",
+            CentralMsg::Coord(c) => match c {
+                CoordMsg::RoFirstDone { .. } => "Coord.RoFirstDone",
+                CoordMsg::RoDecision { .. } => "Coord.RoDecision",
+                CoordMsg::RoRelease { .. } => "Coord.RoRelease",
+                CoordMsg::MutexAcquire { .. } => "Coord.MutexAcquire",
+                CoordMsg::MutexGrant { .. } => "Coord.MutexGrant",
+                CoordMsg::MutexRelease { .. } => "Coord.MutexRelease",
+                CoordMsg::RollbackDep { .. } => "Coord.RollbackDep",
+            },
+            CentralMsg::ChildStart { .. } => "ChildStart",
+            CentralMsg::ChildDone { .. } => "ChildDone",
+        }
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        match self {
+            CentralMsg::WorkflowStart { .. }
+            | CentralMsg::WorkflowStatus { .. }
+            | CentralMsg::ExecRequest { .. }
+            | CentralMsg::StateProbe { .. }
+            | CentralMsg::ExecResult { .. }
+            | CentralMsg::StateProbeReply { .. }
+            | CentralMsg::ChildStart { .. }
+            | CentralMsg::ChildDone { .. } => Mechanism::Normal,
+            CentralMsg::WorkflowChangeInputs { .. } => Mechanism::InputChange,
+            CentralMsg::WorkflowAbort { .. } => Mechanism::Abort,
+            CentralMsg::CompensateRequest { for_abort, .. }
+            | CentralMsg::CompensateResult { for_abort, .. } => {
+                if *for_abort {
+                    Mechanism::Abort
+                } else {
+                    Mechanism::FailureHandling
+                }
+            }
+            CentralMsg::Coord(CoordMsg::RollbackDep { .. }) => Mechanism::FailureHandling,
+            CentralMsg::Coord(_) => Mechanism::CoordinatedExecution,
+        }
+    }
+
+    fn instance(&self) -> Option<InstanceId> {
+        match self {
+            CentralMsg::WorkflowStart { instance, .. }
+            | CentralMsg::WorkflowChangeInputs { instance, .. }
+            | CentralMsg::WorkflowAbort { instance }
+            | CentralMsg::WorkflowStatus { instance }
+            | CentralMsg::ExecRequest { instance, .. }
+            | CentralMsg::CompensateRequest { instance, .. }
+            | CentralMsg::ExecResult { instance, .. }
+            | CentralMsg::CompensateResult { instance, .. } => Some(*instance),
+            CentralMsg::Coord(c) => match c {
+                CoordMsg::RoFirstDone { claimant, .. } => Some(*claimant),
+                CoordMsg::RoDecision { a, .. } => Some(*a),
+                CoordMsg::RoRelease { lagging, .. } => Some(*lagging),
+                CoordMsg::MutexAcquire { instance, .. }
+                | CoordMsg::MutexGrant { instance, .. }
+                | CoordMsg::MutexRelease { instance, .. } => Some(*instance),
+                CoordMsg::RollbackDep { instance, .. } => Some(*instance),
+            },
+            CentralMsg::ChildStart { child, .. } => Some(*child),
+            CentralMsg::ChildDone { parent, .. } => Some(*parent),
+            CentralMsg::StateProbe { .. } | CentralMsg::StateProbeReply { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    fn inst() -> InstanceId {
+        InstanceId::new(SchemaId(1), 1)
+    }
+
+    #[test]
+    fn mechanisms_partition() {
+        assert_eq!(
+            CentralMsg::ExecRequest {
+                instance: inst(),
+                step: StepId(1),
+                program: "p".into(),
+                inputs: vec![],
+                attempt: 1,
+                cost: 1,
+            }
+            .mechanism(),
+            Mechanism::Normal
+        );
+        assert_eq!(
+            CentralMsg::CompensateRequest {
+                instance: inst(),
+                step: StepId(1),
+                program: None,
+                partial: false,
+                for_abort: true,
+            }
+            .mechanism(),
+            Mechanism::Abort
+        );
+        assert_eq!(
+            CentralMsg::CompensateRequest {
+                instance: inst(),
+                step: StepId(1),
+                program: None,
+                partial: false,
+                for_abort: false,
+            }
+            .mechanism(),
+            Mechanism::FailureHandling
+        );
+        assert_eq!(
+            CentralMsg::Coord(CoordMsg::MutexAcquire {
+                req: 0,
+                instance: inst(),
+                step: StepId(1)
+            })
+            .mechanism(),
+            Mechanism::CoordinatedExecution
+        );
+        assert_eq!(
+            CentralMsg::Coord(CoordMsg::RollbackDep { instance: inst(), origin: StepId(1) })
+                .mechanism(),
+            Mechanism::FailureHandling
+        );
+    }
+
+    #[test]
+    fn probe_has_no_instance() {
+        assert_eq!(CentralMsg::StateProbe { token: 1 }.instance(), None);
+        assert_eq!(CentralMsg::WorkflowAbort { instance: inst() }.instance(), Some(inst()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Node layout of centralized/parallel deployments.
+//!
+//! Agents occupy node ids `0..z`; engines occupy `z..z+e`. Centralized
+//! control is the `e = 1` special case (Figure 6a vs 6b).
+
+use crew_model::{AgentId, InstanceId};
+use crew_simnet::NodeId;
+
+/// Node layout and instance-ownership function.
+#[derive(Debug, Clone, Copy)]
+pub struct Topology {
+    /// Number of application agents (`z`).
+    pub agents: u32,
+    /// Number of engines (`e`; 1 = centralized).
+    pub engines: u32,
+}
+
+impl Topology {
+    pub fn new(agents: u32, engines: u32) -> Self {
+        assert!(engines >= 1, "at least one engine");
+        Topology { agents, engines }
+    }
+
+    /// Node hosting an application agent.
+    pub fn agent_node(&self, agent: AgentId) -> NodeId {
+        debug_assert!(agent.0 < self.agents);
+        NodeId(agent.0)
+    }
+
+    /// Node hosting engine `index`.
+    pub fn engine_node(&self, index: u32) -> NodeId {
+        debug_assert!(index < self.engines);
+        NodeId(self.agents + index)
+    }
+
+    /// The engine owning an instance: "Each workflow instance ... is
+    /// controlled by only one workflow engine" (§6).
+    pub fn owner_engine(&self, instance: InstanceId) -> u32 {
+        if self.engines == 1 {
+            return 0;
+        }
+        let h = crew_exec::hash::combine(
+            0xE17A,
+            &[instance.schema.0 as u64, instance.serial as u64],
+        );
+        (h % self.engines as u64) as u32
+    }
+
+    /// All engine node ids.
+    pub fn engine_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.engines).map(|i| self.engine_node(i))
+    }
+
+    /// All agent node ids.
+    pub fn agent_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.agents).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    #[test]
+    fn layout() {
+        let t = Topology::new(5, 2);
+        assert_eq!(t.agent_node(AgentId(4)), NodeId(4));
+        assert_eq!(t.engine_node(0), NodeId(5));
+        assert_eq!(t.engine_node(1), NodeId(6));
+        assert_eq!(t.engine_nodes().count(), 2);
+        assert_eq!(t.agent_nodes().count(), 5);
+    }
+
+    #[test]
+    fn central_owns_everything() {
+        let t = Topology::new(3, 1);
+        for n in 0..100 {
+            assert_eq!(t.owner_engine(InstanceId::new(SchemaId(1), n)), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_spreads_ownership() {
+        let t = Topology::new(3, 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for n in 0..100 {
+            let e = t.owner_engine(InstanceId::new(SchemaId(1), n));
+            assert!(e < 4);
+            seen.insert(e);
+        }
+        assert_eq!(seen.len(), 4, "all engines get instances");
+    }
+}

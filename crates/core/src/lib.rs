@@ -1,0 +1,38 @@
+//! # crew-core
+//!
+//! The public facade of **CREW** — a from-scratch Rust reproduction of
+//! Kamath & Ramamritham, *Failure Handling and Coordinated Execution of
+//! Concurrent Workflows* (ICDE 1998) and its distributed-control companion
+//! (CMPSCI TR 98-28).
+//!
+//! Build workflow schemas with [`crew_model::SchemaBuilder`] (or compile
+//! them from the LAWS DSL in `crew-laws`), pick a control
+//! [`Architecture`] — centralized, parallel, or distributed — describe a
+//! [`Scenario`] (instances, coordination links, user aborts/input
+//! changes, agent crashes), and [`WorkflowSystem::run`] it on the
+//! deterministic simulator. The returned [`RunReport`] carries terminal
+//! outcomes plus the paper's §6 metrics: per-mechanism message counts per
+//! instance and scheduler-node loads.
+//!
+//! Re-exports the subsystem crates under stable paths: `model` (schemas),
+//! `rules` (the ECA engine), `exec` (programs, OCR), `simnet` (the
+//! simulator), `storage` (WAL-backed agent databases), `central` /
+//! `parallel` / `distributed` (the three architectures), and `analysis`
+//! (the closed-form §6 model).
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod system;
+
+pub use report::{InstanceOutcome, RunReport};
+pub use system::{Architecture, CrashWindow, Scenario, WorkflowSystem};
+
+pub use crew_analysis as analysis;
+pub use crew_central as central;
+pub use crew_distributed as distributed;
+pub use crew_exec as exec;
+pub use crew_model as model;
+pub use crew_rules as rules;
+pub use crew_simnet as simnet;
+pub use crew_storage as storage;

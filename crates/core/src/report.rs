@@ -1,0 +1,126 @@
+//! Run reports: the normalized result of executing a scenario under any
+//! architecture — outcomes per instance plus the §6 metrics (per-mechanism
+//! message counts per instance, busiest-node and per-pool loads).
+
+use crew_model::InstanceId;
+use crew_simnet::{Mechanism, Metrics, NodeId};
+use std::collections::BTreeMap;
+
+/// Terminal outcome of one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceOutcome {
+    /// Terminated successfully; effects permanent.
+    Committed,
+    /// Terminated by abort; effects compensated.
+    Aborted,
+    /// Not terminal when the run went quiescent — a stall (deliberate in
+    /// crash-without-recovery scenarios, a bug otherwise).
+    Stalled,
+}
+
+/// The normalized result of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Outcome per started instance.
+    pub outcomes: BTreeMap<InstanceId, InstanceOutcome>,
+    /// Raw simulator metrics.
+    pub metrics: Metrics,
+    /// Number of instances started.
+    pub instances: u64,
+    /// Node ids of the scheduling nodes (engines under central/parallel,
+    /// agents under distributed) for load aggregation.
+    pub scheduler_nodes: Vec<NodeId>,
+    /// Simulated events delivered.
+    pub events: u64,
+    /// Virtual time at quiescence.
+    pub virtual_time: u64,
+}
+
+impl RunReport {
+    /// Per-instance messages for a mechanism (the Tables 4–6 unit).
+    pub fn messages_per_instance(&self, mechanism: Mechanism) -> f64 {
+        self.metrics.messages_per_instance(mechanism, self.instances)
+    }
+
+    /// Mean navigation load over the scheduling nodes, per instance, in
+    /// raw instruction units.
+    pub fn scheduler_load_per_instance(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .scheduler_nodes
+            .iter()
+            .map(|n| self.metrics.load_by_node.get(n).copied().unwrap_or(0))
+            .sum();
+        total as f64 / self.scheduler_nodes.len().max(1) as f64 / self.instances as f64
+    }
+
+    /// Load at the busiest scheduling node, per instance.
+    pub fn max_scheduler_load_per_instance(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        let max: u64 = self
+            .scheduler_nodes
+            .iter()
+            .map(|n| self.metrics.load_by_node.get(n).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        max as f64 / self.instances as f64
+    }
+
+    /// Count of committed instances.
+    pub fn committed(&self) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| **o == InstanceOutcome::Committed)
+            .count()
+    }
+
+    /// Count of aborted instances.
+    pub fn aborted(&self) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| **o == InstanceOutcome::Aborted)
+            .count()
+    }
+
+    /// True if every instance reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        !self
+            .outcomes
+            .values()
+            .any(|o| *o == InstanceOutcome::Stalled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    #[test]
+    fn aggregations() {
+        let mut metrics = Metrics::default();
+        let i1 = InstanceId::new(SchemaId(1), 1);
+        metrics.record_message("X", Mechanism::Normal, Some(i1), 10, NodeId(0));
+        metrics.record_message("X", Mechanism::Normal, Some(i1), 10, NodeId(0));
+        metrics.record_load(NodeId(0), 100);
+        metrics.record_load(NodeId(1), 300);
+        let report = RunReport {
+            outcomes: BTreeMap::from([(i1, InstanceOutcome::Committed)]),
+            metrics,
+            instances: 2,
+            scheduler_nodes: vec![NodeId(0), NodeId(1)],
+            events: 10,
+            virtual_time: 50,
+        };
+        assert_eq!(report.messages_per_instance(Mechanism::Normal), 1.0);
+        assert_eq!(report.scheduler_load_per_instance(), 100.0);
+        assert_eq!(report.max_scheduler_load_per_instance(), 150.0);
+        assert_eq!(report.committed(), 1);
+        assert_eq!(report.aborted(), 0);
+        assert!(report.all_terminal());
+    }
+}

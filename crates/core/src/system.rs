@@ -1,0 +1,322 @@
+//! The top-level CREW API: pick an architecture, describe a scenario, run
+//! it, get a [`RunReport`].
+//!
+//! ```
+//! use crew_core::{Architecture, Scenario, WorkflowSystem};
+//! use crew_model::{SchemaBuilder, SchemaId, AgentId, Value};
+//!
+//! let mut b = SchemaBuilder::new(SchemaId(1), "hello").inputs(1);
+//! let s1 = b.add_step("First", "passthrough");
+//! let s2 = b.add_step("Second", "passthrough");
+//! b.seq(s1, s2);
+//! b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
+//! b.configure(s2, |d| d.eligible_agents = vec![AgentId(1)]);
+//! let schema = b.build().unwrap();
+//!
+//! let system = WorkflowSystem::new([schema], Architecture::Distributed { agents: 2 });
+//! let mut scenario = Scenario::new();
+//! scenario.start(SchemaId(1), vec![(1, Value::Int(7))]);
+//! let report = system.run(scenario);
+//! assert_eq!(report.committed(), 1);
+//! ```
+
+use crate::report::{InstanceOutcome, RunReport};
+use crew_central::CentralRun;
+use crew_distributed::{DistConfig, DistRun, Outcome};
+use crew_exec::Deployment;
+use crew_model::{InstanceId, SchemaId, Value, WorkflowSchema};
+use crew_storage::InstanceStatus;
+use std::collections::BTreeMap;
+
+/// The control architecture to run under (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// One engine, `agents` application agents.
+    Central {
+        /// Application agent pool size.
+        agents: u32,
+    },
+    /// Several engines sharing the instances.
+    Parallel {
+        /// Application agent pool size.
+        agents: u32,
+        /// Engine count (the paper's `e`).
+        engines: u32,
+    },
+    /// Distributed agents (plus the front-end database).
+    Distributed {
+        /// Agent pool size (the paper's `z`).
+        agents: u32,
+    },
+}
+
+/// A user action injected mid-run.
+#[derive(Debug, Clone)]
+enum UserAction {
+    Abort { index: usize, at: u64 },
+    ChangeInputs { index: usize, at: u64, new_inputs: Vec<(u16, Value)> },
+}
+
+/// A crash window for a node (distributed architecture only; the central
+/// engine is the single point of failure the paper's reliability argument
+/// is about, and crashing it ends the run by construction).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashWindow {
+    /// Agent index to crash.
+    pub agent: u32,
+    /// Virtual time of the crash.
+    pub at: u64,
+    /// Recovery delay; `None` = never recovers.
+    pub down_for: Option<u64>,
+}
+
+/// A declarative run scenario: which instances start (in order — instance
+/// serials are assigned 1, 2, … accordingly), which get linked for
+/// relative ordering, and which user actions / crashes are injected.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    starts: Vec<(SchemaId, Vec<(u16, Value)>)>,
+    links: Vec<(usize, usize)>,
+    actions: Vec<UserAction>,
+    crashes: Vec<CrashWindow>,
+}
+
+impl Scenario {
+    /// Create a new, empty value.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Start an instance of `schema`; returns its index within the
+    /// scenario (serials are `index + 1`).
+    pub fn start(&mut self, schema: SchemaId, inputs: Vec<(u16, Value)>) -> usize {
+        self.starts.push((schema, inputs));
+        self.starts.len() - 1
+    }
+
+    /// Link two started instances for relative-order requirements.
+    pub fn link(&mut self, a: usize, b: usize) {
+        self.links.push((a, b));
+    }
+
+    /// Abort instance `index` at virtual time `at`.
+    pub fn abort_at(&mut self, index: usize, at: u64) {
+        self.actions.push(UserAction::Abort { index, at });
+    }
+
+    /// Change instance `index`'s inputs at virtual time `at`.
+    pub fn change_inputs_at(&mut self, index: usize, at: u64, new_inputs: Vec<(u16, Value)>) {
+        self.actions
+            .push(UserAction::ChangeInputs { index, at, new_inputs });
+    }
+
+    /// Crash an agent (distributed runs only).
+    pub fn crash(&mut self, window: CrashWindow) {
+        self.crashes.push(window);
+    }
+
+    /// The instance id the scenario will assign to `index`.
+    pub fn instance_id(&self, index: usize) -> InstanceId {
+        InstanceId::new(self.starts[index].0, index as u32 + 1)
+    }
+
+    fn instance_count(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+/// A configured CREW system: deployment + architecture.
+#[derive(Debug, Clone)]
+pub struct WorkflowSystem {
+    /// The deployment (schemas, programs, plan, coordination). Public so
+    /// callers can customize programs/failure plans before running.
+    pub deployment: Deployment,
+    /// The chosen architecture.
+    pub architecture: Architecture,
+    /// Distributed-control tunables (ignored by other architectures).
+    pub dist_config: DistConfig,
+}
+
+impl WorkflowSystem {
+    /// Build a system over `schemas` with default programs and no
+    /// failures.
+    pub fn new(
+        schemas: impl IntoIterator<Item = WorkflowSchema>,
+        architecture: Architecture,
+    ) -> Self {
+        WorkflowSystem {
+            deployment: Deployment::new(schemas),
+            architecture,
+            dist_config: DistConfig::default(),
+        }
+    }
+
+    /// Build from an existing deployment.
+    pub fn with_deployment(deployment: Deployment, architecture: Architecture) -> Self {
+        WorkflowSystem { deployment, architecture, dist_config: DistConfig::default() }
+    }
+
+    /// Run a scenario to quiescence and report.
+    pub fn run(&self, scenario: Scenario) -> RunReport {
+        match self.architecture {
+            Architecture::Distributed { agents } => self.run_distributed(scenario, agents),
+            Architecture::Central { agents } => self.run_central(scenario, agents, 1),
+            Architecture::Parallel { agents, engines } => {
+                self.run_central(scenario, agents, engines)
+            }
+        }
+    }
+
+    fn linked_deployment(&self, scenario: &Scenario) -> Deployment {
+        let mut deployment = self.deployment.clone();
+        for &(a, b) in &scenario.links {
+            deployment
+                .ro_links
+                .link(scenario.instance_id(a), scenario.instance_id(b));
+        }
+        deployment
+    }
+
+    fn run_distributed(&self, scenario: Scenario, agents: u32) -> RunReport {
+        let deployment = self.linked_deployment(&scenario);
+        let mut run = DistRun::new(deployment, agents, self.dist_config.clone());
+        for w in &scenario.crashes {
+            run.sim
+                .schedule_crash(crew_simnet::NodeId(w.agent), w.at, w.down_for);
+        }
+        let mut ids = Vec::new();
+        for (schema, inputs) in &scenario.starts {
+            ids.push(run.start_instance(*schema, inputs.clone()));
+        }
+        for action in &scenario.actions {
+            match action {
+                UserAction::Abort { index, at } => run.abort_instance_at(ids[*index], *at),
+                UserAction::ChangeInputs { index, at, new_inputs } => {
+                    run.change_inputs_at(ids[*index], new_inputs.clone(), *at)
+                }
+            }
+        }
+        // Bounded horizon: deliberately-unrecoverable crash scenarios keep
+        // the poll timer alive forever; a generous virtual-time cap turns
+        // "waits for the failed agent" into a terminating run.
+        run.sim.max_events = 50_000_000;
+        let events = run.sim.run_until(1_000_000);
+        let outcomes_raw = run.outcomes();
+        let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
+            .iter()
+            .map(|&i| {
+                let o = match outcomes_raw.get(&i) {
+                    Some(Outcome::Committed) => InstanceOutcome::Committed,
+                    Some(Outcome::Aborted) => InstanceOutcome::Aborted,
+                    None => InstanceOutcome::Stalled,
+                };
+                (i, o)
+            })
+            .collect();
+        RunReport {
+            outcomes,
+            instances: scenario.instance_count() as u64,
+            scheduler_nodes: run.agent_nodes(),
+            events,
+            virtual_time: run.sim.now(),
+            metrics: run.sim.metrics.clone(),
+        }
+    }
+
+    fn run_central(&self, scenario: Scenario, agents: u32, engines: u32) -> RunReport {
+        let deployment = self.linked_deployment(&scenario);
+        let mut run = CentralRun::new(deployment, agents, engines);
+        let mut ids = Vec::new();
+        for (schema, inputs) in &scenario.starts {
+            ids.push(run.start_instance(*schema, inputs.clone()));
+        }
+        for action in &scenario.actions {
+            match action {
+                UserAction::Abort { index, at } => run.abort_instance_at(ids[*index], *at),
+                UserAction::ChangeInputs { index, at, new_inputs } => {
+                    run.change_inputs_at(ids[*index], new_inputs.clone(), *at)
+                }
+            }
+        }
+        let events = run.run();
+        let statuses = run.statuses();
+        let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
+            .iter()
+            .map(|&i| {
+                let o = match statuses.get(&i) {
+                    Some(InstanceStatus::Committed) => InstanceOutcome::Committed,
+                    Some(InstanceStatus::Aborted) => InstanceOutcome::Aborted,
+                    Some(InstanceStatus::Executing) | None => InstanceOutcome::Stalled,
+                };
+                (i, o)
+            })
+            .collect();
+        RunReport {
+            outcomes,
+            instances: scenario.instance_count() as u64,
+            scheduler_nodes: run.engine_nodes(),
+            events,
+            virtual_time: run.sim.now(),
+            metrics: run.sim.metrics.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::{AgentId, SchemaBuilder};
+
+    fn two_step_schema() -> WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(1), "t").inputs(1);
+        let s1 = b.add_step("A", "passthrough");
+        let s2 = b.add_step("B", "passthrough");
+        b.seq(s1, s2);
+        b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
+        b.configure(s2, |d| d.eligible_agents = vec![AgentId(1)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_scenario_commits_under_all_architectures() {
+        for arch in [
+            Architecture::Central { agents: 2 },
+            Architecture::Parallel { agents: 2, engines: 2 },
+            Architecture::Distributed { agents: 2 },
+        ] {
+            let system = WorkflowSystem::new([two_step_schema()], arch);
+            let mut scenario = Scenario::new();
+            scenario.start(SchemaId(1), vec![(1, Value::Int(7))]);
+            scenario.start(SchemaId(1), vec![(1, Value::Int(8))]);
+            let report = system.run(scenario);
+            assert_eq!(report.committed(), 2, "{arch:?}");
+            assert!(report.all_terminal(), "{arch:?}");
+            assert!(report.metrics.total_messages > 0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn scenario_instance_ids_are_serial() {
+        let mut scenario = Scenario::new();
+        let a = scenario.start(SchemaId(1), vec![]);
+        let b = scenario.start(SchemaId(1), vec![]);
+        assert_eq!(scenario.instance_id(a), InstanceId::new(SchemaId(1), 1));
+        assert_eq!(scenario.instance_id(b), InstanceId::new(SchemaId(1), 2));
+    }
+
+    #[test]
+    fn abort_mid_flight_aborts() {
+        let system = WorkflowSystem::new(
+            [two_step_schema()],
+            Architecture::Distributed { agents: 2 },
+        );
+        let mut scenario = Scenario::new();
+        let i = scenario.start(SchemaId(1), vec![(1, Value::Int(7))]);
+        scenario.abort_at(i, 2);
+        let report = system.run(scenario);
+        // Either the abort landed before commit (aborted) or after
+        // (rejected → committed); with latency ≥ 1 per hop and 2 steps the
+        // abort at t=2 beats the 2-hop commit path.
+        assert!(report.aborted() == 1 || report.committed() == 1);
+    }
+}

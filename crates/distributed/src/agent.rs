@@ -1,0 +1,2642 @@
+//! The distributed workflow agent.
+//!
+//! One node class plays all three roles of §4.1 concurrently, per instance:
+//! *coordination agent* (designated executor of the start step: owns
+//! commit/abort, the coordination instance summary table and the front-end
+//! interface), *execution agent* (runs steps, navigates onward via workflow
+//! packets) and *termination agent* (runs terminal steps and reports
+//! `StepCompleted`).
+//!
+//! ## Protocol realizations
+//!
+//! - **Navigation** (§4.2): packets are broadcast to every agent eligible
+//!   for a succeeding step; a deterministic rendezvous hash designates the
+//!   executor, so no extra selection messages are needed (the
+//!   `StateInformation` two-phase selection exists for the ablation).
+//! - **Commit**: weighted thread accounting (see [`crate::weight`]).
+//! - **Rollback** (§5.2): `WorkflowRollback` reaches the origin's agent,
+//!   which bumps the instance's *epoch*, invalidates downstream
+//!   `step.done` events, and sends `HaltThread` probes along exactly the
+//!   channels earlier packets used — FIFO delivery therefore guarantees
+//!   every agent sees the halt before any same-epoch re-execution packet,
+//!   which is the race-freedom the paper's invalidation strategy claims.
+//! - **OCR** (Figure 5): on re-visit the agent consults
+//!   [`crew_exec::ocr_decide`]; compensation dependent sets walk the
+//!   `CompensateSet` chain in reverse execution order; abandoned
+//!   if-then-else branches are unwound by `CompensateThread`.
+//! - **Coordinated execution** (§5.1): relative ordering uses an arbiter
+//!   (the designated agent of the partner's first conflicting step) and
+//!   packet-piggybacked leading/lagging tags; mutual exclusion uses a
+//!   manager agent granting via `AddEvent`; rollback dependencies propagate
+//!   `WorkflowRollback` across linked instances.
+
+use crate::msg::{CoordRule, DistMsg, StepStatusKind};
+use crate::packet::{RoTag, WorkflowPacket};
+use crate::runtime::{
+    coordination_agent, designated_agent, nested_instance_serial, SharedCtx,
+    SuccessorSelection,
+};
+use crate::tags;
+use crate::weight::Weight;
+use crew_exec::{
+    ocr_decide, InstanceHistory, OcrDecision, StepExecutor, StepOutcome, StepState,
+};
+use crew_model::{
+    DataEnv, InstanceId, ItemKey, SchemaStep, SplitKind, StepId, Value, WorkflowSchema,
+};
+use crew_rules::{compile_schema, Action, EventKind, RuleId, RuleSet};
+use crew_simnet::{Ctx, Node, NodeId, TimerId};
+use crew_storage::{AgentDb, DbOp, InstanceStatus, MemStore, StoredStepState, Wal};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+const TIMER_POLL: TimerId = TimerId(1);
+const TIMER_PURGE: TimerId = TimerId(2);
+
+/// `NotifyExternal` route encodings: high 32 bits select the protocol the
+/// monitor rule drives, low 32 bits carry the requirement id.
+const ROUTE_MUTEX: u64 = 1 << 32;
+/// Relative-order first-claim route (see [`DistAgent::request_ro_claim`]).
+const ROUTE_RO_CLAIM: u64 = 2 << 32;
+
+/// Volatile per-instance state at one agent (rebuilt from the AGDB on
+/// recovery).
+#[derive(Debug, Default)]
+struct InstState {
+    epoch: u32,
+    rules: RuleSet,
+    data: DataEnv,
+    history: InstanceHistory,
+    instantiated: bool,
+    /// Rules per locally-designated step (for `AddPrecondition` routing and
+    /// rollback re-firing).
+    rule_ids: BTreeMap<StepId, Vec<RuleId>>,
+    /// Incoming packet weight per step, keyed by source step (joins sum
+    /// over sources; re-deliveries from the same source replace their slot
+    /// instead of double-counting). The initial packet uses `StepId(0)`.
+    weight_in: BTreeMap<StepId, BTreeMap<StepId, Weight>>,
+    /// Successor steps we already forwarded packets toward, per local step
+    /// (the halt probes retrace these channels).
+    forwarded: BTreeMap<StepId, BTreeSet<StepId>>,
+    /// Relative-order notifications to emit when a local step completes:
+    /// `(tag, partner instance, partner step)`.
+    notify_on_done: BTreeMap<StepId, Vec<(u64, InstanceId, StepId)>>,
+    /// Preconditions that arrived before the rules were instantiated.
+    stashed_preconditions: Vec<(StepId, u64)>,
+    /// Chosen branch head per XOR split, to detect branch switches on
+    /// re-execution (Figure 3).
+    branch_choice: BTreeMap<StepId, StepId>,
+    /// Rollback attempts per origin step (retry budget).
+    rollback_counts: BTreeMap<StepId, u32>,
+    /// Steps whose re-execution is deferred until a `CompensateSet` chain
+    /// returns.
+    awaiting_compset: BTreeSet<StepId>,
+    /// Steps invalidated by a rollback/halt and not yet revisited: the OCR
+    /// decision applies exactly to these. A rule re-firing for a step NOT
+    /// in this set is a fresh occurrence (e.g. a loop iteration) and must
+    /// execute, never "reuse".
+    revisit_pending: BTreeSet<StepId>,
+    /// Pending-rule first-seen times (for the poll timeout).
+    pending_since: BTreeMap<RuleId, u64>,
+    /// Steps designated at another agent whose packet we hold but whose
+    /// `step.done` has not appeared: step → first-seen time. The alternate
+    /// eligible agent is the natural stall detector — it is the only node
+    /// that already holds the state needed for a takeover.
+    awaiting_remote: BTreeMap<StepId, u64>,
+    /// Outstanding `StepStatus` polls: step → sent time. A poll answered
+    /// only by silence (the designated executor crashed) escalates to a
+    /// takeover after a second timeout.
+    poll_pending: BTreeMap<StepId, u64>,
+    /// Steps already polled/rerouted, to avoid duplicate takeovers.
+    polled: BTreeSet<StepId>,
+    /// Steps this agent executes despite not being designated (takeover).
+    overrides: BTreeSet<StepId>,
+    /// Load-balanced executor choices received via packets: step → agent.
+    chosen_executor: BTreeMap<StepId, crew_model::AgentId>,
+    // ---- coordination-agent role ----
+    is_coordinator: bool,
+    committed: bool,
+    aborted: bool,
+    /// Weight received per terminal step (replace semantics — idempotent
+    /// under re-execution, retractable on branch switch).
+    terminal_weights: BTreeMap<StepId, Weight>,
+    /// Parent linkage for nested instances.
+    parent: Option<(InstanceId, StepId)>,
+    /// Children pending per nested step (parent side).
+    pending_nested: BTreeMap<StepId, InstanceId>,
+}
+
+/// Relative-order arbiter decision state (per requirement × linked pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoDecision {
+    Undecided,
+    /// The requirement's first-component side (side 0) leads.
+    SideALeads,
+    /// Side 1 leads.
+    SideBLeads,
+}
+
+/// Mutual-exclusion manager state (at the manager agent).
+#[derive(Debug, Default)]
+struct MutexState {
+    holder: Option<(InstanceId, StepId, NodeId)>,
+    queue: VecDeque<(InstanceId, StepId, NodeId)>,
+}
+
+/// The distributed agent node.
+pub struct DistAgent {
+    /// This agent's id (equals its node id by construction).
+    pub agent_id: crew_model::AgentId,
+    shared: SharedCtx,
+    executor: StepExecutor,
+    instances: BTreeMap<InstanceId, InstState>,
+    /// Compiled rule templates per schema (shared, lazily built).
+    templates: BTreeMap<crew_model::SchemaId, Arc<Vec<crew_rules::TemplateRule>>>,
+    /// AGDB: write-ahead log + recovered projection.
+    wal: Wal<DbOp, MemStore>,
+    db: AgentDb,
+    /// Relative-order arbiter decisions at this agent.
+    ro_decisions: BTreeMap<(u32, InstanceId, InstanceId), RoDecision>,
+    /// Mutex manager state per requirement id.
+    mutexes: BTreeMap<u32, MutexState>,
+    /// Instances committed locally-known (purge batching).
+    purge_queue: Vec<InstanceId>,
+    /// Cumulative navigation load (served via `StateInformation`).
+    load: u64,
+    poll_armed: bool,
+    /// Outstanding load-balanced forwards: token → deferred packet fan-out.
+    pending_forwards: BTreeMap<u64, PendingForward>,
+    next_token: u64,
+}
+
+/// A packet whose executor choice awaits `StateInformationReply`s.
+struct PendingForward {
+    packet: WorkflowPacket,
+    candidates: Vec<crew_model::AgentId>,
+    replies: BTreeMap<NodeId, u64>,
+    expected: usize,
+}
+
+impl DistAgent {
+    pub fn new(agent_id: crew_model::AgentId, shared: SharedCtx) -> Self {
+        let executor = StepExecutor::new(
+            shared.deployment.registry.clone(),
+            shared.deployment.plan.clone(),
+            shared.deployment.seed,
+        );
+        DistAgent {
+            agent_id,
+            shared,
+            executor,
+            instances: BTreeMap::new(),
+            templates: BTreeMap::new(),
+            wal: Wal::in_memory(),
+            db: AgentDb::new(),
+            ro_decisions: BTreeMap::new(),
+            mutexes: BTreeMap::new(),
+            purge_queue: Vec::new(),
+            load: 0,
+            poll_armed: false,
+            pending_forwards: BTreeMap::new(),
+            next_token: 0,
+        }
+    }
+
+    // ---- small helpers ----------------------------------------------------
+
+    fn schema(&self, instance: InstanceId) -> Arc<WorkflowSchema> {
+        self.shared.deployment.expect_schema(instance.schema).clone()
+    }
+
+    fn seed(&self) -> u64 {
+        self.shared.deployment.seed
+    }
+
+    fn node_of_step(&self, instance: InstanceId, schema: &WorkflowSchema, step: StepId) -> NodeId {
+        let agent = designated_agent(self.seed(), instance, schema.expect_step(step));
+        self.shared.directory.node_of(agent)
+    }
+
+    fn is_designated(&self, instance: InstanceId, schema: &WorkflowSchema, step: StepId) -> bool {
+        designated_agent(self.seed(), instance, schema.expect_step(step)) == self.agent_id
+    }
+
+    /// The agent expected to execute `step` for `instance`: a load-balanced
+    /// choice received via packets when present, else the deterministic
+    /// designation. While a load-balanced choice is still outstanding the
+    /// step belongs to *nobody* — executing on the designation fallback
+    /// would race the selection and double-execute.
+    fn is_executor(&mut self, instance: InstanceId, schema: &WorkflowSchema, step: StepId) -> bool {
+        if let Some(st) = self.instances.get(&instance) {
+            if let Some(&chosen) = st.chosen_executor.get(&step) {
+                return chosen == self.agent_id;
+            }
+        }
+        if self.shared.config.successor_selection == SuccessorSelection::LoadBalanced {
+            let def = schema.expect_step(step);
+            let single_pred = schema.forward_incoming(step).count() <= 1;
+            let selectable =
+                def.eligible_agents.len() > 1 && single_pred && step != schema.start_step();
+            if selectable {
+                return false; // await the selection's executor stamp
+            }
+        }
+        self.is_designated(instance, schema, step)
+    }
+
+    fn nav_load(&mut self, ctx: &mut Ctx<DistMsg>) {
+        let l = self.shared.deployment.nav_load;
+        self.load += l;
+        ctx.add_load(l);
+    }
+
+    fn log(&mut self, op: DbOp) {
+        self.wal.append(&op).expect("in-memory WAL append cannot fail");
+        self.db.apply(&op);
+    }
+
+    /// Instance state, creating an empty shell on first contact.
+    fn inst(&mut self, instance: InstanceId) -> &mut InstState {
+        self.instances.entry(instance).or_default()
+    }
+
+    // ---- rule instantiation ------------------------------------------------
+
+    /// Install the navigation rules for the locally-designated steps of an
+    /// instance (first packet contact), wiring coordination preconditions.
+    fn ensure_instantiated(&mut self, instance: InstanceId, ctx: &mut Ctx<DistMsg>) {
+        if self.instances.get(&instance).is_some_and(|s| s.instantiated) {
+            return;
+        }
+        let schema = self.schema(instance);
+        let template = self
+            .templates
+            .entry(instance.schema)
+            .or_insert_with(|| Arc::new(compile_schema(&schema)))
+            .clone();
+        self.log(DbOp::InstanceCreated { instance });
+
+        // Coordination pre-wiring computed before borrowing state mutably.
+        let mut preconditions: Vec<(StepId, u64)> = Vec::new();
+        let mut mutex_monitors: Vec<(StepId, u32)> = Vec::new();
+        let mut ro_claim_monitors: Vec<(StepId, u32)> = Vec::new();
+        self.collect_coordination(
+            instance,
+            &schema,
+            &mut preconditions,
+            &mut mutex_monitors,
+            &mut ro_claim_monitors,
+        );
+
+        let me = self.agent_id;
+        let seed = self.seed();
+        let load_balanced =
+            self.shared.config.successor_selection == SuccessorSelection::LoadBalanced;
+        let st = self.instances.entry(instance).or_default();
+        st.instantiated = true;
+        for t in template.iter() {
+            let def = schema.expect_step(t.step);
+            // Under load balancing the executor is chosen dynamically, so
+            // every eligible agent holds the rules and the executor check
+            // happens at firing time; under the rendezvous scheme only the
+            // designee needs them.
+            let install = if load_balanced {
+                def.eligible_agents.contains(&me)
+            } else {
+                designated_agent(seed, instance, def) == me
+            };
+            if !install {
+                continue;
+            }
+            let id = st.rules.add_rule(t.rule.clone());
+            st.rule_ids.entry(t.step).or_default().push(id);
+        }
+        // Relative-order claim monitors first: they fire on the raw
+        // triggers (claiming costs nothing and must precede the decision).
+        for (step, req) in ro_claim_monitors {
+            let ids = st.rule_ids.get(&step).cloned().unwrap_or_default();
+            let mut monitors = Vec::new();
+            for id in &ids {
+                if let Some(rule) = st.rules.rule(*id) {
+                    if matches!(rule.action, Action::NotifyExternal { .. }) {
+                        continue;
+                    }
+                    let mut monitor = rule.clone();
+                    monitor.action = Action::NotifyExternal {
+                        route: ROUTE_RO_CLAIM | req as u64,
+                        event: step.0 as u64,
+                    };
+                    monitor.label = format!("ro claim {step} req {req}");
+                    monitors.push(monitor);
+                }
+            }
+            for m in monitors {
+                let id = st.rules.add_rule(m);
+                st.rule_ids.entry(step).or_default().push(id);
+            }
+        }
+        // Relative-order guard preconditions on the execution rules (not
+        // the claim monitors).
+        for (step, tag) in preconditions {
+            for id in st.rule_ids.get(&step).cloned().unwrap_or_default() {
+                let is_monitor = st
+                    .rules
+                    .rule(id)
+                    .is_some_and(|r| matches!(r.action, Action::NotifyExternal { .. }));
+                if !is_monitor {
+                    st.rules.add_precondition(id, EventKind::External(tag));
+                }
+            }
+        }
+        // Mutex monitor rules, cloned AFTER the relative-order guards were
+        // attached: a lock must only be requested once the ordering
+        // constraints have cleared, otherwise a queued holder can wait on
+        // a guard that only the next-in-queue could release (deadlock).
+        for (step, req) in mutex_monitors {
+            let grant = tags::mutex_grant(req, instance, step);
+            let ids = st.rule_ids.get(&step).cloned().unwrap_or_default();
+            let mut monitors = Vec::new();
+            for id in &ids {
+                if let Some(rule) = st.rules.rule(*id) {
+                    if matches!(rule.action, Action::NotifyExternal { .. }) {
+                        continue;
+                    }
+                    let mut monitor = rule.clone();
+                    monitor.action =
+                        Action::NotifyExternal { route: ROUTE_MUTEX | req as u64, event: grant };
+                    monitor.label = format!("mutex monitor {step} req {req}");
+                    monitors.push(monitor);
+                    st.rules.add_precondition(*id, EventKind::External(grant));
+                }
+            }
+            for m in monitors {
+                let id = st.rules.add_rule(m);
+                st.rule_ids.entry(step).or_default().push(id);
+            }
+        }
+        let stashed = std::mem::take(&mut st.stashed_preconditions);
+        for (step, tag) in stashed {
+            for id in st.rule_ids.get(&step).cloned().unwrap_or_default() {
+                st.rules.add_precondition(id, EventKind::External(tag));
+            }
+        }
+        self.arm_poll(ctx);
+    }
+
+    /// Static coordination wiring for an instance at this agent: the
+    /// relative-order guard preconditions (pairs k ≥ 1 of both sides stay
+    /// blocked until the arbiter decides) and the mutex monitors.
+    fn collect_coordination(
+        &self,
+        instance: InstanceId,
+        schema: &WorkflowSchema,
+        preconditions: &mut Vec<(StepId, u64)>,
+        mutex_monitors: &mut Vec<(StepId, u32)>,
+        ro_claim_monitors: &mut Vec<(StepId, u32)>,
+    ) {
+        let dep = &self.shared.deployment;
+        for m in &dep.coordination.mutual_exclusions {
+            for member in &m.members {
+                if member.schema == instance.schema
+                    && self.is_designated_opt(instance, schema, member.step)
+                {
+                    mutex_monitors.push((member.step, m.id));
+                }
+            }
+        }
+        for r in &dep.coordination.relative_orders {
+            for partner in dep.ro_links.partners_of(instance) {
+                let Some((side, pairs)) = ro_side(r, instance, partner) else { continue };
+                for (k, step) in pairs.iter().enumerate() {
+                    if self.is_designated_opt(instance, schema, *step) {
+                        let (a, b) = ro_canonical(instance, partner, side);
+                        let tag = tags::ro_guard(r.id, k, side, a, b);
+                        preconditions.push((*step, tag));
+                        if k == 0 {
+                            // The first pair is serialized through the
+                            // arbiter: when the step's own triggers are
+                            // ready, claim; the guard is released by the
+                            // decision (leader) or by the leader's
+                            // completion (lagger).
+                            ro_claim_monitors.push((*step, r.id));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_designated_opt(
+        &self,
+        instance: InstanceId,
+        schema: &WorkflowSchema,
+        step: StepId,
+    ) -> bool {
+        schema
+            .step(step)
+            .is_some_and(|d| designated_agent(self.seed(), instance, d) == self.agent_id)
+    }
+
+    // ---- packet handling ---------------------------------------------------
+
+    fn on_packet(&mut self, packet: WorkflowPacket, ctx: &mut Ctx<DistMsg>) {
+        let instance = packet.instance;
+        self.ensure_instantiated(instance, ctx);
+        {
+            let st = self.inst(instance);
+            if packet.epoch < st.epoch {
+                return; // stale pre-rollback packet
+            }
+            st.epoch = st.epoch.max(packet.epoch);
+            if let Some(chosen) = packet.executor {
+                st.chosen_executor.insert(packet.target_step, chosen);
+            }
+        }
+        self.nav_load(ctx);
+
+        // Merge data (persisting each write).
+        let writes: Vec<(ItemKey, Value)> =
+            packet.data.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for (key, value) in writes {
+            self.log(DbOp::DataWritten { instance, key, value: value.clone() });
+            self.inst(instance).data.set(key, value);
+        }
+        // Merge events by generation (idempotent across the broadcast,
+        // fresh occurrences re-trigger rules).
+        for (e, gen) in &packet.events {
+            let fresh = self.inst(instance).rules.merge_event(*e, *gen);
+            if fresh {
+                self.log(DbOp::EventPosted { instance, code: e.code() });
+            }
+        }
+        // Relative-order piggyback: lagging tags become preconditions of
+        // local steps; leading tags become notify-on-done obligations.
+        for tag in &packet.ro_lagging {
+            self.add_precondition_local(instance, tag.local_step, tag.tag);
+        }
+        for tag in &packet.ro_leading {
+            let st = self.inst(instance);
+            let entry = st.notify_on_done.entry(tag.local_step).or_default();
+            let val = (tag.tag, tag.partner, tag.partner_step);
+            if !entry.contains(&val) {
+                entry.push(val);
+            }
+        }
+        // Weight accounting at the executor of the target step.
+        let schema = self.schema(instance);
+        let am_executor = self.is_executor(instance, &schema, packet.target_step);
+        if !am_executor && self.shared.config.enable_status_polling {
+            let now = ctx.now;
+            let st = self.inst(instance);
+            if !st.rules.has_event(EventKind::StepDone(packet.target_step)) {
+                st.awaiting_remote.entry(packet.target_step).or_insert(now);
+            }
+        }
+        if am_executor {
+            let source = packet.source_step.unwrap_or(StepId(0));
+            // A packet along a loop back-edge re-enters with the same
+            // thread: it replaces the head's incoming weight outright.
+            let via_loop_back = packet.source_step.is_some_and(|src| {
+                schema
+                    .outgoing(src)
+                    .any(|a| a.loop_back && a.to == packet.target_step)
+            });
+            let st = self.inst(instance);
+            if via_loop_back {
+                st.weight_in
+                    .insert(packet.target_step, BTreeMap::from([(source, packet.weight)]));
+            } else {
+                st.weight_in
+                    .entry(packet.target_step)
+                    .or_default()
+                    .insert(source, packet.weight);
+            }
+        }
+        self.fire_rules(instance, ctx);
+    }
+
+    fn add_precondition_local(&mut self, instance: InstanceId, step: StepId, tag: u64) {
+        let st = self.inst(instance);
+        if !st.instantiated {
+            st.stashed_preconditions.push((step, tag));
+            return;
+        }
+        let ids = st.rule_ids.get(&step).cloned().unwrap_or_default();
+        for id in ids {
+            let is_monitor = st
+                .rules
+                .rule(id)
+                .is_some_and(|r| matches!(r.action, Action::NotifyExternal { .. }));
+            if !is_monitor {
+                st.rules.add_precondition(id, EventKind::External(tag));
+            }
+        }
+    }
+
+    /// Fire every ready rule and interpret the actions, repeating until no
+    /// rule fires (a step completion can enable further local rules).
+    fn fire_rules(&mut self, instance: InstanceId, ctx: &mut Ctx<DistMsg>) {
+        loop {
+            let firings = {
+                let st = self.inst(instance);
+                if st.aborted {
+                    return;
+                }
+                let data = st.data.clone();
+                st.rules.fire_ready(&data)
+            };
+            if firings.is_empty() {
+                break;
+            }
+            for f in firings {
+                match f.action {
+                    Action::StartStep(step) => self.start_step(instance, step, ctx),
+                    Action::NotifyExternal { route, event } => {
+                        let req = (route & 0xFFFF_FFFF) as u32;
+                        if route & ROUTE_MUTEX != 0 {
+                            self.request_mutex(instance, req, event, ctx);
+                        } else if route & ROUTE_RO_CLAIM != 0 {
+                            self.request_ro_claim(instance, req, StepId(event as u32), ctx);
+                        }
+                    }
+                    Action::CompensateStep(step) => {
+                        self.compensate_local(instance, step, false, ctx);
+                    }
+                    Action::CommitWorkflow | Action::AbortWorkflow | Action::EmitEvent(_) => {
+                        // Navigation templates do not produce these; commit
+                        // and abort flow through the coordinator protocols.
+                    }
+                }
+            }
+        }
+        self.refresh_pending_ages(instance, ctx.now);
+    }
+
+    fn request_mutex(
+        &mut self,
+        instance: InstanceId,
+        req: u32,
+        grant_tag: u64,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        // Find the member step this grant belongs to (tag is per step).
+        let dep = self.shared.deployment.clone();
+        let Some(m) = dep.coordination.mutual_exclusions.iter().find(|m| m.id == req) else {
+            return;
+        };
+        let Some(member) = m
+            .members
+            .iter()
+            .find(|s| s.schema == instance.schema
+                && tags::mutex_grant(req, instance, s.step) == grant_tag)
+        else {
+            return;
+        };
+        let manager = self.mutex_manager_node(m);
+        let msg = DistMsg::AddRule {
+            rule: CoordRule::MutexAcquire { req, instance, step: member.step },
+        };
+        if manager == ctx.self_id {
+            self.handle_coord_rule(
+                match msg {
+                    DistMsg::AddRule { rule } => rule,
+                    _ => unreachable!(),
+                },
+                ctx.self_id,
+                ctx,
+            );
+        } else {
+            ctx.send(manager, msg);
+        }
+    }
+
+    /// Claim relative-order leadership for `instance` at the arbiter of
+    /// requirement `req` (sent when the first conflicting step's own
+    /// triggers become ready — the serialization point that decides
+    /// leading vs lagging).
+    fn request_ro_claim(
+        &mut self,
+        instance: InstanceId,
+        req: u32,
+        _step: StepId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let dep = self.shared.deployment.clone();
+        let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req) else {
+            return;
+        };
+        for partner in dep.ro_links.partners_of(instance) {
+            let Some((side, _)) = ro_side(r, instance, partner) else { continue };
+            let (a, b) = ro_canonical(instance, partner, side);
+            let arbiter = self.ro_arbiter_node(r, a, b);
+            if arbiter == ctx.self_id {
+                self.ro_decide(req, a, b, side, ctx);
+            } else {
+                ctx.send(
+                    arbiter,
+                    DistMsg::AddRule {
+                        rule: CoordRule::RoFirstDone { req, claimant: instance, partner },
+                    },
+                );
+            }
+        }
+    }
+
+    /// The mutex manager: the designated-node of the requirement's first
+    /// member step, instance-independent (keyed by serial 0 so every agent
+    /// agrees without knowing live instances).
+    fn mutex_manager_node(&self, m: &crew_model::MutualExclusion) -> NodeId {
+        let first = m.members.first().expect("mutex requirement has members");
+        let schema = self.shared.deployment.expect_schema(first.schema);
+        let probe = InstanceId::new(first.schema, 0);
+        let agent = designated_agent(self.seed(), probe, schema.expect_step(first.step));
+        self.shared.directory.node_of(agent)
+    }
+
+    // ---- step execution ----------------------------------------------------
+
+    fn start_step(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<DistMsg>) {
+        let schema = self.schema(instance);
+        if !self.is_executor(instance, &schema, step)
+            && !self.inst(instance).overrides.contains(&step)
+        {
+            return;
+        }
+        if self.inst(instance).awaiting_compset.contains(&step) {
+            return; // a CompensateSet chain will restart it
+        }
+        // Nested workflow step: launch the child instead of a program.
+        if let Some(&child_schema) = schema.nested.get(&step) {
+            self.launch_nested(instance, step, child_schema, ctx);
+            return;
+        }
+
+        let def = schema.expect_step(step).clone();
+        // OCR applies to rollback revisits only; a re-firing outside a
+        // rollback (a loop iteration) is a genuinely new execution.
+        let is_revisit = self.inst(instance).revisit_pending.remove(&step);
+        let decision = if is_revisit {
+            let plan = self.executor.plan.clone();
+            let st = self.inst(instance);
+            ocr_decide(&def, instance, &st.history, &st.data, &plan)
+        } else {
+            OcrDecision::ExecuteFresh
+        };
+        match decision {
+            OcrDecision::Reuse => {
+                // Previous results suffice: re-assert step.done directly.
+                self.after_step_done(instance, step, false, ctx);
+            }
+            OcrDecision::ExecuteFresh => {
+                self.execute_now(instance, &def, ctx);
+            }
+            OcrDecision::PartialCompensateIncrementalReexec
+            | OcrDecision::CompleteCompensateCompleteReexec => {
+                let partial =
+                    decision == OcrDecision::PartialCompensateIncrementalReexec;
+                // Compensation dependent set: members that executed after
+                // this step must be compensated first, in reverse execution
+                // order, via the CompensateSet chain (§5.2).
+                if let Some(set) = schema.compensation_set_of(step) {
+                    let mut members: Vec<StepId> = set.members.iter().copied().collect();
+                    // Order by topo position; the chain walks from the end.
+                    let topo_pos: BTreeMap<StepId, usize> = schema
+                        .topo_order()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &s)| (s, i))
+                        .collect();
+                    members.retain(|m| topo_pos[m] >= topo_pos[&step]);
+                    members.sort_by_key(|m| topo_pos[m]);
+                    if members.len() > 1 {
+                        self.inst(instance).awaiting_compset.insert(step);
+                        let target = self.node_of_step(
+                            instance,
+                            &schema,
+                            *members.last().expect("non-empty"),
+                        );
+                        let msg = DistMsg::CompensateSet {
+                            instance,
+                            origin: step,
+                            steps: members,
+                        };
+                        if target == ctx.self_id {
+                            self.on_compensate_set_msg(msg, ctx);
+                        } else {
+                            ctx.send(target, msg);
+                        }
+                        return;
+                    }
+                }
+                self.compensate_local(instance, step, partial, ctx);
+                self.execute_now(instance, &def, ctx);
+            }
+        }
+    }
+
+    fn execute_now(
+        &mut self,
+        instance: InstanceId,
+        def: &crew_model::StepDef,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        self.nav_load(ctx);
+        let outcome = {
+            let st = self.instances.get_mut(&instance).expect("instantiated");
+            self.executor
+                .execute(def, instance, &mut st.data, &mut st.history)
+                .expect("programs are registered at deployment build time")
+        };
+        match outcome {
+            StepOutcome::Done { attempt, outputs, cost } => {
+                ctx.add_load(cost);
+                self.log(DbOp::StepRecorded {
+                    instance,
+                    step: def.id,
+                    state: StoredStepState::Done,
+                    attempt,
+                    outputs: outputs.clone(),
+                });
+                for (i, v) in outputs.iter().enumerate() {
+                    let slot = (i + 1) as u16;
+                    if slot <= def.output_slots {
+                        self.log(DbOp::DataWritten {
+                            instance,
+                            key: ItemKey::output(def.id, slot),
+                            value: v.clone(),
+                        });
+                    }
+                }
+                self.after_step_done(instance, def.id, true, ctx);
+            }
+            StepOutcome::Failed { attempt, .. } => {
+                self.log(DbOp::StepRecorded {
+                    instance,
+                    step: def.id,
+                    state: StoredStepState::Failed,
+                    attempt,
+                    outputs: vec![],
+                });
+                let st = self.inst(instance);
+                st.rules.add_event(EventKind::StepFail(def.id));
+                self.log(DbOp::EventPosted { instance, code: EventKind::StepFail(def.id).code() });
+                self.initiate_rollback(instance, def.id, ctx);
+            }
+        }
+    }
+
+    /// Everything that happens once a step's effects are (re)established:
+    /// post `step.done`, run coordination notifications, detect branch
+    /// switches, forward packets, report terminal completions.
+    fn after_step_done(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        freshly_executed: bool,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let schema = self.schema(instance);
+        {
+            let st = self.inst(instance);
+            if freshly_executed {
+                // A new execution is a new occurrence.
+                st.rules.add_event(EventKind::StepDone(step));
+            } else {
+                // OCR reuse: the previous completion stands — re-validate
+                // without minting a new occurrence, so downstream rules
+                // (whose marks were cleared by the halt) fire exactly once
+                // and re-delivery cascades do not amplify.
+                let st2 = self.instances.get_mut(&instance).expect("instantiated");
+                if !st2.rules.revalidate_event(EventKind::StepDone(step))
+                    && !st2.rules.has_event(EventKind::StepDone(step))
+                {
+                    st2.rules.add_event(EventKind::StepDone(step));
+                }
+            }
+        }
+        self.log(DbOp::EventPosted { instance, code: EventKind::StepDone(step).code() });
+
+        // Relative ordering: arbiter decision on the partner's first
+        // conflicting step, first-done claims, and leading notifications.
+        self.ro_on_step_done(instance, step, ctx);
+
+        // Mutual exclusion: release any resource held for this step.
+        self.mutex_release_if_member(instance, step, ctx);
+
+        // Branch-switch detection at XOR splits (Figure 3): compensate the
+        // previously taken branch when the new choice differs.
+        if schema.split_kind(step) == Some(SplitKind::Xor) {
+            self.detect_branch_switch(instance, step, &schema, ctx);
+        }
+
+        // Terminal step: report completion (weight) to the coordination
+        // agent.
+        if schema.terminal_steps().contains(&step) {
+            let weight = self.flow_weight(instance, step);
+            let coord = self.coordination_node(instance, &schema);
+            let (num, den) = weight.parts();
+            let msg = DistMsg::StepCompleted {
+                instance,
+                step,
+                weight_num: num,
+                weight_den: den,
+            };
+            if coord == ctx.self_id {
+                self.on_step_completed(instance, step, weight, ctx);
+            } else {
+                ctx.send(coord, msg);
+            }
+        }
+
+        self.forward_packets(instance, step, &schema, ctx);
+        // Completing a step can make further local steps ready.
+        self.fire_rules(instance, ctx);
+    }
+
+    /// Thread weight flowing through `step`: the sum of the per-source
+    /// slots (defaulting to 1 when nothing is recorded — the start step's
+    /// initial packet, or takeover paths).
+    fn flow_weight(&mut self, instance: InstanceId, step: StepId) -> Weight {
+        let st = self.inst(instance);
+        match st.weight_in.get(&step) {
+            Some(slots) if !slots.is_empty() => {
+                slots.values().fold(Weight::ZERO, |acc, w| acc.plus(*w))
+            }
+            _ => Weight::ONE,
+        }
+    }
+
+    fn coordination_node(&self, instance: InstanceId, schema: &WorkflowSchema) -> NodeId {
+        let agent = coordination_agent(self.seed(), instance, schema);
+        self.shared.directory.node_of(agent)
+    }
+
+    /// Send the workflow packet along every outgoing arc of `step` to all
+    /// eligible agents of each successor step (§4.2: on if-then-else both
+    /// branch agents receive the packet; the rules decide).
+    fn forward_packets(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        schema: &WorkflowSchema,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let split = schema.split_kind(step);
+        let forward: Vec<StepId> = schema.forward_outgoing(step).map(|a| a.to).collect();
+        let loops: Vec<StepId> = schema
+            .outgoing(step)
+            .filter(|a| a.loop_back)
+            .map(|a| a.to)
+            .collect();
+        let flow_weight = self.flow_weight(instance, step);
+        let branch_weight = match split {
+            Some(SplitKind::And) if forward.len() > 1 => {
+                flow_weight.split(forward.len() as u64)
+            }
+            _ => flow_weight,
+        };
+
+        let piggyback = self.shared.config.piggyback_ro;
+        let (ro_leading, ro_lagging) = if piggyback {
+            self.ro_piggyback_tags(instance, schema)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let targets: Vec<(StepId, Weight)> = forward
+            .iter()
+            .map(|&t| (t, branch_weight))
+            .chain(loops.iter().map(|&t| (t, flow_weight)))
+            .collect();
+        // When not piggybacking, ship the ordering obligations as separate
+        // coordinated-execution messages (the §5.1 ablation's cost):
+        // lagging tags become explicit AddPrecondition calls at the lagging
+        // steps' agents; leading tags become notify-on-done wiring at the
+        // leading steps' agents.
+        if !piggyback {
+            let (lead, lag) = self.ro_piggyback_tags(instance, schema);
+            for t in &lag {
+                let dest = self.node_of_step(instance, schema, t.local_step);
+                let msg = DistMsg::AddPrecondition {
+                    instance,
+                    step: t.local_step,
+                    tag: t.tag,
+                };
+                if dest == ctx.self_id {
+                    self.add_precondition_local(instance, t.local_step, t.tag);
+                } else {
+                    ctx.send(dest, msg);
+                }
+            }
+            for t in &lead {
+                let dest = self.node_of_step(instance, schema, t.local_step);
+                if dest == ctx.self_id {
+                    self.install_ro_notify(
+                        instance,
+                        t.local_step,
+                        t.tag,
+                        t.partner,
+                        t.partner_step,
+                        ctx,
+                    );
+                } else {
+                    ctx.send(
+                        dest,
+                        DistMsg::AddRule {
+                            rule: CoordRule::RoNotify {
+                                req: 0,
+                                instance,
+                                local_step: t.local_step,
+                                tag: t.tag,
+                                target_instance: t.partner,
+                                target_step: t.partner_step,
+                            },
+                        },
+                    );
+                }
+            }
+        }
+
+        let load_balanced =
+            self.shared.config.successor_selection == SuccessorSelection::LoadBalanced;
+        for (target, weight) in targets {
+            let st = self.inst(instance);
+            st.forwarded.entry(step).or_default().insert(target);
+            let packet = WorkflowPacket {
+                instance,
+                target_step: target,
+                source_step: Some(step),
+                executor: None,
+                epoch: st.epoch,
+                data: st.data.clone(),
+                events: st.rules.present_events_with_gens(),
+                ro_leading: ro_leading.clone(),
+                ro_lagging: ro_lagging.clone(),
+                weight,
+            };
+            // Two-phase successor selection (§4.2): poll the eligible
+            // agents' state and forward once the least-loaded is known.
+            // Confluence steps (multiple predecessors) fall back to the
+            // deterministic designation — the stand-in for the paper's
+            // successor leader election.
+            let def_t = schema.expect_step(target);
+            let single_pred = schema.forward_incoming(target).count() <= 1;
+            if load_balanced && def_t.eligible_agents.len() > 1 && single_pred {
+                self.begin_load_balanced_forward(packet, def_t.eligible_agents.clone(), ctx);
+                continue;
+            }
+            let def = schema.expect_step(target);
+            for agent in &def.eligible_agents {
+                let node = self.shared.directory.node_of(*agent);
+                let msg = DistMsg::StepExecute { packet: packet.clone() };
+                if node == ctx.self_id {
+                    self.on_packet(packet.clone(), ctx);
+                } else {
+                    ctx.send(node, msg);
+                }
+            }
+        }
+    }
+
+    /// Phase one of the two-phase forward: poll `StateInformation` of every
+    /// candidate and stash the packet until the replies arrive.
+    fn begin_load_balanced_forward(
+        &mut self,
+        packet: WorkflowPacket,
+        candidates: Vec<crew_model::AgentId>,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        self.next_token += 1;
+        let token = self.next_token;
+        let mut expected = 0;
+        for agent in &candidates {
+            let node = self.shared.directory.node_of(*agent);
+            if node == ctx.self_id {
+                continue; // our own load is known locally
+            }
+            expected += 1;
+            ctx.send(node, DistMsg::StateInformation { token });
+        }
+        let pf = PendingForward { packet, candidates, replies: BTreeMap::new(), expected };
+        if expected == 0 {
+            self.finish_load_balanced_forward(pf, ctx);
+        } else {
+            self.pending_forwards.insert(token, pf);
+        }
+    }
+
+    /// Phase two: all replies are in — pick the least-loaded candidate
+    /// (ties break toward the lowest agent id), stamp it as the executor
+    /// and broadcast the packet to every eligible agent (they keep the
+    /// state for takeover; only the chosen one executes).
+    fn finish_load_balanced_forward(&mut self, pf: PendingForward, ctx: &mut Ctx<DistMsg>) {
+        let mut packet = pf.packet;
+        let chosen = pf
+            .candidates
+            .iter()
+            .map(|a| {
+                let node = self.shared.directory.node_of(*a);
+                let load = if node == ctx.self_id {
+                    self.load
+                } else {
+                    pf.replies.get(&node).copied().unwrap_or(u64::MAX)
+                };
+                (load, *a)
+            })
+            .min()
+            .map(|(_, a)| a)
+            .expect("candidates non-empty");
+        packet.executor = Some(chosen);
+        {
+            // The sender records the choice too (it may itself be
+            // eligible for the target step).
+            let st = self.inst(packet.instance);
+            st.chosen_executor.insert(packet.target_step, chosen);
+        }
+        for agent in &pf.candidates {
+            let node = self.shared.directory.node_of(*agent);
+            if node == ctx.self_id {
+                self.on_packet(packet.clone(), ctx);
+            } else {
+                ctx.send(node, DistMsg::StepExecute { packet: packet.clone() });
+            }
+        }
+        // If we chose ourselves, the navigation rule already fired (and
+        // skipped) while the choice was outstanding — drive the step
+        // directly now that the stamp is recorded.
+        if chosen == self.agent_id {
+            self.start_step(packet.instance, packet.target_step, ctx);
+        }
+    }
+
+    /// Record a `StateInformationReply` for a deferred forward.
+    fn on_state_information_reply(&mut self, token: u64, load: u64, from: NodeId, ctx: &mut Ctx<DistMsg>) {
+        let done = match self.pending_forwards.get_mut(&token) {
+            None => return,
+            Some(pf) => {
+                pf.replies.insert(from, load);
+                pf.replies.len() >= pf.expected
+            }
+        };
+        if done {
+            let pf = self.pending_forwards.remove(&token).expect("present");
+            self.finish_load_balanced_forward(pf, ctx);
+        }
+    }
+
+    /// The leading/lagging tags this instance's packets carry, derived from
+    /// decided relative orders involving it.
+    fn ro_piggyback_tags(
+        &self,
+        instance: InstanceId,
+        _schema: &WorkflowSchema,
+    ) -> (Vec<RoTag>, Vec<RoTag>) {
+        let mut leading = Vec::new();
+        let mut lagging = Vec::new();
+        let dep = &self.shared.deployment;
+        for r in &dep.coordination.relative_orders {
+            for partner in dep.ro_links.partners_of(instance) {
+                let Some((side, my_pairs)) = ro_side(r, instance, partner) else { continue };
+                let (a, b) = ro_canonical(instance, partner, side);
+                let key = (r.id, a, b);
+                let decision = self
+                    .ro_decisions
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(RoDecision::Undecided);
+                let leading_side = match decision {
+                    RoDecision::Undecided => continue,
+                    RoDecision::SideALeads => 0u8,
+                    RoDecision::SideBLeads => 1u8,
+                };
+                let partner_pairs = ro_partner_pairs(r, instance, partner);
+                for (k, (&my_step, &partner_step)) in
+                    my_pairs.iter().zip(partner_pairs.iter()).enumerate()
+                {
+                    if k == 0 {
+                        continue;
+                    }
+                    if side == leading_side {
+                        // We lead: after my_step completes, release the
+                        // partner's guard.
+                        let other_side = 1 - side;
+                        leading.push(RoTag {
+                            local_step: my_step,
+                            tag: tags::ro_guard(r.id, k, other_side, a, b),
+                            partner,
+                            partner_step,
+                        });
+                    } else {
+                        lagging.push(RoTag {
+                            local_step: my_step,
+                            tag: tags::ro_guard(r.id, k, side, a, b),
+                            partner,
+                            partner_step,
+                        });
+                    }
+                }
+            }
+        }
+        (leading, lagging)
+    }
+
+    // ---- relative ordering --------------------------------------------------
+
+    /// Hooks run when `step` of `instance` completes: claim first-done to
+    /// the arbiter, decide as arbiter, and emit leading notifications.
+    fn ro_on_step_done(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<DistMsg>) {
+        let dep = self.shared.deployment.clone();
+        // Leading notifications installed earlier (piggyback or arbiter).
+        let notifies = self
+            .inst(instance)
+            .notify_on_done
+            .get(&step)
+            .cloned()
+            .unwrap_or_default();
+        for (tag, partner, partner_step) in notifies {
+            let schema = self.shared.deployment.expect_schema(partner.schema).clone();
+            let node = self.node_of_step(partner, &schema, partner_step);
+            let msg = DistMsg::AddEvent { instance: partner, tag };
+            if node == ctx.self_id {
+                self.on_add_event(partner, tag, ctx);
+            } else {
+                ctx.send(node, msg);
+            }
+        }
+
+        let _ = (&dep, step);
+    }
+
+    /// The arbiter node for requirement `r` between canonical instances
+    /// `(a, b)`: the designated agent of `b`'s first conflicting step.
+    fn ro_arbiter_node(&self, r: &crew_model::RelativeOrder, a: InstanceId, b: InstanceId) -> NodeId {
+        let _ = a;
+        let (_, b_pairs) = ro_side(r, b, a).expect("b participates");
+        let schema = self.shared.deployment.expect_schema(b.schema);
+        let step = *b_pairs.first().expect("pairs non-empty");
+        let agent = designated_agent(self.seed(), b, schema.expect_step(step));
+        self.shared.directory.node_of(agent)
+    }
+
+    /// Arbiter: record the decision (first claim wins) and release the
+    /// leading side's guards + install the lagging side's notify wiring.
+    fn ro_decide(
+        &mut self,
+        req: u32,
+        a: InstanceId,
+        b: InstanceId,
+        winner_side: u8,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let key = (req, a, b);
+        if self.ro_decisions.get(&key).copied().unwrap_or(RoDecision::Undecided)
+            != RoDecision::Undecided
+        {
+            return; // already decided
+        }
+        let decision = if winner_side == 0 {
+            RoDecision::SideALeads
+        } else {
+            RoDecision::SideBLeads
+        };
+        self.ro_decisions.insert(key, decision);
+        self.nav_load(ctx);
+
+        let dep = self.shared.deployment.clone();
+        let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req) else {
+            return;
+        };
+        let (leader, lagger, leader_side) = if winner_side == 0 {
+            (a, b, 0u8)
+        } else {
+            (b, a, 1u8)
+        };
+        let lag_side = 1 - leader_side;
+        let (_, leader_pairs) = ro_side(r, leader, lagger).expect("leader participates");
+        let (_, lagger_pairs) = ro_side(r, lagger, leader).expect("lagger participates");
+        let leader_schema = dep.expect_schema(leader.schema).clone();
+        let lagger_schema = dep.expect_schema(lagger.schema).clone();
+
+        for (k, (&lead_step, &lag_step)) in leader_pairs
+            .iter()
+            .zip(lagger_pairs.iter())
+            .enumerate()
+        {
+            // Release the leader's guard: its steps must not wait.
+            let lead_tag = tags::ro_guard(req, k, leader_side, a, b);
+            let lead_node = self.node_of_step(leader, &leader_schema, lead_step);
+            // Install the leader's notify-on-done, *before* the release so
+            // FIFO delivers the wiring first.
+            let notify = DistMsg::AddRule {
+                rule: CoordRule::RoNotify {
+                    req,
+                    instance: leader,
+                    local_step: lead_step,
+                    tag: tags::ro_guard(req, k, lag_side, a, b),
+                    target_instance: lagger,
+                    target_step: lag_step,
+                },
+            };
+            if lead_node == ctx.self_id {
+                self.install_ro_notify(
+                    leader,
+                    lead_step,
+                    tags::ro_guard(req, k, lag_side, a, b),
+                    lagger,
+                    lag_step,
+                    ctx,
+                );
+                self.on_add_event(leader, lead_tag, ctx);
+            } else {
+                ctx.send(lead_node, notify);
+                ctx.send(lead_node, DistMsg::AddEvent { instance: leader, tag: lead_tag });
+            }
+        }
+        let _ = lagger_schema;
+    }
+
+    fn install_ro_notify(
+        &mut self,
+        instance: InstanceId,
+        local_step: StepId,
+        tag: u64,
+        target_instance: InstanceId,
+        target_step: StepId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let already_done = {
+            let st = self.inst(instance);
+            let entry = st.notify_on_done.entry(local_step).or_default();
+            let val = (tag, target_instance, target_step);
+            if !entry.contains(&val) {
+                entry.push(val);
+            }
+            st.history.state(local_step) == StepState::Done
+        };
+        // If the local step already completed (raced), emit immediately.
+        if already_done {
+            let schema = self.shared.deployment.expect_schema(target_instance.schema).clone();
+            let node = self.node_of_step(target_instance, &schema, target_step);
+            let msg = DistMsg::AddEvent { instance: target_instance, tag };
+            if node == ctx.self_id {
+                self.on_add_event(target_instance, tag, ctx);
+            } else {
+                ctx.send(node, msg);
+            }
+        }
+    }
+
+    // ---- mutual exclusion ----------------------------------------------------
+
+    fn mutex_release_if_member(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let dep = self.shared.deployment.clone();
+        for m in &dep.coordination.mutual_exclusions {
+            if m.members.contains(&SchemaStep::new(instance.schema, step)) {
+                let manager = self.mutex_manager_node(m);
+                let rule = CoordRule::MutexRelease { req: m.id, instance, step };
+                if manager == ctx.self_id {
+                    self.handle_coord_rule(rule, ctx.self_id, ctx);
+                } else {
+                    ctx.send(manager, DistMsg::AddRule { rule });
+                }
+            }
+        }
+    }
+
+    fn handle_coord_rule(&mut self, rule: CoordRule, from: NodeId, ctx: &mut Ctx<DistMsg>) {
+        match rule {
+            CoordRule::MutexAcquire { req, instance, step } => {
+                let grant_to = from;
+                let state = self.mutexes.entry(req).or_default();
+                let triple = (instance, step, grant_to);
+                if state.holder.is_none() || state.holder == Some(triple) {
+                    // Fresh grant, or a re-acquire by the current holder
+                    // (its grant event was invalidated by a rollback):
+                    // (re)issue the grant either way.
+                    state.holder = Some(triple);
+                    let tag = tags::mutex_grant(req, instance, step);
+                    if grant_to == ctx.self_id {
+                        self.on_add_event(instance, tag, ctx);
+                    } else {
+                        ctx.send(grant_to, DistMsg::AddEvent { instance, tag });
+                    }
+                } else if !state.queue.contains(&triple) {
+                    state.queue.push_back(triple);
+                }
+            }
+            CoordRule::MutexRelease { req, instance, step } => {
+                let next = {
+                    let state = self.mutexes.entry(req).or_default();
+                    // Drop queued requests of the releasing (instance,
+                    // step) — an aborted instance must not be granted
+                    // later.
+                    state
+                        .queue
+                        .retain(|(i, s, _)| !(*i == instance && *s == step));
+                    match state.holder {
+                        Some((i, s, _)) if i == instance && s == step => {
+                            state.holder = state.queue.pop_front();
+                            state.holder
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((i, s, node)) = next {
+                    let tag = tags::mutex_grant(req, i, s);
+                    if node == ctx.self_id {
+                        self.on_add_event(i, tag, ctx);
+                    } else {
+                        ctx.send(node, DistMsg::AddEvent { instance: i, tag });
+                    }
+                }
+            }
+            CoordRule::RoFirstDone { req, claimant, partner } => {
+                let dep = self.shared.deployment.clone();
+                let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req)
+                else {
+                    return;
+                };
+                let Some((side, _)) = ro_side(r, claimant, partner) else { return };
+                let (a, b) = ro_canonical(claimant, partner, side);
+                self.ro_decide(req, a, b, side, ctx);
+            }
+            CoordRule::RoNotify {
+                instance,
+                local_step,
+                tag,
+                target_instance,
+                target_step,
+                ..
+            } => {
+                self.install_ro_notify(
+                    instance,
+                    local_step,
+                    tag,
+                    target_instance,
+                    target_step,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    fn on_add_event(&mut self, instance: InstanceId, tag: u64, ctx: &mut Ctx<DistMsg>) {
+        let st = self.inst(instance);
+        st.rules.add_event(EventKind::External(tag));
+        self.log(DbOp::EventPosted { instance, code: EventKind::External(tag).code() });
+        self.fire_rules(instance, ctx);
+        self.maybe_release_stale_grant(instance, tag, ctx);
+    }
+
+    /// A mutex grant that arrives after its step already completed (a
+    /// rollback re-acquire that lost the race with the re-execution, or a
+    /// grant to a since-terminated instance) would park the resource
+    /// forever: nobody is left to release it. If the grant was not
+    /// consumed by any rule in the firing sweep above and the step is not
+    /// awaiting its first execution, hand the resource straight back.
+    fn maybe_release_stale_grant(&mut self, instance: InstanceId, tag: u64, ctx: &mut Ctx<DistMsg>) {
+        let dep = self.shared.deployment.clone();
+        let hit = dep.coordination.mutual_exclusions.iter().find_map(|m| {
+            m.members
+                .iter()
+                .find(|mem| {
+                    mem.schema == instance.schema
+                        && tags::mutex_grant(m.id, instance, mem.step) == tag
+                })
+                .map(|mem| (m.id, mem.step))
+        });
+        let Some((req, step)) = hit else { return };
+        let stale = {
+            let st = self.inst(instance);
+            let executed = st.history.state(step) != StepState::NotExecuted
+                || st.committed
+                || st.aborted;
+            let unconsumed = st
+                .rule_ids
+                .get(&step)
+                .map(|ids| {
+                    ids.iter().all(|id| {
+                        st.rules
+                            .trigger_consumed(*id, EventKind::External(tag))
+                            .map(|c| !c)
+                            .unwrap_or(true)
+                    })
+                })
+                .unwrap_or(true);
+            executed && unconsumed
+        };
+        if stale {
+            let manager = {
+                let m = dep
+                    .coordination
+                    .mutual_exclusions
+                    .iter()
+                    .find(|m| m.id == req)
+                    .expect("requirement exists");
+                self.mutex_manager_node(m)
+            };
+            let rule = CoordRule::MutexRelease { req, instance, step };
+            if manager == ctx.self_id {
+                self.handle_coord_rule(rule, ctx.self_id, ctx);
+            } else {
+                ctx.send(manager, DistMsg::AddRule { rule });
+            }
+        }
+    }
+
+    // ---- branch switching ------------------------------------------------------
+
+    fn detect_branch_switch(
+        &mut self,
+        instance: InstanceId,
+        split: StepId,
+        schema: &WorkflowSchema,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        // Evaluate the branch conditions locally (the agent has the data)
+        // to learn which branch the new flow takes.
+        let data = self.inst(instance).data.clone();
+        let arcs: Vec<(StepId, Option<crew_model::Expr>)> = schema
+            .forward_outgoing(split)
+            .map(|a| (a.to, a.condition.clone()))
+            .collect();
+        let mut chosen: Option<StepId> = None;
+        let mut otherwise: Option<StepId> = None;
+        for (to, cond) in &arcs {
+            match cond {
+                Some(c) => {
+                    if c.eval_bool(&data).unwrap_or(false) && chosen.is_none() {
+                        chosen = Some(*to);
+                    }
+                }
+                None => otherwise = Some(*to),
+            }
+        }
+        let chosen = chosen.or(otherwise);
+        let Some(new_head) = chosen else { return };
+        let st = self.inst(instance);
+        let prev = st.branch_choice.insert(split, new_head);
+        if let Some(old_head) = prev {
+            if old_head != new_head {
+                // Compensate the abandoned branch before the confluence
+                // (CompensateThread, §5.2).
+                let topo_pos: BTreeMap<StepId, usize> = schema
+                    .topo_order()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (s, i))
+                    .collect();
+                let mut steps: Vec<StepId> =
+                    schema.branch_steps(split, old_head).into_iter().collect();
+                steps.sort_by_key(|s| topo_pos[s]);
+                if steps.is_empty() {
+                    return;
+                }
+                let target = self.node_of_step(instance, schema, *steps.last().expect("ck"));
+                let msg = DistMsg::CompensateThread { instance, steps };
+                if target == ctx.self_id {
+                    self.on_compensate_thread_msg(msg, ctx);
+                } else {
+                    ctx.send(target, msg);
+                }
+            }
+        }
+    }
+
+    // ---- compensation chains ------------------------------------------------
+
+    fn compensate_local(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        partial: bool,
+        ctx: &mut Ctx<DistMsg>,
+    ) -> bool {
+        let schema = self.schema(instance);
+        let def = schema.expect_step(step).clone();
+        let done = {
+            let st = self.inst(instance);
+            st.history.state(step) == StepState::Done
+        };
+        if !done {
+            return false;
+        }
+        self.nav_load(ctx);
+        let cost = {
+            let st = self.instances.get_mut(&instance).expect("instantiated");
+            self.executor
+                .compensate(&def, instance, &mut st.data, &mut st.history, partial)
+        };
+        ctx.add_load(cost);
+        {
+            let st = self.inst(instance);
+            st.rules.add_event(EventKind::StepCompensated(step));
+            st.rules.invalidate_event(EventKind::StepDone(step));
+        }
+        self.log(DbOp::StepOutputsCleared { instance, step });
+        self.log(DbOp::StepRecorded {
+            instance,
+            step,
+            state: StoredStepState::Compensated,
+            attempt: 0,
+            outputs: vec![],
+        });
+        self.log(DbOp::EventInvalidated {
+            instance,
+            code: EventKind::StepDone(step).code(),
+        });
+        // Weight slots sourced at the compensated step are void (a branch
+        // switch must not leave the old branch's weight at the joins).
+        {
+            let succs: Vec<StepId> = schema.forward_outgoing(step).map(|a| a.to).collect();
+            let st = self.inst(instance);
+            for t in succs {
+                if let Some(slots) = st.weight_in.get_mut(&t) {
+                    slots.remove(&step);
+                }
+            }
+        }
+        // A compensated terminal retracts its completion weight.
+        if schema.terminal_steps().contains(&step) {
+            let coord = self.coordination_node(instance, &schema);
+            let msg = DistMsg::StepCompleted {
+                instance,
+                step,
+                weight_num: 0,
+                weight_den: 1,
+            };
+            if coord == ctx.self_id {
+                self.on_step_completed(instance, step, Weight::ZERO, ctx);
+            } else {
+                ctx.send(coord, msg);
+            }
+        }
+        true
+    }
+
+    fn on_compensate_set_msg(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
+        let DistMsg::CompensateSet { instance, origin, mut steps } = msg else {
+            return;
+        };
+        self.ensure_instantiated(instance, ctx);
+        self.nav_load(ctx);
+        let Some(step) = steps.pop() else { return };
+        let schema = self.schema(instance);
+        // Compensate the local member if it executed; "if the step has not
+        // been executed then no action is required".
+        self.compensate_local(instance, step, false, ctx);
+        if steps.is_empty() {
+            // The chain returned to the origin: re-execute it now.
+            debug_assert_eq!(step, origin);
+            self.inst(instance).awaiting_compset.remove(&origin);
+            let def = schema.expect_step(origin).clone();
+            self.execute_now(instance, &def, ctx);
+            return;
+        }
+        let target = self.node_of_step(instance, &schema, *steps.last().expect("non-empty"));
+        let msg = DistMsg::CompensateSet { instance, origin, steps };
+        if target == ctx.self_id {
+            self.on_compensate_set_msg(msg, ctx);
+        } else {
+            ctx.send(target, msg);
+        }
+    }
+
+    fn on_compensate_thread_msg(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
+        let DistMsg::CompensateThread { instance, mut steps } = msg else { return };
+        self.ensure_instantiated(instance, ctx);
+        self.nav_load(ctx);
+        let Some(step) = steps.pop() else { return };
+        self.compensate_local(instance, step, false, ctx);
+        if steps.is_empty() {
+            return;
+        }
+        let schema = self.schema(instance);
+        let target = self.node_of_step(instance, &schema, *steps.last().expect("non-empty"));
+        let msg = DistMsg::CompensateThread { instance, steps };
+        if target == ctx.self_id {
+            self.on_compensate_thread_msg(msg, ctx);
+        } else {
+            ctx.send(target, msg);
+        }
+    }
+
+    // ---- rollback --------------------------------------------------------------
+
+    /// Initiated at the agent where a step failed: route `WorkflowRollback`
+    /// to the rollback origin's agent (§5.2 — "None of the other agents
+    /// that executed steps of that workflow are notified").
+    fn initiate_rollback(&mut self, instance: InstanceId, failed: StepId, ctx: &mut Ctx<DistMsg>) {
+        let schema = self.schema(instance);
+        let origin = schema
+            .rollback_spec_for(failed)
+            .map(|r| r.origin)
+            .unwrap_or(failed);
+        let max_attempts = schema
+            .rollback_spec_for(failed)
+            .map(|r| r.max_attempts)
+            .unwrap_or(self.shared.config.default_max_attempts);
+        {
+            let st = self.inst(instance);
+            let count = st.rollback_counts.entry(origin).or_default();
+            *count += 1;
+            if *count >= max_attempts {
+                // Retry budget exhausted: abort the workflow.
+                let coord = self.coordination_node(instance, &schema);
+                let msg = DistMsg::WorkflowAbort { instance };
+                if coord == ctx.self_id {
+                    self.on_workflow_abort(instance, ctx);
+                } else {
+                    ctx.send(coord, msg);
+                }
+                return;
+            }
+        }
+        let target = self.node_of_step(instance, &schema, origin);
+        if target == ctx.self_id {
+            self.on_workflow_rollback(instance, origin, false, ctx);
+        } else {
+            ctx.send(target, DistMsg::WorkflowRollback { instance, origin });
+        }
+    }
+
+    /// At the rollback origin's agent: bump the epoch, invalidate the
+    /// downstream `step.done` facts, send the halt probes along the
+    /// forwarded channels, honor rollback dependencies, and re-fire the
+    /// origin's rule so OCR re-execution starts.
+    fn on_workflow_rollback(
+        &mut self,
+        instance: InstanceId,
+        origin: StepId,
+        from_dependency: bool,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        self.ensure_instantiated(instance, ctx);
+        self.nav_load(ctx);
+        let schema = self.schema(instance);
+        let invalidated = schema.invalidation_set(origin);
+        let epoch = {
+            let st = self.inst(instance);
+            st.epoch += 1;
+            for &s in &invalidated {
+                st.rules.invalidate_event(EventKind::StepDone(s));
+                st.weight_in.remove(&s);
+            }
+            // Reset the origin's own firing so fire_rules re-executes it.
+            for id in st.rule_ids.get(&origin).cloned().unwrap_or_default() {
+                st.rules.reset_rule(id);
+            }
+            st.revisit_pending.insert(origin);
+            st.revisit_pending.extend(invalidated.iter().copied());
+            st.epoch
+        };
+        for &s in &invalidated {
+            self.invalidate_step_coordination(instance, s);
+        }
+        self.invalidate_step_coordination(instance, origin);
+        // Every invalidated step must re-run: its rules' past firings are
+        // void, so clear their marks (monitor rules included — a mutex
+        // monitor must re-acquire for the re-execution).
+        {
+            let st = self.inst(instance);
+            for &s in &invalidated {
+                for id in st.rule_ids.get(&s).cloned().unwrap_or_default() {
+                    st.rules.reset_rule(id);
+                }
+            }
+        }
+        for &s in &invalidated {
+            self.log(DbOp::EventInvalidated {
+                instance,
+                code: EventKind::StepDone(s).code(),
+            });
+        }
+        // Halt probes retrace the packet channels (FIFO ⇒ race-free).
+        self.propagate_halt(instance, origin, epoch, &schema, ctx);
+
+        // Rollback dependencies: a rollback past `source` forces linked
+        // dependents back too (one level; dependency-caused rollbacks do
+        // not cascade further, preventing ping-pong).
+        if !from_dependency {
+            let dep = self.shared.deployment.clone();
+            for rd in &dep.coordination.rollback_dependencies {
+                let source_hit = rd.source.schema == instance.schema
+                    && (rd.source.step == origin || invalidated.contains(&rd.source.step));
+                if !source_hit {
+                    continue;
+                }
+                for partner in dep.ro_links.partners_of(instance) {
+                    if partner.schema != rd.dependent_schema {
+                        continue;
+                    }
+                    let pschema = dep.expect_schema(partner.schema).clone();
+                    let target = self.node_of_step(partner, &pschema, rd.dependent_origin);
+                    self.nav_load(ctx);
+                    if target == ctx.self_id {
+                        self.on_workflow_rollback(partner, rd.dependent_origin, true, ctx);
+                    } else {
+                        ctx.send(
+                            target,
+                            DistMsg::WorkflowRollback {
+                                instance: partner,
+                                origin: rd.dependent_origin,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        self.fire_rules(instance, ctx);
+    }
+
+    /// Invalidate the coordination facts attached to an invalidated step:
+    /// mutex grants must be re-acquired by a re-execution (a stale grant
+    /// would let the step run unprotected).
+    fn invalidate_step_coordination(&mut self, instance: InstanceId, step: StepId) {
+        let dep = self.shared.deployment.clone();
+        for m in &dep.coordination.mutual_exclusions {
+            if m.members.contains(&SchemaStep::new(instance.schema, step)) {
+                let tag = tags::mutex_grant(m.id, instance, step);
+                let st = self.inst(instance);
+                st.rules.invalidate_event(EventKind::External(tag));
+            }
+        }
+    }
+
+    /// Forward `HaltThread` to the eligible agents of every successor step
+    /// this agent forwarded packets toward, for local steps at/under the
+    /// origin.
+    fn propagate_halt(
+        &mut self,
+        instance: InstanceId,
+        origin: StepId,
+        epoch: u32,
+        schema: &WorkflowSchema,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let affected: BTreeSet<StepId> = {
+            let mut a = schema.invalidation_set(origin);
+            a.insert(origin);
+            a
+        };
+        let forwarded = {
+            let st = self.inst(instance);
+            st.forwarded.clone()
+        };
+        let mut notified: BTreeSet<NodeId> = BTreeSet::new();
+        for (&local, successors) in &forwarded {
+            if !affected.contains(&local) {
+                continue;
+            }
+            for &succ in successors {
+                let def = schema.expect_step(succ);
+                for agent in &def.eligible_agents {
+                    let node = self.shared.directory.node_of(*agent);
+                    if node == ctx.self_id || !notified.insert(node) {
+                        continue;
+                    }
+                    ctx.send(node, DistMsg::HaltThread { instance, origin, epoch });
+                }
+            }
+        }
+    }
+
+    /// `HaltThread` at a downstream agent: adopt the epoch, invalidate, and
+    /// keep propagating along our own forwarded channels.
+    fn on_halt_thread(
+        &mut self,
+        instance: InstanceId,
+        origin: StepId,
+        epoch: u32,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        self.ensure_instantiated(instance, ctx);
+        {
+            let st = self.inst(instance);
+            if epoch <= st.epoch {
+                return; // duplicate probe via another path
+            }
+            st.epoch = epoch;
+        }
+        self.nav_load(ctx);
+        let schema = self.schema(instance);
+        let invalidated = schema.invalidation_set(origin);
+        {
+            let st = self.inst(instance);
+            for &s in &invalidated {
+                st.rules.invalidate_event(EventKind::StepDone(s));
+                st.weight_in.remove(&s);
+                st.revisit_pending.insert(s);
+            }
+        }
+        {
+            let st = self.inst(instance);
+            for &s in &invalidated {
+                for id in st.rule_ids.get(&s).cloned().unwrap_or_default() {
+                    st.rules.reset_rule(id);
+                }
+            }
+        }
+        for &s in &invalidated {
+            self.invalidate_step_coordination(instance, s);
+            self.log(DbOp::EventInvalidated {
+                instance,
+                code: EventKind::StepDone(s).code(),
+            });
+        }
+        self.propagate_halt(instance, origin, epoch, &schema, ctx);
+    }
+
+    // ---- coordinator role --------------------------------------------------------
+
+    fn on_workflow_start(
+        &mut self,
+        instance: InstanceId,
+        inputs: Vec<(ItemKey, Value)>,
+        parent: Option<(InstanceId, StepId)>,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let schema = self.schema(instance);
+        self.ensure_instantiated(instance, ctx);
+        self.nav_load(ctx);
+        {
+            let st = self.inst(instance);
+            st.is_coordinator = true;
+            st.parent = parent;
+        }
+        self.log(DbOp::StatusChanged { instance, status: InstanceStatus::Executing });
+        let mut data = DataEnv::new();
+        for (k, v) in inputs {
+            data.set(k, v);
+        }
+        let packet = WorkflowPacket::initial(instance, schema.start_step(), data);
+        // The coordination agent is the designated executor of the start
+        // step; the packet is also broadcast to the other eligible agents
+        // so they hold the state for takeover.
+        let def = schema.expect_step(schema.start_step());
+        for agent in &def.eligible_agents {
+            let node = self.shared.directory.node_of(*agent);
+            if node != ctx.self_id {
+                ctx.send(node, DistMsg::StepExecute { packet: packet.clone() });
+            }
+        }
+        self.on_packet(packet, ctx);
+    }
+
+    fn on_step_completed(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        weight: Weight,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        self.nav_load(ctx);
+        let (committed_now, parent) = {
+            let st = self.inst(instance);
+            if st.committed || st.aborted {
+                return;
+            }
+            st.terminal_weights.insert(step, weight);
+            let total = st
+                .terminal_weights
+                .values()
+                .fold(Weight::ZERO, |acc, w| acc.plus(*w));
+            if total.is_one() {
+                st.committed = true;
+                (true, st.parent)
+            } else {
+                (false, None)
+            }
+        };
+        if !committed_now {
+            return;
+        }
+        self.log(DbOp::StatusChanged { instance, status: InstanceStatus::Committed });
+        // Notify the front end (or the parent, for nested instances).
+        match parent {
+            Some((parent_instance, parent_step)) => {
+                let outputs = self.nested_outputs(instance);
+                let pschema = self
+                    .shared
+                    .deployment
+                    .expect_schema(parent_instance.schema)
+                    .clone();
+                let node = self.node_of_step(parent_instance, &pschema, parent_step);
+                let msg = DistMsg::NestedCompleted {
+                    parent: parent_instance,
+                    parent_step,
+                    child: instance,
+                    outputs,
+                };
+                if node == ctx.self_id {
+                    self.on_nested_completed(msg, ctx);
+                } else {
+                    ctx.send(node, msg);
+                }
+            }
+            None => {
+                ctx.send(
+                    self.shared.directory.frontend,
+                    DistMsg::WorkflowCommitted { instance },
+                );
+            }
+        }
+        // Purge batching.
+        self.purge_queue.push(instance);
+        if let Some(period) = self.shared.config.purge_period {
+            if self.purge_queue.len() == 1 {
+                ctx.set_timer(period, TIMER_PURGE);
+            }
+        }
+    }
+
+    /// Outputs a committed nested instance hands back to its parent: the
+    /// outputs of its last terminal step (in topo order).
+    fn nested_outputs(&mut self, instance: InstanceId) -> Vec<Value> {
+        let schema = self.schema(instance);
+        let st = self.inst(instance);
+        schema
+            .terminal_steps()
+            .iter()
+            .rev()
+            .find_map(|t| st.history.record(*t).map(|r| r.outputs.clone()))
+            .unwrap_or_default()
+    }
+
+    fn on_nested_completed(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
+        let DistMsg::NestedCompleted { parent, parent_step, child, outputs } = msg else {
+            return;
+        };
+        self.ensure_instantiated(parent, ctx);
+        self.nav_load(ctx);
+        let schema = self.schema(parent);
+        let def = schema.expect_step(parent_step).clone();
+        {
+            let st = self.inst(parent);
+            st.pending_nested.remove(&parent_step);
+            let attempt = st.history.begin_attempt(parent_step);
+            st.history
+                .record_done(parent_step, attempt, vec![], outputs.clone());
+            let _ = child;
+        }
+        for (i, v) in outputs.iter().enumerate() {
+            let slot = (i + 1) as u16;
+            if slot <= def.output_slots {
+                let key = ItemKey::output(parent_step, slot);
+                self.log(DbOp::DataWritten { instance: parent, key, value: v.clone() });
+                self.inst(parent).data.set(key, v.clone());
+            }
+        }
+        self.after_step_done(parent, parent_step, true, ctx);
+    }
+
+    fn launch_nested(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        child_schema: crew_model::SchemaId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let already = self
+            .inst(instance)
+            .pending_nested
+            .contains_key(&step);
+        if already {
+            return;
+        }
+        // Reuse of a completed nested step follows the OCR path upstream of
+        // here; launching means we genuinely (re)run the child.
+        let schema = self.schema(instance);
+        let def = schema.expect_step(step).clone();
+        let child = InstanceId::new(child_schema, nested_instance_serial(instance, step));
+        self.inst(instance).pending_nested.insert(step, child);
+        self.nav_load(ctx);
+        let inputs: Vec<(ItemKey, Value)> = {
+            let st = self.inst(instance);
+            def.input_keys()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, k)| {
+                    st.data
+                        .get(k)
+                        .cloned()
+                        .map(|v| (ItemKey::input((i + 1) as u16), v))
+                })
+                .collect()
+        };
+        let cschema = self.shared.deployment.expect_schema(child_schema).clone();
+        let coord = self.coordination_node(child, &cschema);
+        let msg = DistMsg::WorkflowStart {
+            instance: child,
+            inputs,
+            parent: Some((instance, step)),
+        };
+        if coord == ctx.self_id {
+            self.on_workflow_start(child, match msg {
+                DistMsg::WorkflowStart { inputs, .. } => inputs,
+                _ => unreachable!(),
+            }, Some((instance, step)), ctx);
+        } else {
+            ctx.send(coord, msg);
+        }
+    }
+
+    fn on_workflow_abort(&mut self, instance: InstanceId, ctx: &mut Ctx<DistMsg>) {
+        self.ensure_instantiated(instance, ctx);
+        self.nav_load(ctx);
+        let reject = {
+            let st = self.inst(instance);
+            st.committed
+        };
+        if reject {
+            // "Any request for aborting the workflow ... after a workflow
+            // commit will be rejected."
+            ctx.send(
+                self.shared.directory.frontend,
+                DistMsg::WorkflowStatusReply { instance, status: "abort-rejected" },
+            );
+            return;
+        }
+        {
+            let st = self.inst(instance);
+            if st.aborted {
+                return;
+            }
+            st.aborted = true;
+        }
+        self.log(DbOp::StatusChanged { instance, status: InstanceStatus::Aborted });
+        // Hand back (or de-queue) every mutex this instance may hold or
+        // await, so contenders are never wedged by the abort.
+        {
+            let dep = self.shared.deployment.clone();
+            for m in &dep.coordination.mutual_exclusions {
+                for member in &m.members {
+                    if member.schema != instance.schema {
+                        continue;
+                    }
+                    let manager = self.mutex_manager_node(m);
+                    let rule = CoordRule::MutexRelease {
+                        req: m.id,
+                        instance,
+                        step: member.step,
+                    };
+                    if manager == ctx.self_id {
+                        self.handle_coord_rule(rule, ctx.self_id, ctx);
+                    } else {
+                        ctx.send(manager, DistMsg::AddRule { rule });
+                    }
+                }
+            }
+        }
+        let schema = self.schema(instance);
+        // Compensate the compensatable steps: the coordination agent does
+        // not know where each step ran, so it messages *all eligible
+        // agents* of each (§6 Workflow Abort discussion).
+        for def in schema.steps() {
+            if !def.is_compensatable() {
+                continue;
+            }
+            for agent in &def.eligible_agents {
+                let node = self.shared.directory.node_of(*agent);
+                let msg = DistMsg::StepCompensate { instance, step: def.id };
+                if node == ctx.self_id {
+                    let compensated = self.compensate_local(instance, def.id, false, ctx);
+                    let _ = compensated;
+                } else {
+                    ctx.send(node, msg);
+                }
+            }
+        }
+        // Halt the threads of execution starting from the first step.
+        let epoch = {
+            let st = self.inst(instance);
+            st.epoch += 1;
+            st.epoch
+        };
+        self.propagate_halt(instance, schema.start_step(), epoch, &schema, ctx);
+        ctx.send(
+            self.shared.directory.frontend,
+            DistMsg::WorkflowAborted { instance },
+        );
+    }
+
+    fn on_change_inputs(
+        &mut self,
+        instance: InstanceId,
+        new_inputs: Vec<(ItemKey, Value)>,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        self.ensure_instantiated(instance, ctx);
+        self.nav_load(ctx);
+        let reject = {
+            let st = self.inst(instance);
+            st.committed || st.aborted
+        };
+        if reject {
+            ctx.send(
+                self.shared.directory.frontend,
+                DistMsg::WorkflowStatusReply { instance, status: "change-rejected" },
+            );
+            return;
+        }
+        let schema = self.schema(instance);
+        // The rollback origin: the earliest step (topo order) reading any
+        // changed input.
+        let changed: BTreeSet<ItemKey> = new_inputs.iter().map(|(k, _)| *k).collect();
+        let origin = schema
+            .topo_order()
+            .iter()
+            .copied()
+            .find(|s| {
+                schema
+                    .expect_step(*s)
+                    .input_keys()
+                    .iter()
+                    .any(|k| changed.contains(k))
+            })
+            .unwrap_or(schema.start_step());
+        let target = self.node_of_step(instance, &schema, origin);
+        let msg = DistMsg::InputsChanged { instance, origin, new_inputs };
+        if target == ctx.self_id {
+            self.on_inputs_changed(msg, ctx);
+        } else {
+            ctx.send(target, msg);
+        }
+    }
+
+    fn on_inputs_changed(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
+        let DistMsg::InputsChanged { instance, origin, new_inputs } = msg else { return };
+        self.ensure_instantiated(instance, ctx);
+        for (key, value) in new_inputs {
+            self.log(DbOp::DataWritten { instance, key, value: value.clone() });
+            self.inst(instance).data.set(key, value);
+        }
+        self.on_workflow_rollback(instance, origin, false, ctx);
+    }
+
+    // ---- predecessor-failure polling ------------------------------------------
+
+    fn arm_poll(&mut self, ctx: &mut Ctx<DistMsg>) {
+        if self.shared.config.enable_status_polling && !self.poll_armed {
+            self.poll_armed = true;
+            ctx.set_timer(self.shared.config.poll_period, TIMER_POLL);
+        }
+    }
+
+    fn refresh_pending_ages(&mut self, instance: InstanceId, now: u64) {
+        let st = self.inst(instance);
+        let pending: BTreeMap<RuleId, Vec<EventKind>> =
+            st.rules.pending_rules().into_iter().collect();
+        st.pending_since.retain(|id, _| pending.contains_key(id));
+        for id in pending.keys() {
+            st.pending_since.entry(*id).or_insert(now);
+        }
+    }
+
+    fn on_poll_timer(&mut self, ctx: &mut Ctx<DistMsg>) {
+        let timeout = self.shared.config.poll_timeout;
+        let now = ctx.now;
+        let mut polls: Vec<(InstanceId, StepId)> = Vec::new();
+        let mut takeovers: Vec<(InstanceId, StepId)> = Vec::new();
+        let mut live_instances = false;
+        for (&instance, st) in &mut self.instances {
+            if st.committed || st.aborted {
+                continue;
+            }
+            live_instances = true;
+            // Drop stall records for steps that completed meanwhile.
+            st.awaiting_remote
+                .retain(|&s, _| !st.rules.has_event(EventKind::StepDone(s)));
+            st.poll_pending
+                .retain(|&s, _| !st.rules.has_event(EventKind::StepDone(s)));
+            // Overdue remote steps → poll their eligible agents.
+            for (&step, &since) in &st.awaiting_remote {
+                if now.saturating_sub(since) >= timeout && !st.polled.contains(&step) {
+                    polls.push((instance, step));
+                }
+            }
+            // Polls answered only by silence (crashed designee) → escalate.
+            for (&step, &sent) in &st.poll_pending {
+                if now.saturating_sub(sent) >= timeout {
+                    takeovers.push((instance, step));
+                }
+            }
+        }
+        for (instance, step) in polls {
+            {
+                let st = self.inst(instance);
+                st.polled.insert(step);
+                st.poll_pending.insert(step, now);
+            }
+            let schema = self.schema(instance);
+            let def = schema.expect_step(step);
+            for agent in &def.eligible_agents {
+                let node = self.shared.directory.node_of(*agent);
+                if node != ctx.self_id {
+                    ctx.send(node, DistMsg::StepStatus { instance, step });
+                }
+            }
+        }
+        for (instance, step) in takeovers {
+            self.inst(instance).poll_pending.remove(&step);
+            self.try_takeover(instance, step, ctx);
+        }
+        self.poll_armed = false;
+        if live_instances {
+            self.arm_poll(ctx);
+        }
+    }
+
+    /// Take over a stalled *query* step at the first non-designated
+    /// eligible agent (the paper: "the successor agent requests the
+    /// execution of that step ... at one of the available predecessor
+    /// agents"; update steps must wait for the failed agent).
+    fn try_takeover(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<DistMsg>) {
+        let schema = self.schema(instance);
+        let Some(def) = schema.step(step) else { return };
+        if def.kind != crew_model::StepKind::Query {
+            return;
+        }
+        let designated = designated_agent(self.seed(), instance, def);
+        let Some(first_alternate) = def
+            .eligible_agents
+            .iter()
+            .find(|a| **a != designated)
+            .copied()
+        else {
+            return;
+        };
+        let node = self.shared.directory.node_of(first_alternate);
+        if node == ctx.self_id {
+            self.on_execute_request(instance, step, ctx);
+        } else {
+            ctx.send(node, DistMsg::ExecuteRequest { instance, step });
+        }
+    }
+
+    fn on_step_status(&mut self, instance: InstanceId, step: StepId, from: NodeId, ctx: &mut Ctx<DistMsg>) {
+        let status = match self.instances.get(&instance) {
+            None => StepStatusKind::Unknown,
+            Some(st) => match st.history.state(step) {
+                StepState::Done => StepStatusKind::Done,
+                StepState::Failed => StepStatusKind::Failed,
+                StepState::Executing => StepStatusKind::Executing,
+                StepState::NotExecuted | StepState::Compensated => StepStatusKind::Unknown,
+            },
+        };
+        ctx.send(from, DistMsg::StepStatusReply { instance, step, status });
+    }
+
+    fn on_step_status_reply(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        status: StepStatusKind,
+        from: NodeId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
+        let _ = from;
+        match status {
+            StepStatusKind::Done | StepStatusKind::Executing | StepStatusKind::Failed => {
+                // Someone made (or is making) progress: keep waiting; the
+                // packet / failure protocol will reach us.
+                let st = self.inst(instance);
+                st.poll_pending.remove(&step);
+                st.awaiting_remote.remove(&step);
+            }
+            StepStatusKind::Unknown => {
+                let schema = self.schema(instance);
+                let Some(def) = schema.step(step) else { return };
+                // "If the step is designated as an update step then the
+                // successor agent has to wait for the failed agent to come
+                // up. Otherwise ... requests the execution of that step" at
+                // an alternate eligible agent.
+                if def.kind != crew_model::StepKind::Query {
+                    return;
+                }
+                let designated = designated_agent(self.seed(), instance, def);
+                let alternate = def
+                    .eligible_agents
+                    .iter()
+                    .find(|a| **a != designated)
+                    .copied();
+                if let Some(agent) = alternate {
+                    let node = self.shared.directory.node_of(agent);
+                    let msg = DistMsg::ExecuteRequest { instance, step };
+                    if node == ctx.self_id {
+                        self.on_execute_request(instance, step, ctx);
+                    } else {
+                        ctx.send(node, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_execute_request(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<DistMsg>) {
+        self.ensure_instantiated(instance, ctx);
+        let schema = self.schema(instance);
+        let def = schema.expect_step(step).clone();
+        {
+            let st = self.inst(instance);
+            if st.history.state(step) != StepState::NotExecuted {
+                return; // executed / executing here already
+            }
+            st.overrides.insert(step);
+        }
+        // Take over: rules for this step were not installed locally (we are
+        // not designated), so drive the execution directly from the packet
+        // state we hold.
+        self.execute_now(instance, &def, ctx);
+    }
+
+    // ---- purge ------------------------------------------------------------------
+
+    fn on_purge_timer(&mut self, ctx: &mut Ctx<DistMsg>) {
+        if self.purge_queue.is_empty() {
+            return;
+        }
+        let instances = std::mem::take(&mut self.purge_queue);
+        for node in self.shared.directory.agent_nodes().collect::<Vec<_>>() {
+            if node != ctx.self_id {
+                ctx.send(node, DistMsg::PurgeBroadcast { instances: instances.clone() });
+            }
+        }
+        self.apply_purge(&instances);
+    }
+
+    fn apply_purge(&mut self, instances: &[InstanceId]) {
+        for &i in instances {
+            // Keep coordinator records (status serves the front end);
+            // execution agents drop the instance tables.
+            let keep = self.instances.get(&i).is_some_and(|s| s.is_coordinator);
+            if !keep {
+                self.instances.remove(&i);
+                self.log(DbOp::InstancePurged { instance: i });
+            }
+        }
+    }
+
+    // ---- public introspection (tests/harnesses) ---------------------------------
+
+    /// Status of an instance as this agent knows it.
+    pub fn instance_status(&self, instance: InstanceId) -> Option<InstanceStatus> {
+        self.db.status(instance)
+    }
+
+    /// The instance's data table at this agent.
+    pub fn data_of(&self, instance: InstanceId) -> Option<&DataEnv> {
+        self.instances.get(&instance).map(|s| &s.data)
+    }
+
+    /// The instance's execution history at this agent.
+    pub fn history_of(&self, instance: InstanceId) -> Option<&InstanceHistory> {
+        self.instances.get(&instance).map(|s| &s.history)
+    }
+
+    /// Cumulative navigation load.
+    pub fn total_load(&self) -> u64 {
+        self.load
+    }
+
+    /// Diagnostic: mutex manager state at this agent (req → holder, queue).
+    pub fn mutex_debug(&self) -> Vec<(u32, String)> {
+        self.mutexes
+            .iter()
+            .filter(|(_, st)| st.holder.is_some() || !st.queue.is_empty())
+            .map(|(&req, st)| {
+                (
+                    req,
+                    format!("holder {:?} queue {:?}", st.holder, st.queue),
+                )
+            })
+            .collect()
+    }
+
+    /// Diagnostic: coordinator-side commit accounting —
+    /// `(is_coordinator, committed, terminal weights)`.
+    #[allow(clippy::type_complexity)]
+    pub fn coordinator_debug(
+        &self,
+        instance: InstanceId,
+    ) -> Option<(bool, bool, Vec<(StepId, String)>)> {
+        let st = self.instances.get(&instance)?;
+        Some((
+            st.is_coordinator,
+            st.committed,
+            st.terminal_weights
+                .iter()
+                .map(|(&s, w)| (s, w.to_string()))
+                .collect(),
+        ))
+    }
+
+    /// Diagnostic: the instance's pending rules and their missing events at
+    /// this agent (labels + event codes), for stall debugging.
+    pub fn pending_debug(&self, instance: InstanceId) -> Option<String> {
+        let st = self.instances.get(&instance)?;
+        let mut out = String::new();
+        for (id, missing) in st.rules.pending_rules() {
+            let label = st
+                .rules
+                .rule(id)
+                .map(|r| r.label.clone())
+                .unwrap_or_default();
+            let codes: Vec<String> = missing.iter().map(|e| e.code()).collect();
+            out.push_str(&format!("[{label} misses {codes:?}] "));
+        }
+        Some(out.trim_end().to_owned())
+    }
+
+    /// The persisted AGDB projection.
+    pub fn db(&self) -> &AgentDb {
+        &self.db
+    }
+}
+
+/// For requirement `r` and linked pair `(mine, partner)`: which side `mine`
+/// plays (0 = first components, 1 = second) and its ordered conflicting
+/// steps. `None` if `mine` does not participate against `partner`.
+fn ro_side(
+    r: &crew_model::RelativeOrder,
+    mine: InstanceId,
+    partner: InstanceId,
+) -> Option<(u8, Vec<StepId>)> {
+    let a_schema = r.pairs.first()?.0.schema;
+    let b_schema = r.pairs.first()?.1.schema;
+    if mine.schema == a_schema && partner.schema == b_schema {
+        // Same-schema requirements disambiguate by serial: the lower serial
+        // takes side 0.
+        if a_schema == b_schema && mine.serial > partner.serial {
+            return Some((1, r.pairs.iter().map(|(_, b)| b.step).collect()));
+        }
+        Some((0, r.pairs.iter().map(|(a, _)| a.step).collect()))
+    } else if mine.schema == b_schema && partner.schema == a_schema {
+        Some((1, r.pairs.iter().map(|(_, b)| b.step).collect()))
+    } else {
+        None
+    }
+}
+
+/// The partner's ordered steps for the same requirement.
+fn ro_partner_pairs(
+    r: &crew_model::RelativeOrder,
+    mine: InstanceId,
+    partner: InstanceId,
+) -> Vec<StepId> {
+    match ro_side(r, partner, mine) {
+        Some((_, steps)) => steps,
+        None => Vec::new(),
+    }
+}
+
+/// Canonical (side-0 instance, side-1 instance) ordering for tag stability.
+fn ro_canonical(mine: InstanceId, partner: InstanceId, my_side: u8) -> (InstanceId, InstanceId) {
+    if my_side == 0 {
+        (mine, partner)
+    } else {
+        (partner, mine)
+    }
+}
+
+impl Node<DistMsg> for DistAgent {
+    fn on_message(&mut self, from: NodeId, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
+        match msg {
+            DistMsg::WorkflowStart { instance, inputs, parent } => {
+                self.on_workflow_start(instance, inputs, parent, ctx)
+            }
+            DistMsg::WorkflowChangeInputs { instance, new_inputs } => {
+                self.on_change_inputs(instance, new_inputs, ctx)
+            }
+            DistMsg::WorkflowAbort { instance } => self.on_workflow_abort(instance, ctx),
+            DistMsg::WorkflowStatus { instance } => {
+                let status = match self.db.status(instance) {
+                    Some(InstanceStatus::Committed) => "committed",
+                    Some(InstanceStatus::Aborted) => "aborted",
+                    Some(InstanceStatus::Executing) => "executing",
+                    None => "unknown",
+                };
+                ctx.send(from, DistMsg::WorkflowStatusReply { instance, status });
+            }
+            DistMsg::StepExecute { packet } => self.on_packet(packet, ctx),
+            DistMsg::StepCompleted { instance, step, weight_num, weight_den } => {
+                let w = if weight_num == 0 {
+                    Weight::ZERO
+                } else {
+                    Weight::new(weight_num, weight_den)
+                };
+                self.on_step_completed(instance, step, w, ctx);
+            }
+            DistMsg::StateInformation { token } => {
+                ctx.send(from, DistMsg::StateInformationReply { token, load: self.load });
+            }
+            DistMsg::StateInformationReply { token, load } => {
+                self.on_state_information_reply(token, load, from, ctx)
+            }
+            DistMsg::NestedCompleted { .. } => self.on_nested_completed(msg, ctx),
+            DistMsg::InputsChanged { .. } => self.on_inputs_changed(msg, ctx),
+            DistMsg::WorkflowRollback { instance, origin } => {
+                self.on_workflow_rollback(instance, origin, false, ctx)
+            }
+            DistMsg::HaltThread { instance, origin, epoch } => {
+                self.on_halt_thread(instance, origin, epoch, ctx)
+            }
+            DistMsg::StepCompensate { instance, step } => {
+                let compensated = self.compensate_local(instance, step, false, ctx);
+                ctx.send(from, DistMsg::StepCompensateAck { instance, step, compensated });
+            }
+            DistMsg::StepCompensateAck { .. } => {}
+            DistMsg::CompensateSet { .. } => self.on_compensate_set_msg(msg, ctx),
+            DistMsg::CompensateThread { .. } => self.on_compensate_thread_msg(msg, ctx),
+            DistMsg::StepStatus { instance, step } => {
+                self.on_step_status(instance, step, from, ctx)
+            }
+            DistMsg::StepStatusReply { instance, step, status } => {
+                self.on_step_status_reply(instance, step, status, from, ctx)
+            }
+            DistMsg::ExecuteRequest { instance, step } => {
+                self.on_execute_request(instance, step, ctx)
+            }
+            DistMsg::AddRule { rule } => self.handle_coord_rule(rule, from, ctx),
+            DistMsg::AddEvent { instance, tag } => self.on_add_event(instance, tag, ctx),
+            DistMsg::AddPrecondition { instance, step, tag } => {
+                self.add_precondition_local(instance, step, tag);
+                self.fire_rules(instance, ctx);
+            }
+            DistMsg::PurgeBroadcast { instances } => self.apply_purge(&instances),
+            DistMsg::WorkflowStatusReply { .. }
+            | DistMsg::WorkflowCommitted { .. }
+            | DistMsg::WorkflowAborted { .. } => {
+                // Front-end bound; ignore if misrouted.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Ctx<DistMsg>) {
+        match timer {
+            TIMER_POLL => self.on_poll_timer(ctx),
+            TIMER_PURGE => self.on_purge_timer(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Fail-stop: volatile state is lost; the AGDB (WAL) survives.
+        self.instances.clear();
+        self.templates.clear();
+        self.ro_decisions.clear();
+        self.mutexes.clear();
+        self.poll_armed = false;
+    }
+
+    fn on_recover(&mut self, _ctx: &mut Ctx<DistMsg>) {
+        // Forward recovery: rebuild the persisted projection from the WAL.
+        // Volatile navigation state (rule sets, histories) is rebuilt from
+        // the projection lazily as packets arrive; completed-step facts are
+        // restored here so StepStatus polls answer correctly.
+        let ops = self.wal.recover().expect("in-memory WAL recovery");
+        self.db = AgentDb::replay(ops.iter());
+        for (&instance, table) in
+            self.db.instances().map(|(i, t)| (i, t.clone())).collect::<Vec<_>>().iter()
+        {
+            let st = self.instances.entry(instance).or_default();
+            st.data = table.data.clone();
+            for (step, (state, attempt, outputs)) in &table.steps {
+                match state {
+                    StoredStepState::Done => {
+                        for _ in 0..*attempt {
+                            st.history.begin_attempt(*step);
+                        }
+                        st.history.record_done(*step, *attempt, vec![], outputs.clone());
+                    }
+                    StoredStepState::Failed => {
+                        st.history.begin_attempt(*step);
+                        st.history.record_failed(*step);
+                    }
+                    StoredStepState::Compensated => {
+                        st.history.begin_attempt(*step);
+                        st.history.record_done(*step, *attempt, vec![], outputs.clone());
+                        st.history.record_compensated(*step);
+                    }
+                    StoredStepState::Executing => {}
+                }
+            }
+            if let Some(status) = self.db.status(instance) {
+                st.is_coordinator = true;
+                st.committed = status == InstanceStatus::Committed;
+                st.aborted = status == InstanceStatus::Aborted;
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,403 @@
+//! The distributed control wire protocol: every Workflow Interface of the
+//! paper's Table 1 as a message variant, plus the replies and notifications
+//! the protocols need.
+//!
+//! Message classification (Table 2) drives the per-mechanism counters of
+//! the §6 analysis: `StepExecute`/`StepCompleted`/`StateInformation`/
+//! `WorkflowStart`/`WorkflowStatus` are *normal execution*;
+//! `WorkflowRollback`/`HaltThread`/`StepCompensate`/`CompensateSet`/
+//! `StepStatus` are *failure handling*; `WorkflowChangeInputs`/
+//! `InputsChanged` are *input change*; `WorkflowAbort` is *abort*;
+//! `AddRule`/`AddEvent`/`AddPrecondition` are *coordinated execution*.
+
+use crate::packet::WorkflowPacket;
+use crew_model::{InstanceId, ItemKey, StepId, Value};
+use crew_simnet::{Classify, Mechanism};
+
+/// Reply to a `StepStatus` poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatusKind {
+    /// This agent knows nothing about that step execution.
+    Unknown,
+    /// This agent is (or is about to be) executing it.
+    Executing,
+    /// This agent completed it.
+    Done,
+    /// This agent saw it fail.
+    Failed,
+}
+
+/// Why a coordination message is being sent (labels the `AddRule` protocol
+/// roles of Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordRule {
+    /// Relative order: the linked pair's first conflicting step finished on
+    /// the sender's side; the receiving arbiter decides leading/lagging.
+    RoFirstDone {
+        /// Requirement id.
+        req: u32,
+        /// The instance on whose behalf the claim is made.
+        claimant: InstanceId,
+        /// The partner instance (owns the arbiter step).
+        partner: InstanceId,
+    },
+    /// Mutual exclusion: request the resource for `holder` step of
+    /// `instance`.
+    MutexAcquire { req: u32, instance: InstanceId, step: StepId },
+    /// Mutual exclusion: release the resource.
+    MutexRelease { req: u32, instance: InstanceId, step: StepId },
+    /// Relative order: the arbiter instructs the *leading* side's agent to
+    /// inject `tag` at the lagging side once `local_step` completes.
+    RoNotify {
+        req: u32,
+        /// Leading instance the wiring is installed for.
+        instance: InstanceId,
+        /// The leading step whose completion triggers the notification.
+        local_step: StepId,
+        /// Tag to inject at the lagging side.
+        tag: u64,
+        /// Lagging instance.
+        target_instance: InstanceId,
+        /// Lagging step waiting on the tag.
+        target_step: StepId,
+    },
+}
+
+/// The distributed-control message set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistMsg {
+    // ---- front end ↔ coordination agent (Table 1, rows 1-4) ----
+    /// Instantiate a workflow (front end → coordination agent; also parent
+    /// agent → child coordination agent for nested workflows, carrying the
+    /// parent linkage).
+    WorkflowStart {
+        instance: InstanceId,
+        inputs: Vec<(ItemKey, Value)>,
+        parent: Option<(InstanceId, StepId)>,
+    },
+    /// User changes the inputs of a running workflow.
+    WorkflowChangeInputs {
+        instance: InstanceId,
+        new_inputs: Vec<(ItemKey, Value)>,
+    },
+    /// User aborts a running workflow.
+    WorkflowAbort { instance: InstanceId },
+    /// Status query.
+    WorkflowStatus { instance: InstanceId },
+    /// Status answer (coordination agent → front end).
+    WorkflowStatusReply {
+        instance: InstanceId,
+        status: &'static str,
+    },
+    /// Commit notification (coordination agent → front end).
+    WorkflowCommitted { instance: InstanceId },
+    /// Abort notification (coordination agent → front end).
+    WorkflowAborted { instance: InstanceId },
+
+    // ---- agent ↔ agent: normal execution ----
+    /// The workflow packet (Table 1 `StepExecute`).
+    StepExecute { packet: WorkflowPacket },
+    /// Terminal-step completion report (termination → coordination agent),
+    /// carrying the packet's thread-accounting weight.
+    StepCompleted {
+        instance: InstanceId,
+        step: StepId,
+        weight_num: u64,
+        weight_den: u64,
+    },
+    /// Load/state query used by successor-selection (`StateInformation`).
+    StateInformation { token: u64 },
+    /// Reply with the agent's current load.
+    StateInformationReply { token: u64, load: u64 },
+    /// Nested workflow completed: child coordination agent hands control
+    /// back to the parent-side agent (§4.2 nested workflows).
+    NestedCompleted {
+        parent: InstanceId,
+        parent_step: StepId,
+        child: InstanceId,
+        outputs: Vec<Value>,
+    },
+
+    // ---- agent ↔ agent: failure handling ----
+    /// Coordination agent propagates an input change to the rollback
+    /// origin's agent.
+    InputsChanged {
+        instance: InstanceId,
+        origin: StepId,
+        new_inputs: Vec<(ItemKey, Value)>,
+    },
+    /// Roll the workflow back to `origin` (failing agent → origin agent).
+    WorkflowRollback { instance: InstanceId, origin: StepId },
+    /// Halt probe: quiesce control flow downstream of `origin`, adopting
+    /// `epoch` (§5.2).
+    HaltThread {
+        instance: InstanceId,
+        origin: StepId,
+        epoch: u32,
+    },
+    /// Compensate one step (coordination agent → executing agent on user
+    /// abort).
+    StepCompensate { instance: InstanceId, step: StepId },
+    /// Acknowledgement of a `StepCompensate` (compensated or not-executed).
+    StepCompensateAck {
+        instance: InstanceId,
+        step: StepId,
+        compensated: bool,
+    },
+    /// Compensate a dependent set in reverse execution order: the receiver
+    /// compensates the last executed member in `steps`, removes it, and
+    /// forwards (§5.2).
+    CompensateSet {
+        instance: InstanceId,
+        origin: StepId,
+        steps: Vec<StepId>,
+    },
+    /// Walk an abandoned if-then-else branch compensating every executed
+    /// step before the confluence (§5.2).
+    CompensateThread {
+        instance: InstanceId,
+        steps: Vec<StepId>,
+    },
+    /// Poll the status of a step at its eligible agents (predecessor-crash
+    /// recovery).
+    StepStatus { instance: InstanceId, step: StepId },
+    /// Status poll reply.
+    StepStatusReply {
+        instance: InstanceId,
+        step: StepId,
+        status: StepStatusKind,
+    },
+    /// Ask an alternate eligible agent to take over a (query) step whose
+    /// designated executor is unreachable.
+    ExecuteRequest { instance: InstanceId, step: StepId },
+
+    // ---- coordinated execution (AddRule / AddEvent / AddPrecondition) ----
+    /// Install a coordination rule at the receiving agent (Figure 4).
+    AddRule { rule: CoordRule },
+    /// Inject an external event into the receiver's rule set for
+    /// `instance`.
+    AddEvent { instance: InstanceId, tag: u64 },
+    /// Require `tag` before `step` of `instance` may fire at the receiver.
+    AddPrecondition {
+        instance: InstanceId,
+        step: StepId,
+        tag: u64,
+    },
+
+    // ---- infrastructure ----
+    /// Periodic committed-instance purge broadcast (§4.2).
+    PurgeBroadcast { instances: Vec<InstanceId> },
+}
+
+impl Classify for DistMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            DistMsg::WorkflowStart { .. } => "WorkflowStart",
+            DistMsg::WorkflowChangeInputs { .. } => "WorkflowChangeInputs",
+            DistMsg::WorkflowAbort { .. } => "WorkflowAbort",
+            DistMsg::WorkflowStatus { .. } => "WorkflowStatus",
+            DistMsg::WorkflowStatusReply { .. } => "WorkflowStatusReply",
+            DistMsg::WorkflowCommitted { .. } => "WorkflowCommitted",
+            DistMsg::WorkflowAborted { .. } => "WorkflowAborted",
+            DistMsg::StepExecute { .. } => "StepExecute",
+            DistMsg::StepCompleted { .. } => "StepCompleted",
+            DistMsg::StateInformation { .. } => "StateInformation",
+            DistMsg::StateInformationReply { .. } => "StateInformationReply",
+            DistMsg::NestedCompleted { .. } => "NestedCompleted",
+            DistMsg::InputsChanged { .. } => "InputsChanged",
+            DistMsg::WorkflowRollback { .. } => "WorkflowRollback",
+            DistMsg::HaltThread { .. } => "HaltThread",
+            DistMsg::StepCompensate { .. } => "StepCompensate",
+            DistMsg::StepCompensateAck { .. } => "StepCompensateAck",
+            DistMsg::CompensateSet { .. } => "CompensateSet",
+            DistMsg::CompensateThread { .. } => "CompensateThread",
+            DistMsg::StepStatus { .. } => "StepStatus",
+            DistMsg::StepStatusReply { .. } => "StepStatusReply",
+            DistMsg::ExecuteRequest { .. } => "ExecuteRequest",
+            DistMsg::AddRule { .. } => "AddRule",
+            DistMsg::AddEvent { .. } => "AddEvent",
+            DistMsg::AddPrecondition { .. } => "AddPrecondition",
+            DistMsg::PurgeBroadcast { .. } => "PurgeBroadcast",
+        }
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        match self {
+            DistMsg::WorkflowStart { .. }
+            | DistMsg::WorkflowStatus { .. }
+            | DistMsg::WorkflowStatusReply { .. }
+            | DistMsg::WorkflowCommitted { .. }
+            | DistMsg::StepExecute { .. }
+            | DistMsg::StepCompleted { .. }
+            | DistMsg::StateInformation { .. }
+            | DistMsg::StateInformationReply { .. }
+            | DistMsg::NestedCompleted { .. } => Mechanism::Normal,
+            DistMsg::WorkflowChangeInputs { .. } | DistMsg::InputsChanged { .. } => {
+                Mechanism::InputChange
+            }
+            DistMsg::WorkflowAbort { .. }
+            | DistMsg::WorkflowAborted { .. }
+            | DistMsg::StepCompensate { .. }
+            | DistMsg::StepCompensateAck { .. } => Mechanism::Abort,
+            DistMsg::WorkflowRollback { .. }
+            | DistMsg::HaltThread { .. }
+            | DistMsg::CompensateSet { .. }
+            | DistMsg::CompensateThread { .. }
+            | DistMsg::StepStatus { .. }
+            | DistMsg::StepStatusReply { .. }
+            | DistMsg::ExecuteRequest { .. } => Mechanism::FailureHandling,
+            DistMsg::AddRule { .. }
+            | DistMsg::AddEvent { .. }
+            | DistMsg::AddPrecondition { .. } => Mechanism::CoordinatedExecution,
+            DistMsg::PurgeBroadcast { .. } => Mechanism::Control,
+        }
+    }
+
+    fn instance(&self) -> Option<InstanceId> {
+        match self {
+            DistMsg::WorkflowStart { instance, .. }
+            | DistMsg::WorkflowChangeInputs { instance, .. }
+            | DistMsg::WorkflowAbort { instance }
+            | DistMsg::WorkflowStatus { instance }
+            | DistMsg::WorkflowStatusReply { instance, .. }
+            | DistMsg::WorkflowCommitted { instance }
+            | DistMsg::WorkflowAborted { instance }
+            | DistMsg::StepCompleted { instance, .. }
+            | DistMsg::InputsChanged { instance, .. }
+            | DistMsg::WorkflowRollback { instance, .. }
+            | DistMsg::HaltThread { instance, .. }
+            | DistMsg::StepCompensate { instance, .. }
+            | DistMsg::StepCompensateAck { instance, .. }
+            | DistMsg::CompensateSet { instance, .. }
+            | DistMsg::CompensateThread { instance, .. }
+            | DistMsg::StepStatus { instance, .. }
+            | DistMsg::StepStatusReply { instance, .. }
+            | DistMsg::ExecuteRequest { instance, .. }
+            | DistMsg::AddEvent { instance, .. }
+            | DistMsg::AddPrecondition { instance, .. } => Some(*instance),
+            DistMsg::StepExecute { packet } => Some(packet.instance),
+            DistMsg::NestedCompleted { parent, .. } => Some(*parent),
+            DistMsg::AddRule { rule } => match rule {
+                CoordRule::RoFirstDone { claimant, .. } => Some(*claimant),
+                CoordRule::MutexAcquire { instance, .. }
+                | CoordRule::MutexRelease { instance, .. }
+                | CoordRule::RoNotify { instance, .. } => Some(*instance),
+            },
+            DistMsg::StateInformation { .. }
+            | DistMsg::StateInformationReply { .. }
+            | DistMsg::PurgeBroadcast { .. } => None,
+        }
+    }
+
+    fn approx_size(&self) -> usize {
+        match self {
+            DistMsg::StepExecute { packet } => packet.approx_size(),
+            other => std::mem::size_of_val(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    fn inst() -> InstanceId {
+        InstanceId::new(SchemaId(2), 4)
+    }
+
+    #[test]
+    fn mechanisms_match_table2() {
+        use Mechanism::*;
+        let cases: Vec<(DistMsg, Mechanism)> = vec![
+            (
+                DistMsg::WorkflowStart { instance: inst(), inputs: vec![], parent: None },
+                Normal,
+            ),
+            (DistMsg::WorkflowStatus { instance: inst() }, Normal),
+            (
+                DistMsg::StepCompleted {
+                    instance: inst(),
+                    step: StepId(1),
+                    weight_num: 1,
+                    weight_den: 1,
+                },
+                Normal,
+            ),
+            (DistMsg::StateInformation { token: 0 }, Normal),
+            (
+                DistMsg::WorkflowChangeInputs { instance: inst(), new_inputs: vec![] },
+                InputChange,
+            ),
+            (
+                DistMsg::InputsChanged {
+                    instance: inst(),
+                    origin: StepId(1),
+                    new_inputs: vec![],
+                },
+                InputChange,
+            ),
+            (DistMsg::WorkflowAbort { instance: inst() }, Abort),
+            (DistMsg::StepCompensate { instance: inst(), step: StepId(1) }, Abort),
+            (
+                DistMsg::WorkflowRollback { instance: inst(), origin: StepId(2) },
+                FailureHandling,
+            ),
+            (
+                DistMsg::HaltThread { instance: inst(), origin: StepId(2), epoch: 1 },
+                FailureHandling,
+            ),
+            (
+                DistMsg::CompensateSet {
+                    instance: inst(),
+                    origin: StepId(2),
+                    steps: vec![],
+                },
+                FailureHandling,
+            ),
+            (DistMsg::StepStatus { instance: inst(), step: StepId(1) }, FailureHandling),
+            (DistMsg::AddEvent { instance: inst(), tag: 1 }, CoordinatedExecution),
+            (
+                DistMsg::AddPrecondition { instance: inst(), step: StepId(1), tag: 1 },
+                CoordinatedExecution,
+            ),
+            (
+                DistMsg::AddRule {
+                    rule: CoordRule::MutexAcquire {
+                        req: 0,
+                        instance: inst(),
+                        step: StepId(1),
+                    },
+                },
+                CoordinatedExecution,
+            ),
+            (DistMsg::PurgeBroadcast { instances: vec![] }, Control),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(msg.mechanism(), want, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn instances_attributed() {
+        let p = crate::packet::WorkflowPacket::initial(inst(), StepId(1), Default::default());
+        assert_eq!(DistMsg::StepExecute { packet: p }.instance(), Some(inst()));
+        assert_eq!(DistMsg::StateInformation { token: 1 }.instance(), None);
+        assert_eq!(
+            DistMsg::AddRule {
+                rule: CoordRule::RoFirstDone { req: 0, claimant: inst(), partner: inst() }
+            }
+            .instance(),
+            Some(inst())
+        );
+    }
+
+    #[test]
+    fn kinds_are_stable_names() {
+        assert_eq!(DistMsg::WorkflowAbort { instance: inst() }.kind(), "WorkflowAbort");
+        assert_eq!(
+            DistMsg::HaltThread { instance: inst(), origin: StepId(1), epoch: 0 }.kind(),
+            "HaltThread"
+        );
+    }
+}

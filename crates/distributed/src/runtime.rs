@@ -1,0 +1,210 @@
+//! Deployment-wide runtime knowledge shared by every distributed agent:
+//! the node directory, designated-executor selection, and configuration.
+
+use crew_exec::{hash, Deployment};
+use crew_model::{AgentId, InstanceId, StepDef, StepId, WorkflowSchema};
+use crew_simnet::NodeId;
+use std::sync::Arc;
+
+/// Maps the logical deployment (agents, front end) to simulator nodes.
+/// Agents occupy node ids `0..agents`; the front-end database is the next
+/// node.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    /// Number of agents (the paper's `z`).
+    pub agents: u32,
+    /// Node id of the front-end database.
+    pub frontend: NodeId,
+}
+
+impl Directory {
+    pub fn new(agents: u32) -> Self {
+        Directory { agents, frontend: NodeId(agents) }
+    }
+
+    /// Node hosting `agent`.
+    pub fn node_of(&self, agent: AgentId) -> NodeId {
+        debug_assert!(agent.0 < self.agents, "agent {agent} outside pool");
+        NodeId(agent.0)
+    }
+
+    /// All agent node ids.
+    pub fn agent_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.agents).map(NodeId)
+    }
+}
+
+/// How the executor of a multi-eligible step is chosen (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuccessorSelection {
+    /// Deterministic rendezvous hash over the eligible agents: zero
+    /// selection messages (the default used by the experiments).
+    #[default]
+    DesignatedHash,
+    /// The paper's two-phase scheme: the predecessor polls
+    /// `StateInformation` of every eligible agent and forwards to the
+    /// least-loaded one. Costs 2·(a−1) extra messages per selected step;
+    /// applies to single-predecessor steps (confluence steps fall back to
+    /// the deterministic hash, standing in for the paper's successor
+    /// leader election). Intended for the successor-selection ablation;
+    /// the recovery protocols keep routing by the deterministic hash.
+    LoadBalanced,
+}
+
+/// Tunables of the distributed run-time.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Enable the pending-rule timeout + `StepStatus` polling protocol
+    /// (predecessor-failure recovery, §5.2). Off by default because the
+    /// periodic timer keeps the simulation from quiescing early in
+    /// happy-path experiments.
+    pub enable_status_polling: bool,
+    /// Period of the pending-rule scan timer.
+    pub poll_period: u64,
+    /// Age after which a single-event-blocked rule triggers a poll.
+    pub poll_timeout: u64,
+    /// If set, coordination agents broadcast committed-instance purges with
+    /// this period (§4.2).
+    pub purge_period: Option<u64>,
+    /// Piggyback relative-ordering tags on workflow packets (§5.1). The
+    /// ablation bench disables this to send them as separate messages.
+    pub piggyback_ro: bool,
+    /// Default retry budget for steps without an explicit rollback spec.
+    pub default_max_attempts: u32,
+    /// Successor-selection strategy for multi-eligible steps.
+    pub successor_selection: SuccessorSelection,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            enable_status_polling: false,
+            poll_period: 50,
+            poll_timeout: 100,
+            purge_period: None,
+            piggyback_ro: true,
+            default_max_attempts: 3,
+            successor_selection: SuccessorSelection::default(),
+        }
+    }
+}
+
+/// The designated executor of a step execution: a deterministic rendezvous
+/// hash over the eligible agents, keyed by (deployment seed, instance,
+/// step). Every agent computes the same answer with zero messages; the
+/// workflow packet is broadcast to all eligible agents (the paper sends the
+/// packet to every agent responsible for a succeeding step), and only the
+/// designated one executes. The `StateInformation`-based two-phase/leader
+/// election selection of §4.2 exists as an alternative mode in the
+/// successor-selection ablation.
+pub fn designated_agent(seed: u64, instance: InstanceId, def: &StepDef) -> AgentId {
+    let e = &def.eligible_agents;
+    assert!(!e.is_empty(), "step {} has no eligible agents", def.id);
+    let h = hash::combine(
+        seed,
+        &[
+            instance.schema.0 as u64,
+            instance.serial as u64,
+            def.id.0 as u64,
+        ],
+    );
+    e[(h % e.len() as u64) as usize]
+}
+
+/// The coordination agent of an instance: the designated executor of its
+/// start step (§4.1: "typically the agent responsible for executing the
+/// first step of the workflow").
+pub fn coordination_agent(
+    seed: u64,
+    instance: InstanceId,
+    schema: &WorkflowSchema,
+) -> AgentId {
+    designated_agent(seed, instance, schema.expect_step(schema.start_step()))
+}
+
+/// Child instance id for a nested workflow launched by `parent` at
+/// `step`. Deterministic and collision-free for the serial ranges the
+/// harnesses use (serials < 2^20, steps < 2^10).
+pub fn nested_instance_serial(parent: InstanceId, step: StepId) -> u32 {
+    parent
+        .serial
+        .wrapping_mul(1009)
+        .wrapping_add(step.0)
+        .wrapping_add(0x4000_0000)
+}
+
+/// Convenience: all deployment schemas' eligible agents must fit the pool.
+pub fn validate_pool(deployment: &Deployment, directory: &Directory) {
+    for schema in deployment.schemas.values() {
+        for def in schema.steps() {
+            for a in &def.eligible_agents {
+                assert!(
+                    a.0 < directory.agents,
+                    "step {} of {} names agent {a} outside the pool of {}",
+                    def.id,
+                    schema.id,
+                    directory.agents
+                );
+            }
+        }
+    }
+}
+
+/// Shared read-only context every agent holds.
+#[derive(Debug, Clone)]
+pub struct SharedCtx {
+    pub deployment: Arc<Deployment>,
+    pub directory: Directory,
+    pub config: DistConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::{SchemaBuilder, SchemaId};
+
+    #[test]
+    fn directory_layout() {
+        let d = Directory::new(5);
+        assert_eq!(d.node_of(AgentId(3)), NodeId(3));
+        assert_eq!(d.frontend, NodeId(5));
+        assert_eq!(d.agent_nodes().count(), 5);
+    }
+
+    #[test]
+    fn designation_is_deterministic_and_eligible() {
+        let mut def = StepDef::new(StepId(2), "X", "p");
+        def.eligible_agents = vec![AgentId(1), AgentId(4), AgentId(7)];
+        let inst = InstanceId::new(SchemaId(1), 3);
+        let a = designated_agent(9, inst, &def);
+        assert_eq!(a, designated_agent(9, inst, &def));
+        assert!(def.eligible_agents.contains(&a));
+        // Spread: different instances land on different agents eventually.
+        let distinct: std::collections::BTreeSet<AgentId> = (0..50)
+            .map(|n| designated_agent(9, InstanceId::new(SchemaId(1), n), &def))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn coordination_agent_is_start_designee() {
+        let mut b = SchemaBuilder::new(SchemaId(1), "x");
+        let s1 = b.add_step("A", "p");
+        let s2 = b.add_step("B", "p");
+        b.seq(s1, s2);
+        b.configure(s1, |d| d.eligible_agents = vec![AgentId(2)]);
+        b.configure(s2, |d| d.eligible_agents = vec![AgentId(3)]);
+        let schema = b.build().unwrap();
+        let inst = InstanceId::new(SchemaId(1), 1);
+        assert_eq!(coordination_agent(7, inst, &schema), AgentId(2));
+    }
+
+    #[test]
+    fn nested_serials_distinct() {
+        let p = InstanceId::new(SchemaId(1), 5);
+        let a = nested_instance_serial(p, StepId(2));
+        let b = nested_instance_serial(p, StepId(3));
+        assert_ne!(a, b);
+        assert_ne!(a, nested_instance_serial(InstanceId::new(SchemaId(1), 6), StepId(2)));
+    }
+}

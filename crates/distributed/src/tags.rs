@@ -1,0 +1,65 @@
+//! External-event tag allocation for coordinated execution.
+//!
+//! The coordination protocols exchange opaque `u64` event tags through the
+//! `AddEvent`/`AddPrecondition` interfaces. Both sides of a requirement
+//! must derive identical tags independently, so tags are pure hashes of the
+//! requirement identity, the pair index and the two instance serials.
+
+use crew_exec::hash::combine;
+use crew_model::{InstanceId, StepId};
+
+const KIND_RO_GUARD: u64 = 1;
+const KIND_MUTEX_GRANT: u64 = 2;
+
+fn instance_parts(i: InstanceId) -> [u64; 2] {
+    [i.schema.0 as u64, i.serial as u64]
+}
+
+/// Guard tag blocking pair `k` (0-based, `k >= 1`) of relative-order
+/// requirement `req` between linked instances `a` and `b`, on the given
+/// side (`0` = the side of the requirement's first components, `1` = the
+/// other). Released by the arbiter (leading side) or by the leading
+/// partner's completion (lagging side).
+pub fn ro_guard(req: u32, k: usize, side: u8, a: InstanceId, b: InstanceId) -> u64 {
+    let [a0, a1] = instance_parts(a);
+    let [b0, b1] = instance_parts(b);
+    combine(
+        KIND_RO_GUARD,
+        &[req as u64, k as u64, side as u64, a0, a1, b0, b1],
+    )
+}
+
+/// Grant tag for mutual-exclusion requirement `req` held on behalf of
+/// `(instance, step)`.
+pub fn mutex_grant(req: u32, instance: InstanceId, step: StepId) -> u64 {
+    let [i0, i1] = instance_parts(instance);
+    combine(KIND_MUTEX_GRANT, &[req as u64, i0, i1, step.0 as u64])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    fn inst(s: u32, n: u32) -> InstanceId {
+        InstanceId::new(SchemaId(s), n)
+    }
+
+    #[test]
+    fn tags_distinct_across_parameters() {
+        let a = inst(1, 1);
+        let b = inst(2, 1);
+        let t1 = ro_guard(0, 1, 0, a, b);
+        assert_eq!(t1, ro_guard(0, 1, 0, a, b), "deterministic");
+        assert_ne!(t1, ro_guard(0, 1, 1, a, b), "side matters");
+        assert_ne!(t1, ro_guard(0, 2, 0, a, b), "pair index matters");
+        assert_ne!(t1, ro_guard(1, 1, 0, a, b), "requirement matters");
+        assert_ne!(t1, ro_guard(0, 1, 0, a, inst(2, 2)), "instances matter");
+        assert_ne!(
+            mutex_grant(0, a, StepId(1)),
+            mutex_grant(0, a, StepId(2)),
+            "step matters for mutex"
+        );
+        assert_ne!(t1, mutex_grant(0, a, StepId(1)), "kinds partition the space");
+    }
+}

@@ -1,0 +1,165 @@
+//! Deployment description shared by all three control architectures.
+//!
+//! A [`Deployment`] bundles everything static about a run: the workflow
+//! schemas, the coordinated-execution requirements, the program registry,
+//! the failure plan, the navigation-load constant (the paper's `l`) and the
+//! run seed. Engine builders consume it to lay out nodes; the analysis
+//! crate derives the paper's parameters from it.
+
+use crate::failure::FailurePlan;
+use crate::program::ProgramRegistry;
+use crew_model::{CoordinationSpec, InstanceId, SchemaId, WorkflowSchema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Links between concurrent instances that relative-ordering requirements
+/// apply to (the WF1/WF2 pairing of Figure 2). The run harness declares
+/// which instance pairs are "concurrent over the same resources".
+#[derive(Debug, Clone, Default)]
+pub struct RelOrderLinks {
+    pairs: Vec<(InstanceId, InstanceId)>,
+}
+
+impl RelOrderLinks {
+    /// Create a new, empty value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare `a` and `b` as a coordinated pair.
+    pub fn link(&mut self, a: InstanceId, b: InstanceId) {
+        self.pairs.push((a, b));
+    }
+
+    /// All partners linked with `i` (in either position).
+    pub fn partners_of(&self, i: InstanceId) -> Vec<InstanceId> {
+        self.pairs
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == i {
+                    Some(b)
+                } else if b == i {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Iterate over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(InstanceId, InstanceId)> {
+        self.pairs.iter()
+    }
+
+    /// `true` when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Everything static about a run.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// All workflow schemas, by id.
+    pub schemas: BTreeMap<SchemaId, Arc<WorkflowSchema>>,
+    /// Coordinated-execution requirements across the schemas.
+    pub coordination: CoordinationSpec,
+    /// Instance pairs the relative-order requirements bind.
+    pub ro_links: RelOrderLinks,
+    /// Program implementations.
+    pub registry: ProgramRegistry,
+    /// Failure/perturbation injection.
+    pub plan: FailurePlan,
+    /// The paper's `l`: abstract navigation instructions charged at the
+    /// node that schedules/navigates one step.
+    pub nav_load: u64,
+    /// Run seed (latency draws, load-balancing hashes, program draws).
+    pub seed: u64,
+}
+
+impl Deployment {
+    /// A deployment over `schemas` with built-in programs, no failures and
+    /// defaults everywhere else.
+    pub fn new(schemas: impl IntoIterator<Item = WorkflowSchema>) -> Self {
+        Deployment {
+            schemas: schemas
+                .into_iter()
+                .map(|s| (s.id, Arc::new(s)))
+                .collect(),
+            coordination: CoordinationSpec::default(),
+            ro_links: RelOrderLinks::new(),
+            registry: ProgramRegistry::with_builtins(),
+            plan: FailurePlan::none(),
+            nav_load: 100,
+            seed: 0,
+        }
+    }
+
+    /// Schema.
+    pub fn schema(&self, id: SchemaId) -> Option<&Arc<WorkflowSchema>> {
+        self.schemas.get(&id)
+    }
+
+    /// Schema lookup that panics on unknown ids — deployment wiring bugs.
+    pub fn expect_schema(&self, id: SchemaId) -> &Arc<WorkflowSchema> {
+        self.schemas
+            .get(&id)
+            .unwrap_or_else(|| panic!("deployment has no schema {id}"))
+    }
+
+    /// Highest agent id referenced by any step's eligibility list, plus
+    /// one — the size of the agent pool the deployment needs.
+    pub fn agent_pool_size(&self) -> u32 {
+        self.schemas
+            .values()
+            .flat_map(|s| s.steps())
+            .flat_map(|d| &d.eligible_agents)
+            .map(|a| a.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::{AgentId, SchemaBuilder};
+
+    fn schema(id: u32, agents: &[u32]) -> WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(id), format!("wf{id}"));
+        let s1 = b.add_step("A", "passthrough");
+        let s2 = b.add_step("B", "passthrough");
+        b.seq(s1, s2);
+        b.configure(s1, |d| {
+            d.eligible_agents = agents.iter().map(|&a| AgentId(a)).collect()
+        });
+        b.configure(s2, |d| {
+            d.eligible_agents = agents.iter().map(|&a| AgentId(a)).collect()
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pool_size_covers_all_agents() {
+        let d = Deployment::new([schema(1, &[0, 3]), schema(2, &[1])]);
+        assert_eq!(d.agent_pool_size(), 4);
+        assert!(d.schema(SchemaId(1)).is_some());
+        assert!(d.schema(SchemaId(9)).is_none());
+    }
+
+    #[test]
+    fn ro_links_partner_lookup() {
+        let mut links = RelOrderLinks::new();
+        let a = InstanceId::new(SchemaId(1), 1);
+        let b = InstanceId::new(SchemaId(2), 2);
+        let c = InstanceId::new(SchemaId(2), 3);
+        links.link(a, b);
+        links.link(c, a);
+        assert_eq!(links.partners_of(a), vec![b, c]);
+        assert_eq!(links.partners_of(b), vec![a]);
+        assert!(links.partners_of(InstanceId::new(SchemaId(9), 9)).is_empty());
+        assert_eq!(links.iter().count(), 2);
+        assert!(!links.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Failure and perturbation injection.
+//!
+//! The paper's analysis (§6, Table 3) is parameterized by the probability of
+//! logical step failure (`pf`), workflow input change (`pi`), workflow abort
+//! (`pa`) and step re-execution on revisit (`pr`). A [`FailurePlan`] turns
+//! those probabilities — or explicit scripted events — into deterministic
+//! per-(instance, step, attempt) decisions, so identical runs reproduce
+//! identical failure patterns.
+
+use crate::hash;
+use crew_model::{InstanceId, StepId};
+use std::collections::BTreeSet;
+
+/// Deterministic source of injected logical failures and user actions.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// Seed that keys every probabilistic draw.
+    pub seed: u64,
+    /// Probability that a step execution fails (`pf`). Applied per
+    /// (instance, step); a failing step fails only on its *first* attempt,
+    /// so a rollback + re-execution makes progress (matching the paper's
+    /// model where one failure triggers one rollback of `r` steps).
+    pub pf: f64,
+    /// Probability that a user changes the inputs of a workflow while it is
+    /// in progress (`pi`). Applied per instance.
+    pub pi: f64,
+    /// Probability that a user aborts a workflow while it is in progress
+    /// (`pa`). Applied per instance.
+    pub pa: f64,
+    /// Probability that a rolled-back step's inputs have effectively changed
+    /// so OCR must re-execute it (`pr`). Applied per (instance, step).
+    pub pr: f64,
+    /// Scripted failures: (instance, step, attempt) triples that fail
+    /// regardless of `pf`.
+    pub scripted_failures: BTreeSet<(InstanceId, StepId, u32)>,
+    /// Scripted input changes: instances whose inputs a user changes.
+    pub scripted_input_changes: BTreeSet<InstanceId>,
+    /// Scripted aborts: instances a user aborts mid-flight.
+    pub scripted_aborts: BTreeSet<InstanceId>,
+}
+
+impl FailurePlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// A plan with the given probabilities and seed, no scripted events.
+    pub fn probabilistic(seed: u64, pf: f64, pi: f64, pa: f64, pr: f64) -> Self {
+        FailurePlan { seed, pf, pi, pa, pr, ..FailurePlan::default() }
+    }
+
+    /// Script a failure of `step` in `instance` on `attempt`.
+    pub fn fail_step(mut self, instance: InstanceId, step: StepId, attempt: u32) -> Self {
+        self.scripted_failures.insert((instance, step, attempt));
+        self
+    }
+
+    /// Script a user input change for `instance`.
+    pub fn change_inputs(mut self, instance: InstanceId) -> Self {
+        self.scripted_input_changes.insert(instance);
+        self
+    }
+
+    /// Script a user abort for `instance`.
+    pub fn abort(mut self, instance: InstanceId) -> Self {
+        self.scripted_aborts.insert(instance);
+        self
+    }
+
+    fn parts(instance: InstanceId, step: StepId, salt: u64) -> [u64; 4] {
+        [
+            instance.schema.0 as u64,
+            instance.serial as u64,
+            step.0 as u64,
+            salt,
+        ]
+    }
+
+    /// Should this execution of `step` fail?
+    pub fn step_fails(&self, instance: InstanceId, step: StepId, attempt: u32) -> bool {
+        if self.scripted_failures.contains(&(instance, step, attempt)) {
+            return true;
+        }
+        // Probabilistic failures strike only the first attempt.
+        attempt == 1 && hash::draw(self.seed, &Self::parts(instance, step, 0xFA11), self.pf)
+    }
+
+    /// Does a user change this instance's inputs mid-flight?
+    pub fn inputs_change(&self, instance: InstanceId) -> bool {
+        self.scripted_input_changes.contains(&instance)
+            || hash::draw(
+                self.seed,
+                &Self::parts(instance, StepId(0), 0x1C4A),
+                self.pi,
+            )
+    }
+
+    /// Does a user abort this instance mid-flight?
+    pub fn user_aborts(&self, instance: InstanceId) -> bool {
+        self.scripted_aborts.contains(&instance)
+            || hash::draw(
+                self.seed,
+                &Self::parts(instance, StepId(0), 0xAB02),
+                self.pa,
+            )
+    }
+
+    /// When OCR revisits `step`, do its effective inputs differ (forcing a
+    /// re-execution) even if the recorded values look equal? This models
+    /// the paper's `pr` for workloads whose data drift is not captured in
+    /// the data table.
+    pub fn revisit_requires_reexec(&self, instance: InstanceId, step: StepId) -> bool {
+        hash::draw(self.seed, &Self::parts(instance, step, 0x9EEC), self.pr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    fn inst(n: u32) -> InstanceId {
+        InstanceId::new(SchemaId(1), n)
+    }
+
+    #[test]
+    fn none_plan_is_quiet() {
+        let p = FailurePlan::none();
+        for i in 0..50 {
+            assert!(!p.step_fails(inst(i), StepId(1), 1));
+            assert!(!p.inputs_change(inst(i)));
+            assert!(!p.user_aborts(inst(i)));
+            assert!(!p.revisit_requires_reexec(inst(i), StepId(1)));
+        }
+    }
+
+    #[test]
+    fn scripted_events_fire_exactly() {
+        let p = FailurePlan::none()
+            .fail_step(inst(1), StepId(4), 1)
+            .change_inputs(inst(2))
+            .abort(inst(3));
+        assert!(p.step_fails(inst(1), StepId(4), 1));
+        assert!(!p.step_fails(inst(1), StepId(4), 2));
+        assert!(!p.step_fails(inst(1), StepId(3), 1));
+        assert!(p.inputs_change(inst(2)));
+        assert!(!p.inputs_change(inst(1)));
+        assert!(p.user_aborts(inst(3)));
+        assert!(!p.user_aborts(inst(2)));
+    }
+
+    #[test]
+    fn probabilistic_rates_roughly_match() {
+        let p = FailurePlan::probabilistic(11, 0.2, 0.05, 0.05, 0.5);
+        let n = 2000u32;
+        let fails = (0..n).filter(|&i| p.step_fails(inst(i), StepId(1), 1)).count();
+        let changes = (0..n).filter(|&i| p.inputs_change(inst(i))).count();
+        let aborts = (0..n).filter(|&i| p.user_aborts(inst(i))).count();
+        let reexec = (0..n)
+            .filter(|&i| p.revisit_requires_reexec(inst(i), StepId(1)))
+            .count();
+        assert!((300..500).contains(&fails), "pf {fails}");
+        assert!((50..160).contains(&changes), "pi {changes}");
+        assert!((50..160).contains(&aborts), "pa {aborts}");
+        assert!((850..1150).contains(&reexec), "pr {reexec}");
+    }
+
+    #[test]
+    fn retries_always_succeed_probabilistically() {
+        let p = FailurePlan::probabilistic(11, 1.0, 0.0, 0.0, 0.0);
+        assert!(p.step_fails(inst(1), StepId(1), 1));
+        assert!(!p.step_fails(inst(1), StepId(1), 2));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let p = FailurePlan::probabilistic(13, 0.5, 0.5, 0.5, 0.5);
+        for i in 0..100 {
+            assert_eq!(
+                p.step_fails(inst(i), StepId(2), 1),
+                p.step_fails(inst(i), StepId(2), 1)
+            );
+        }
+    }
+}

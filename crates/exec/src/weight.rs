@@ -1,0 +1,133 @@
+//! Thread-accounting weights for distributed commit.
+//!
+//! "The coordination agent knows from which of the agents it has to receive
+//! step completion messages before it determines that the workflow is
+//! committed" (§4.2). With if-then-else branches the set of terminal steps
+//! that will actually complete is not static, so we realize the guarantee
+//! with *weighted thread accounting*: every workflow packet carries a
+//! rational weight; an AND-split divides the weight among its branches, an
+//! AND-join sums the weights flowing in, an XOR-split passes the full
+//! weight down the single taken branch. Termination agents report their
+//! packet's weight in `StepCompleted`; the coordination agent commits when
+//! the received weights sum to exactly 1. No extra messages, any nesting
+//! depth.
+
+use std::fmt;
+
+/// A non-negative rational, always kept in lowest terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Weight {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Weight {
+    /// The full thread: 1.
+    pub const ONE: Weight = Weight { num: 1, den: 1 };
+    /// No thread: 0.
+    pub const ZERO: Weight = Weight { num: 0, den: 1 };
+
+    /// Construct `num/den` (reduced). Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "weight denominator must be nonzero");
+        if num == 0 {
+            return Weight::ZERO;
+        }
+        let g = gcd(num, den);
+        Weight { num: num / g, den: den / g }
+    }
+
+    /// Split this weight evenly among `k` parallel branches.
+    pub fn split(self, k: u64) -> Weight {
+        assert!(k > 0, "cannot split among zero branches");
+        Weight::new(self.num, self.den * k)
+    }
+
+    /// Sum of two weights (joins).
+    pub fn plus(self, other: Weight) -> Weight {
+        Weight::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
+    }
+
+    /// Is this the full thread?
+    pub fn is_one(self) -> bool {
+        self.num == self.den
+    }
+
+    /// Is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Numerator/denominator accessors (for packet serialization).
+    pub fn parts(self) -> (u64, u64) {
+        (self.num, self.den)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_rejoin_is_identity() {
+        let w = Weight::ONE;
+        let half = w.split(2);
+        assert_eq!(half, Weight::new(1, 2));
+        assert!(half.plus(half).is_one());
+        let third = w.split(3);
+        assert!(third.plus(third).plus(third).is_one());
+    }
+
+    #[test]
+    fn nested_splits() {
+        // 1 -> and-split(2) -> one branch and-splits again (3).
+        let outer = Weight::ONE.split(2);
+        let inner = outer.split(3);
+        let rejoined = inner.plus(inner).plus(inner); // inner join
+        assert_eq!(rejoined, outer);
+        assert!(rejoined.plus(outer).is_one());
+    }
+
+    #[test]
+    fn reduction_keeps_terms_low() {
+        let w = Weight::new(4, 8);
+        assert_eq!(w.parts(), (1, 2));
+        assert_eq!(Weight::new(0, 5), Weight::ZERO);
+        assert_eq!(w.to_string(), "1/2");
+        assert_eq!(Weight::ONE.to_string(), "1");
+    }
+
+    #[test]
+    fn zero_identity() {
+        assert!(Weight::ZERO.is_zero());
+        assert_eq!(Weight::ZERO.plus(Weight::ONE), Weight::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Weight::new(1, 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Condition expressions.
+//!
+//! Control arcs in a workflow schema "may also have a condition associated"
+//! (paper §2); OCR attaches a *compensation and re-execution condition* to a
+//! step (§3); coordination rules guard firing on conditions. All of these
+//! are boolean expressions over the instance's data items, so we provide one
+//! small expression language with a total, error-reporting evaluator.
+
+use crate::value::{DataEnv, ItemKey, Value};
+use std::fmt;
+
+/// Binary comparison operators.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary arithmetic operators.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression tree. Conditions on arcs and OCR policies are `Expr`s that
+/// must evaluate to a boolean.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(Value),
+    /// Reference to a data item of the evaluating instance.
+    Item(ItemKey),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two numeric sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// True iff the referenced item currently has a value. Useful in OCR
+    /// conditions ("previous output still present").
+    Defined(ItemKey),
+}
+
+/// Why an expression failed to evaluate.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An `Item` reference had no value in the environment.
+    Undefined(ItemKey),
+    /// Operand types did not fit the operator (e.g. `"abc" < 3`).
+    TypeMismatch { op: String, lhs: &'static str, rhs: &'static str },
+    /// `x / 0`.
+    DivisionByZero,
+    /// The top-level expression did not produce a boolean where one was
+    /// required.
+    NotBoolean(&'static str),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Undefined(k) => write!(f, "undefined data item {k}"),
+            EvalError::TypeMismatch { op, lhs, rhs } => {
+                write!(f, "type mismatch: {lhs} {op} {rhs}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::NotBoolean(t) => write!(f, "condition evaluated to {t}, expected bool"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    // -- constructors ------------------------------------------------------
+
+    /// Item.
+    pub fn item(key: ItemKey) -> Expr {
+        Expr::Item(key)
+    }
+
+    /// Lit.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// Cmp.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Eq.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, lhs, rhs)
+    }
+
+    /// Ne.
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ne, lhs, rhs)
+    }
+
+    /// Lt.
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Lt, lhs, rhs)
+    }
+
+    /// Le.
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Le, lhs, rhs)
+    }
+
+    /// Gt.
+    pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Gt, lhs, rhs)
+    }
+
+    /// Ge.
+    pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ge, lhs, rhs)
+    }
+
+    /// And.
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Or.
+    pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(lhs), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    /// Not.
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Arith.
+    pub fn arith(op: ArithOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Arith(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    // -- evaluation --------------------------------------------------------
+
+    /// Evaluate to an arbitrary [`Value`].
+    pub fn eval(&self, env: &DataEnv) -> Result<Value, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Item(key) => env
+                .get(key)
+                .cloned()
+                .ok_or(EvalError::Undefined(*key)),
+            Expr::Defined(key) => Ok(Value::Bool(env.get(key).is_some())),
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = lhs.eval(env)?;
+                let r = rhs.eval(env)?;
+                compare(*op, &l, &r).map(Value::Bool)
+            }
+            Expr::Arith(op, lhs, rhs) => {
+                let l = lhs.eval(env)?;
+                let r = rhs.eval(env)?;
+                arith(*op, &l, &r)
+            }
+            Expr::And(lhs, rhs) => {
+                // Short-circuit so that `Defined(x) && x > 3` is safe.
+                if !lhs.eval_bool(env)? {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(rhs.eval_bool(env)?))
+            }
+            Expr::Or(lhs, rhs) => {
+                if lhs.eval_bool(env)? {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(rhs.eval_bool(env)?))
+            }
+            Expr::Not(inner) => Ok(Value::Bool(!inner.eval_bool(env)?)),
+        }
+    }
+
+    /// Evaluate and require a boolean — what arc conditions and rule guards
+    /// use.
+    pub fn eval_bool(&self, env: &DataEnv) -> Result<bool, EvalError> {
+        match self.eval(env)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(EvalError::NotBoolean(other.type_name())),
+        }
+    }
+
+    /// All data items this expression reads. Schema validation uses this to
+    /// check that arc conditions only reference items produced upstream, and
+    /// the distributed agent uses it to know which packet data a pending
+    /// rule is waiting on.
+    pub fn referenced_items(&self) -> Vec<ItemKey> {
+        let mut out = Vec::new();
+        self.collect_items(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_items(&self, out: &mut Vec<ItemKey>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Item(k) | Expr::Defined(k) => out.push(*k),
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_items(out);
+                r.collect_items(out);
+            }
+            Expr::Not(e) => e.collect_items(out),
+        }
+    }
+}
+
+fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool, EvalError> {
+    // Numeric comparison with int→float widening; strings and bools only
+    // support equality.
+    if let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) {
+        return Ok(match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        });
+    }
+    match (l, r, op) {
+        (Value::Str(a), Value::Str(b), CmpOp::Eq) => Ok(a == b),
+        (Value::Str(a), Value::Str(b), CmpOp::Ne) => Ok(a != b),
+        (Value::Bool(a), Value::Bool(b), CmpOp::Eq) => Ok(a == b),
+        (Value::Bool(a), Value::Bool(b), CmpOp::Ne) => Ok(a != b),
+        _ => Err(EvalError::TypeMismatch {
+            op: op.to_string(),
+            lhs: l.type_name(),
+            rhs: r.type_name(),
+        }),
+    }
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    // Int op int stays int (exact); anything else widens to float.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            ArithOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            ArithOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Err(EvalError::DivisionByZero)
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EvalError::TypeMismatch {
+                op: op.to_string(),
+                lhs: l.type_name(),
+                rhs: r.type_name(),
+            })
+        }
+    };
+    match op {
+        ArithOp::Add => Ok(Value::Float(a + b)),
+        ArithOp::Sub => Ok(Value::Float(a - b)),
+        ArithOp::Mul => Ok(Value::Float(a * b)),
+        ArithOp::Div => {
+            if b == 0.0 {
+                Err(EvalError::DivisionByZero)
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => match v {
+                Value::Str(s) => write!(f, "{s:?}"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Item(k) => write!(f, "{k}"),
+            Expr::Defined(k) => write!(f, "defined({k})"),
+            Expr::Cmp(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::And(l, r) => write!(f, "({l} && {r})"),
+            Expr::Or(l, r) => write!(f, "({l} || {r})"),
+            Expr::Not(e) => write!(f, "!{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StepId;
+
+    fn env() -> DataEnv {
+        let mut e = DataEnv::new();
+        e.set(ItemKey::input(1), Value::Int(90));
+        e.set(ItemKey::output(StepId(1), 1), Value::Int(20));
+        e.set(ItemKey::output(StepId(1), 2), Value::from("Gasket"));
+        e.set(ItemKey::input(3), Value::Bool(true));
+        e
+    }
+
+    #[test]
+    fn comparisons() {
+        let e = env();
+        assert!(Expr::gt(Expr::item(ItemKey::input(1)), Expr::lit(50))
+            .eval_bool(&e)
+            .unwrap());
+        assert!(Expr::eq(
+            Expr::item(ItemKey::output(StepId(1), 2)),
+            Expr::lit("Gasket")
+        )
+        .eval_bool(&e)
+        .unwrap());
+        assert!(!Expr::lt(Expr::item(ItemKey::input(1)), Expr::lit(50))
+            .eval_bool(&e)
+            .unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let e = env();
+        let sum = Expr::arith(
+            ArithOp::Add,
+            Expr::item(ItemKey::input(1)),
+            Expr::item(ItemKey::output(StepId(1), 1)),
+        );
+        assert_eq!(sum.eval(&e).unwrap(), Value::Int(110));
+        let half = Expr::arith(ArithOp::Div, Expr::lit(1.0), Expr::lit(2));
+        assert_eq!(half.eval(&e).unwrap(), Value::Float(0.5));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let e = env();
+        let bad = Expr::arith(ArithOp::Div, Expr::lit(1), Expr::lit(0));
+        assert_eq!(bad.eval(&e), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn undefined_item_reported() {
+        let e = env();
+        let bad = Expr::item(ItemKey::input(99));
+        assert_eq!(bad.eval(&e), Err(EvalError::Undefined(ItemKey::input(99))));
+    }
+
+    #[test]
+    fn defined_and_short_circuit() {
+        let e = env();
+        // input 99 is undefined; short-circuit must protect the right side.
+        let guarded = Expr::and(
+            Expr::Defined(ItemKey::input(99)),
+            Expr::gt(Expr::item(ItemKey::input(99)), Expr::lit(0)),
+        );
+        assert!(!guarded.eval_bool(&e).unwrap());
+        let or = Expr::or(
+            Expr::item(ItemKey::input(3)),
+            Expr::item(ItemKey::input(99)), // would error if evaluated
+        );
+        assert!(or.eval_bool(&e).unwrap());
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let e = env();
+        let bad = Expr::lt(Expr::item(ItemKey::output(StepId(1), 2)), Expr::lit(3));
+        assert!(matches!(bad.eval(&e), Err(EvalError::TypeMismatch { .. })));
+        let not_bool = Expr::lit(3);
+        assert_eq!(not_bool.eval_bool(&e), Err(EvalError::NotBoolean("int")));
+    }
+
+    #[test]
+    fn referenced_items_deduped_sorted() {
+        let x = ItemKey::input(1);
+        let y = ItemKey::output(StepId(1), 1);
+        let expr = Expr::and(
+            Expr::gt(Expr::item(y), Expr::item(x)),
+            Expr::not(Expr::eq(Expr::item(x), Expr::lit(0))),
+        );
+        assert_eq!(expr.referenced_items(), vec![x, y]);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let x = ItemKey::input(1);
+        let expr = Expr::and(Expr::gt(Expr::item(x), Expr::lit(5)), Expr::Defined(x));
+        assert_eq!(expr.to_string(), "((WF.I1 > 5) && defined(WF.I1))");
+    }
+}

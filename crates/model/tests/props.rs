@@ -1,0 +1,99 @@
+//! Property tests over schema construction and derived structures.
+
+use crew_model::{Expr, ItemKey, SchemaBuilder, SchemaError, SchemaId, StepId};
+use proptest::prelude::*;
+
+/// Build a random layered DAG: `layers` layers of 1..=3 steps; every step
+/// gets one incoming arc from a random step of the previous layer (plus
+/// AND-join fan-in sometimes). Returns the builder output.
+fn random_layered(
+    layer_sizes: &[u8],
+    joins: &[bool],
+) -> Result<crew_model::WorkflowSchema, SchemaError> {
+    let mut b = SchemaBuilder::new(SchemaId(1), "rand").inputs(1);
+    let start = b.add_step("start", "p");
+    let mut prev = vec![start];
+    for (li, &n) in layer_sizes.iter().enumerate() {
+        let n = n.clamp(1, 3) as usize;
+        let joined = joins.get(li).copied().unwrap_or(false) && prev.len() > 1;
+        let mut layer = Vec::new();
+        if joined {
+            // One AND-join step consuming the whole previous layer.
+            let s = b.add_step(format!("L{li}J"), "p");
+            b.and_join(prev.clone(), s);
+            layer.push(s);
+        } else if prev.len() == 1 && n > 1 {
+            // Fan out from the single predecessor.
+            let heads: Vec<StepId> = (0..n)
+                .map(|k| b.add_step(format!("L{li}N{k}"), "p"))
+                .collect();
+            b.and_split(prev[0], heads.clone());
+            layer = heads;
+        } else {
+            // One-to-one continuation of the first predecessor.
+            let s = b.add_step(format!("L{li}S"), "p");
+            b.seq(prev[0], s);
+            // Other predecessors continue independently (open branches).
+            layer.push(s);
+            for p in prev.iter().skip(1) {
+                let t = b.add_step(format!("L{li}T{p}"), "p");
+                b.seq(*p, t);
+                layer.push(t);
+            }
+        }
+        prev = layer;
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every random layered DAG builds, and the derived structures hold
+    /// their invariants: topo order respects all forward arcs, terminals
+    /// have no outgoing forward arcs, ancestors are transitive along arcs,
+    /// and the invalidation set of the start step is everything else.
+    #[test]
+    fn derived_structures_sound(
+        layer_sizes in proptest::collection::vec(1u8..4, 1..5),
+        joins in proptest::collection::vec(any::<bool>(), 0..5),
+    ) {
+        let schema = random_layered(&layer_sizes, &joins).expect("valid construction");
+        // Topological order respects arcs.
+        let pos: std::collections::BTreeMap<StepId, usize> = schema
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        for arc in schema.arcs() {
+            if !arc.loop_back {
+                prop_assert!(pos[&arc.from] < pos[&arc.to]);
+                prop_assert!(schema.is_ancestor(arc.from, arc.to));
+            }
+        }
+        // Terminals have no outgoing forward arcs and cover all sinks.
+        for &t in schema.terminal_steps() {
+            prop_assert_eq!(schema.forward_outgoing(t).count(), 0);
+        }
+        let sink_count = schema
+            .steps()
+            .filter(|d| schema.forward_outgoing(d.id).count() == 0)
+            .count();
+        prop_assert_eq!(schema.terminal_steps().len(), sink_count);
+        // Rollback from the start invalidates every other step.
+        let inv = schema.invalidation_set(schema.start_step());
+        prop_assert_eq!(inv.len(), schema.step_count() - 1);
+    }
+
+    /// Expressions survive arbitrary nesting without stack issues at the
+    /// depths workflows use, and referenced_items is exactly the leaf set.
+    #[test]
+    fn expr_referenced_items_exact(depth in 0usize..40, slot in 1u16..5) {
+        let mut e = Expr::item(ItemKey::input(slot));
+        for i in 0..depth {
+            e = Expr::and(e, Expr::gt(Expr::item(ItemKey::input(slot)), Expr::lit(i as i64)));
+        }
+        prop_assert_eq!(e.referenced_items(), vec![ItemKey::input(slot)]);
+    }
+}

@@ -1,0 +1,148 @@
+//! # crew-parallel
+//!
+//! The parallel workflow control architecture (§6, Figure 6b): "an
+//! extension of the centralized architecture where several central engines
+//! work in parallel to share the load of workflow scheduling", each
+//! instance controlled by exactly one engine. The engine implementation is
+//! shared with `crew-central`; this crate provides the parallel deployment
+//! surface and tests the engine↔engine coordination behaviours that only
+//! arise when `e > 1`.
+
+#![warn(missing_docs)]
+
+use crew_central::CentralRun;
+use crew_exec::Deployment;
+
+pub use crew_central::{AppAgent, CentralMsg, CoordMsg, Engine, Topology};
+
+/// A parallel-control deployment: `engines >= 2` central-style engines.
+pub struct ParallelRun;
+
+impl ParallelRun {
+    /// Build a parallel run with `engines` engines (panics if `engines <
+    /// 2`; use `crew-central` for the centralized case so architecture
+    /// choices stay explicit in harness code).
+    #[allow(clippy::new_ret_no_self)] // deliberately returns the shared run type
+    pub fn new(deployment: Deployment, agents: u32, engines: u32) -> CentralRun {
+        assert!(
+            engines >= 2,
+            "parallel control needs at least two engines; use crew-central for e = 1"
+        );
+        CentralRun::new(deployment, agents, engines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::{
+        AgentId, CoordinationSpec, MutualExclusion, RelativeOrder, SchemaBuilder, SchemaId,
+        SchemaStep, StepId, Value,
+    };
+    use crew_simnet::Mechanism;
+    use crew_storage::InstanceStatus;
+
+    fn linear_schema(id: u32, steps: u32) -> crew_model::WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(id), format!("wf{id}")).inputs(1);
+        let ids: Vec<_> = (0..steps)
+            .map(|i| b.add_step(format!("S{}", i + 1), "passthrough"))
+            .collect();
+        for w in ids.windows(2) {
+            b.seq(w[0], w[1]);
+        }
+        for s in &ids {
+            b.configure(*s, |d| d.eligible_agents = vec![AgentId(s.0 % 2)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two engines")]
+    fn rejects_single_engine() {
+        let deployment = Deployment::new([linear_schema(1, 2)]);
+        let _ = ParallelRun::new(deployment, 2, 1);
+    }
+
+    #[test]
+    fn instances_spread_and_commit() {
+        let deployment = Deployment::new([linear_schema(1, 3)]);
+        let mut run = ParallelRun::new(deployment, 2, 4);
+        let instances: Vec<_> = (0..8)
+            .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
+            .collect();
+        run.run();
+        let statuses = run.statuses();
+        for i in &instances {
+            assert_eq!(statuses.get(i), Some(&InstanceStatus::Committed), "{i}");
+        }
+        let engines_with_work = (0..4)
+            .filter(|&e| !run.engine(e).statuses.is_empty())
+            .count();
+        assert!(engines_with_work > 1, "load is shared across engines");
+    }
+
+    #[test]
+    fn cross_engine_mutex_serializes() {
+        // Instances owned by different engines contend on a mutex; all must
+        // commit and coordination messages must flow between engines.
+        let mut deployment = Deployment::new([linear_schema(1, 3)]);
+        deployment.coordination = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "booth".into(),
+                members: vec![SchemaStep::new(SchemaId(1), StepId(2))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let mut run = ParallelRun::new(deployment, 2, 4);
+        let instances: Vec<_> = (0..6)
+            .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
+            .collect();
+        run.run();
+        let statuses = run.statuses();
+        for i in &instances {
+            assert_eq!(statuses.get(i), Some(&InstanceStatus::Committed), "{i}");
+        }
+        assert!(
+            run.sim.metrics.messages(Mechanism::CoordinatedExecution) > 0,
+            "cross-engine mutex requires engine-to-engine messages"
+        );
+    }
+
+    #[test]
+    fn cross_engine_relative_order_commits_both() {
+        // Two linked instances with relative ordering on (S2,S2) then
+        // (S3,S3), owned by different engines: both must commit, and the
+        // decision/release protocol must run.
+        let mut deployment = Deployment::new([linear_schema(1, 4)]);
+        deployment.coordination = CoordinationSpec {
+            relative_orders: vec![RelativeOrder {
+                id: 0,
+                conflict: "parts".into(),
+                pairs: vec![
+                    (
+                        SchemaStep::new(SchemaId(1), StepId(2)),
+                        SchemaStep::new(SchemaId(1), StepId(2)),
+                    ),
+                    (
+                        SchemaStep::new(SchemaId(1), StepId(3)),
+                        SchemaStep::new(SchemaId(1), StepId(3)),
+                    ),
+                ],
+            }],
+            ..CoordinationSpec::default()
+        };
+        // Instance serials are allocated 1, 2 by the driver.
+        deployment.ro_links.link(
+            crew_model::InstanceId::new(SchemaId(1), 1),
+            crew_model::InstanceId::new(SchemaId(1), 2),
+        );
+        let mut run = ParallelRun::new(deployment, 2, 3);
+        let a = run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]);
+        let b = run.start_instance(SchemaId(1), vec![(1, Value::Int(2))]);
+        run.run();
+        let statuses = run.statuses();
+        assert_eq!(statuses.get(&a), Some(&InstanceStatus::Committed));
+        assert_eq!(statuses.get(&b), Some(&InstanceStatus::Committed));
+    }
+}

@@ -1,0 +1,150 @@
+//! ECA rules.
+//!
+//! "Requirements expressed in LAWS are converted into rules which are tuples
+//! containing an event, condition and action part" (§1). A rule waits for a
+//! conjunction of events, checks a guard condition over the instance's data
+//! table, and when fired produces an [`Action`] that the hosting run-time
+//! (central engine or distributed agent) interprets.
+
+use crate::event::EventKind;
+use crew_model::{Expr, StepId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a rule within one rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// What a fired rule instructs the host to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Schedule the step for execution (generates `step.start`).
+    StartStep(StepId),
+    /// Compensate the step.
+    CompensateStep(StepId),
+    /// Commit the workflow instance.
+    CommitWorkflow,
+    /// Abort the workflow instance.
+    AbortWorkflow,
+    /// Post another event into this rule set (rule chaining).
+    EmitEvent(EventKind),
+    /// Deliver an external event to another party — the host translates
+    /// this into an `AddEvent()` call on the agent/engine holding the
+    /// target rule set. The payload is opaque to the rule engine.
+    NotifyExternal {
+        /// Host-interpreted routing token.
+        route: u64,
+        /// Event to inject at the destination.
+        event: u64,
+    },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::StartStep(s) => write!(f, "start {s}"),
+            Action::CompensateStep(s) => write!(f, "compensate {s}"),
+            Action::CommitWorkflow => write!(f, "commit"),
+            Action::AbortWorkflow => write!(f, "abort"),
+            Action::EmitEvent(e) => write!(f, "emit {e}"),
+            Action::NotifyExternal { route, event } => {
+                write!(f, "notify {route:x} event {event:x}")
+            }
+        }
+    }
+}
+
+/// One event-condition-action rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Stable identifier within its collection.
+    pub id: RuleId,
+    /// Conjunction of events required before the rule may fire. Extended at
+    /// run time by `AddPrecondition()`.
+    pub trigger: Vec<EventKind>,
+    /// Guard evaluated against the instance's data table; the rule fires
+    /// only if it holds. `None` = always true. Guard evaluation errors are
+    /// treated as `false` (a branch condition over data that is not yet — or
+    /// no longer — present must simply not be taken).
+    pub guard: Option<Expr>,
+    /// Action taken when the rule fires.
+    pub action: Action,
+    /// Diagnostic label ("fire S3", "relative-order monitor").
+    pub label: String,
+    /// For every trigger event: the generation consumed by the most recent
+    /// firing. The rule can fire (again) only when each trigger event is
+    /// present with a generation newer than this mark — which is what lets
+    /// loop-body rules re-fire on each iteration without firing twice on
+    /// one occurrence.
+    pub(crate) fired_marks: BTreeMap<EventKind, u32>,
+}
+
+impl Rule {
+    /// Create a new, empty value.
+    pub fn new(id: RuleId, trigger: Vec<EventKind>, action: Action) -> Self {
+        Rule {
+            id,
+            trigger,
+            guard: None,
+            action,
+            label: String::new(),
+            fired_marks: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a guard condition.
+    pub fn with_guard(mut self, guard: Expr) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Attach a diagnostic label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Number of times this rule has fired.
+    pub fn firings(&self) -> u32 {
+        // Every firing marks all triggers; the minimum mark is the count of
+        // complete firings for single-generation flows, but we track an
+        // explicit counter-free definition: max mark works because marks
+        // advance monotonically per firing.
+        self.fired_marks.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RuleId(3).to_string(), "R3");
+        assert_eq!(Action::StartStep(StepId(2)).to_string(), "start S2");
+        assert_eq!(Action::CommitWorkflow.to_string(), "commit");
+        assert_eq!(
+            Action::EmitEvent(EventKind::WorkflowDone).to_string(),
+            "emit WF.D"
+        );
+    }
+
+    #[test]
+    fn builder_style() {
+        let r = Rule::new(
+            RuleId(1),
+            vec![EventKind::WorkflowStart],
+            Action::StartStep(StepId(1)),
+        )
+        .with_label("fire start step");
+        assert_eq!(r.label, "fire start step");
+        assert!(r.guard.is_none());
+        assert_eq!(r.firings(), 0);
+    }
+}

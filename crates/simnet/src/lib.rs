@@ -1,0 +1,27 @@
+//! # crew-simnet
+//!
+//! The distributed-systems substrate CREW deployments run on: a sans-io
+//! [`Node`] abstraction, a deterministic discrete-event [`Simulation`] with
+//! reliable FIFO message delivery, seeded latency, fail-stop crash/recovery
+//! injection and full message/load instrumentation, plus a
+//! [`ThreadedRuntime`] that drives the same nodes on real threads.
+//!
+//! The paper assumes "messages are reliably delivered between agents"
+//! (§4) via a persistent-messaging substrate; the simulator provides
+//! exactly that contract while keeping every run reproducible from a seed —
+//! which is what lets the benches regenerate the §6 message counts
+//! deterministically.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod node;
+pub mod sim;
+pub mod threaded;
+pub mod trace;
+
+pub use metrics::{Classify, Mechanism, Metrics};
+pub use node::{Ctx, Node, NodeId, TimerId};
+pub use sim::{LatencyModel, Simulation};
+pub use threaded::ThreadedRuntime;
+pub use trace::{Trace, TraceEntry};

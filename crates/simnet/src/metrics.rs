@@ -1,0 +1,225 @@
+//! Instrumentation: message and load accounting.
+//!
+//! The evaluation (§6) compares architectures on two axes: *load at a node*
+//! (abstract instructions) and *physical messages exchanged*, each broken
+//! down by mechanism — normal execution, workflow input change, workflow
+//! abort, failure handling and coordinated execution. Deployment message
+//! types implement [`Classify`] so the runtimes can attribute every message
+//! without knowing the protocols.
+
+use crate::node::NodeId;
+use crew_model::InstanceId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The paper's five mechanisms plus `Control` for infrastructure traffic
+/// (e.g. the periodic purge broadcast) that its per-mechanism counts
+/// exclude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mechanism {
+    /// Normal (failure-free) execution.
+    Normal,
+    /// User-initiated workflow input change.
+    InputChange,
+    /// User-initiated workflow abort.
+    Abort,
+    /// Logical step-failure recovery.
+    FailureHandling,
+    /// Cross-workflow coordination.
+    CoordinatedExecution,
+    /// Control.
+    Control,
+}
+
+impl Mechanism {
+    /// All mechanisms in display order.
+    pub const ALL: [Mechanism; 6] = [
+        Mechanism::Normal,
+        Mechanism::InputChange,
+        Mechanism::Abort,
+        Mechanism::FailureHandling,
+        Mechanism::CoordinatedExecution,
+        Mechanism::Control,
+    ];
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mechanism::Normal => "normal",
+            Mechanism::InputChange => "input-change",
+            Mechanism::Abort => "abort",
+            Mechanism::FailureHandling => "failure-handling",
+            Mechanism::CoordinatedExecution => "coordinated-execution",
+            Mechanism::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Implemented by deployment message types so runtimes can attribute
+/// traffic.
+pub trait Classify {
+    /// Short stable name of the message kind ("StepExecute", "HaltThread").
+    fn kind(&self) -> &'static str;
+    /// Which mechanism's budget the message belongs to.
+    fn mechanism(&self) -> Mechanism;
+    /// The workflow instance the message concerns, for per-instance
+    /// averages; `None` for broadcast/infrastructure traffic.
+    fn instance(&self) -> Option<InstanceId>;
+    /// Approximate payload size in bytes (for the packet-growth ablation).
+    fn approx_size(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+/// Aggregated counters for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Messages by (kind, mechanism).
+    pub by_kind: BTreeMap<(&'static str, Mechanism), u64>,
+    /// Messages by mechanism.
+    pub by_mechanism: BTreeMap<Mechanism, u64>,
+    /// Messages by (instance, mechanism).
+    pub by_instance: BTreeMap<(InstanceId, Mechanism), u64>,
+    /// Abstract instructions charged per node.
+    pub load_by_node: BTreeMap<NodeId, u64>,
+    /// Messages handled per node.
+    pub handled_by_node: BTreeMap<NodeId, u64>,
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Total payload bytes (approximate).
+    pub total_bytes: u64,
+}
+
+impl Metrics {
+    /// Record one delivered message.
+    pub fn record_message(
+        &mut self,
+        kind: &'static str,
+        mechanism: Mechanism,
+        instance: Option<InstanceId>,
+        size: usize,
+        to: NodeId,
+    ) {
+        *self.by_kind.entry((kind, mechanism)).or_default() += 1;
+        *self.by_mechanism.entry(mechanism).or_default() += 1;
+        if let Some(i) = instance {
+            *self.by_instance.entry((i, mechanism)).or_default() += 1;
+        }
+        *self.handled_by_node.entry(to).or_default() += 1;
+        self.total_messages += 1;
+        self.total_bytes += size as u64;
+    }
+
+    /// Charge load to a node.
+    pub fn record_load(&mut self, node: NodeId, instructions: u64) {
+        if instructions > 0 {
+            *self.load_by_node.entry(node).or_default() += instructions;
+        }
+    }
+
+    /// Messages attributed to `mechanism`.
+    pub fn messages(&self, mechanism: Mechanism) -> u64 {
+        self.by_mechanism.get(&mechanism).copied().unwrap_or(0)
+    }
+
+    /// Mean messages per instance for `mechanism` over `instances` runs.
+    pub fn messages_per_instance(&self, mechanism: Mechanism, instances: u64) -> f64 {
+        if instances == 0 {
+            return 0.0;
+        }
+        self.messages(mechanism) as f64 / instances as f64
+    }
+
+    /// Maximum load charged to any single node — the "load at engine/agent"
+    /// column of Tables 4–6 (the busiest node bounds scalability).
+    pub fn max_node_load(&self) -> u64 {
+        self.load_by_node.values().copied().max().unwrap_or(0)
+    }
+
+    /// Mean load over the given nodes (e.g. all agents).
+    pub fn mean_load(&self, nodes: impl IntoIterator<Item = NodeId>) -> f64 {
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for node in nodes {
+            total += self.load_by_node.get(&node).copied().unwrap_or(0);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
+    /// Fold another metrics object into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (&k, &v) in &other.by_kind {
+            *self.by_kind.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.by_mechanism {
+            *self.by_mechanism.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.by_instance {
+            *self.by_instance.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.load_by_node {
+            *self.load_by_node.entry(k).or_default() += v;
+        }
+        for (&k, &v) in &other.handled_by_node {
+            *self.handled_by_node.entry(k).or_default() += v;
+        }
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = Metrics::default();
+        let inst = InstanceId::new(SchemaId(1), 1);
+        m.record_message("StepExecute", Mechanism::Normal, Some(inst), 64, NodeId(2));
+        m.record_message("StepExecute", Mechanism::Normal, Some(inst), 64, NodeId(3));
+        m.record_message("HaltThread", Mechanism::FailureHandling, Some(inst), 32, NodeId(2));
+        m.record_load(NodeId(2), 100);
+        m.record_load(NodeId(3), 40);
+        m.record_load(NodeId(3), 0); // no-op
+
+        assert_eq!(m.messages(Mechanism::Normal), 2);
+        assert_eq!(m.messages(Mechanism::FailureHandling), 1);
+        assert_eq!(m.messages(Mechanism::Abort), 0);
+        assert_eq!(m.total_messages, 3);
+        assert_eq!(m.total_bytes, 160);
+        assert_eq!(m.max_node_load(), 100);
+        assert_eq!(m.mean_load([NodeId(2), NodeId(3)]), 70.0);
+        assert_eq!(m.messages_per_instance(Mechanism::Normal, 2), 1.0);
+        assert_eq!(m.messages_per_instance(Mechanism::Normal, 0), 0.0);
+        assert_eq!(m.handled_by_node[&NodeId(2)], 2);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Metrics::default();
+        a.record_message("X", Mechanism::Normal, None, 8, NodeId(1));
+        let mut b = Metrics::default();
+        b.record_message("X", Mechanism::Normal, None, 8, NodeId(1));
+        b.record_load(NodeId(1), 5);
+        a.merge(&b);
+        assert_eq!(a.total_messages, 2);
+        assert_eq!(a.by_kind[&("X", Mechanism::Normal)], 2);
+        assert_eq!(a.load_by_node[&NodeId(1)], 5);
+    }
+
+    #[test]
+    fn mechanism_display() {
+        assert_eq!(Mechanism::Normal.to_string(), "normal");
+        assert_eq!(Mechanism::CoordinatedExecution.to_string(), "coordinated-execution");
+        assert_eq!(Mechanism::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,233 @@
+//! A multi-threaded runtime driving the same [`Node`] implementations on
+//! real OS threads with crossbeam channels.
+//!
+//! This is the "live" counterpart of the deterministic simulator: each node
+//! runs on its own thread, messages flow through unbounded channels, and the
+//! run ends when the deployment goes quiescent (no message in flight and no
+//! queued work) or a node halts. The experiments use the simulator; the
+//! examples use this runtime to show the protocols under genuine
+//! concurrency.
+//!
+//! Limitations (documented, by design): timers are not supported — protocols
+//! that rely on timeout probing (agent-crash recovery) are exercised on the
+//! simulator, where time is virtual and runs are reproducible.
+
+use crate::metrics::{Classify, Metrics};
+use crate::node::{Ctx, Node, NodeId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+enum Envelope<M> {
+    Msg { from: NodeId, msg: M },
+    Shutdown,
+}
+
+/// Runs a set of nodes on threads until quiescence.
+pub struct ThreadedRuntime<M> {
+    nodes: Vec<Box<dyn Node<M>>>,
+}
+
+impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Default for ThreadedRuntime<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> ThreadedRuntime<M> {
+    /// Create a new, empty value.
+    pub fn new() -> Self {
+        ThreadedRuntime { nodes: Vec::new() }
+    }
+
+    /// Register a node; ids are assigned densely from 0 (matching the
+    /// simulator, so deployments build identically for both runtimes).
+    pub fn add_node(&mut self, node: impl Node<M> + 'static) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Box::new(node));
+        id
+    }
+
+    /// Run the deployment: deliver `initial` external messages, then let the
+    /// nodes exchange messages until nothing is in flight. Returns the
+    /// merged metrics and the nodes (for state inspection).
+    pub fn run(self, initial: Vec<(NodeId, M)>) -> (Metrics, Vec<Box<dyn Node<M>>>) {
+        let n = self.nodes.len();
+        let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        // In-flight accounting: +1 at enqueue, -1 after the handler (and its
+        // consequent sends) finished. Zero ⇒ quiescent.
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let halted = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let start = Instant::now();
+
+        let send_to = {
+            let senders = senders.clone();
+            let in_flight = in_flight.clone();
+            move |from: NodeId, to: NodeId, msg: M| {
+                if let Some(tx) = senders.get(to.index()) {
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    // Receiver threads only exit after Shutdown, so sends
+                    // cannot fail while the run is live.
+                    let _ = tx.send(Envelope::Msg { from, msg });
+                }
+            }
+        };
+
+        for (to, msg) in initial {
+            send_to(NodeId::EXTERNAL, to, msg);
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, mut node) in self.nodes.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let rx = receivers[i].clone();
+            let send_to = send_to.clone();
+            let in_flight = in_flight.clone();
+            let halted = halted.clone();
+            let metrics = metrics.clone();
+            handles.push(std::thread::spawn(move || {
+                // on_start before consuming messages.
+                let mut ctx = Ctx::new(0, id);
+                node.on_start(&mut ctx);
+                flush(id, ctx, &send_to, &metrics, &halted, start);
+                while let Ok(env) = rx.recv() {
+                    match env {
+                        Envelope::Shutdown => break,
+                        Envelope::Msg { from, msg } => {
+                            {
+                                let mut m = metrics.lock();
+                                m.record_message(
+                                    msg.kind(),
+                                    msg.mechanism(),
+                                    msg.instance(),
+                                    msg.approx_size(),
+                                    id,
+                                );
+                            }
+                            let mut ctx =
+                                Ctx::new(start.elapsed().as_millis() as u64, id);
+                            node.on_message(from, msg, &mut ctx);
+                            flush(id, ctx, &send_to, &metrics, &halted, start);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                node
+            }));
+        }
+
+        // Quiescence watchdog: when nothing is in flight (or a node
+        // halted), tell everyone to shut down.
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            if in_flight.load(Ordering::SeqCst) == 0 || halted.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        for tx in &senders {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        let nodes: Vec<Box<dyn Node<M>>> =
+            handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect();
+        let metrics = Arc::try_unwrap(metrics)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        (metrics, nodes)
+    }
+}
+
+fn flush<M: Classify + Clone + std::fmt::Debug + Send + 'static>(
+    id: NodeId,
+    ctx: Ctx<M>,
+    send_to: &impl Fn(NodeId, NodeId, M),
+    metrics: &Arc<Mutex<Metrics>>,
+    halted: &Arc<AtomicBool>,
+    _start: Instant,
+) {
+    metrics.lock().record_load(id, ctx.load);
+    if ctx.halted {
+        halted.store(true, Ordering::SeqCst);
+    }
+    for (to, msg) in ctx.sends {
+        send_to(id, to, msg);
+    }
+    // Timers are unsupported in the threaded runtime (see module docs).
+    debug_assert!(ctx.timers.is_empty(), "timers require the simulator");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Mechanism;
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    struct Token(u32);
+
+    impl Classify for Token {
+        fn kind(&self) -> &'static str {
+            "Token"
+        }
+        fn mechanism(&self) -> Mechanism {
+            Mechanism::Normal
+        }
+        fn instance(&self) -> Option<crew_model::InstanceId> {
+            None
+        }
+    }
+
+    /// Passes a token around a ring `laps` times.
+    struct RingNode {
+        next: NodeId,
+        seen: u32,
+    }
+
+    impl Node<Token> for RingNode {
+        fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Ctx<Token>) {
+            self.seen += 1;
+            ctx.add_load(1);
+            if msg.0 > 0 {
+                ctx.send(self.next, Token(msg.0 - 1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ring_runs_to_quiescence() {
+        let mut rt = ThreadedRuntime::new();
+        let n = 4u32;
+        let hops = 20u32;
+        for i in 0..n {
+            rt.add_node(RingNode { next: NodeId((i + 1) % n), seen: 0 });
+        }
+        let (metrics, nodes) = rt.run(vec![(NodeId(0), Token(hops))]);
+        assert_eq!(metrics.total_messages as u32, hops + 1);
+        let total_seen: u32 = nodes
+            .iter()
+            .map(|b| b.as_any().downcast_ref::<RingNode>().unwrap().seen)
+            .sum();
+        assert_eq!(total_seen, hops + 1);
+        let total_load: u64 = metrics.load_by_node.values().sum();
+        assert_eq!(total_load as u32, hops + 1);
+    }
+
+    #[test]
+    fn empty_initial_terminates() {
+        let mut rt = ThreadedRuntime::new();
+        rt.add_node(RingNode { next: NodeId(0), seen: 0 });
+        let (metrics, _) = rt.run(vec![]);
+        assert_eq!(metrics.total_messages, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Message tracing for protocol inspection.
+//!
+//! The figure reproductions (`repro fig1/fig4/fig6` in `crew-bench`) print
+//! the actual message exchanges of a run. Tracing is off by default since
+//! the performance harnesses deliver millions of messages.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Stable message-kind name.
+    pub kind: &'static str,
+    /// Debug rendering of the message payload.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t={:>5}] {} -> {}: {}", self.at, self.from, self.to, self.kind)
+    }
+}
+
+/// A (possibly disabled) message trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Enabled.
+    pub fn enabled() -> Self {
+        Trace { enabled: true, entries: Vec::new() }
+    }
+
+    /// Disabled.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// The recorded execution of `step`, if any.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.enabled {
+            self.entries.push(entry);
+        }
+    }
+
+    /// All recorded entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of a given message kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// `true` when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: &'static str) -> TraceEntry {
+        TraceEntry { at: 3, from: NodeId(1), to: NodeId(2), kind, detail: String::new() }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(entry("X"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_collects_and_filters() {
+        let mut t = Trace::enabled();
+        t.record(entry("StepExecute"));
+        t.record(entry("HaltThread"));
+        t.record(entry("StepExecute"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.of_kind("StepExecute").count(), 2);
+        assert_eq!(
+            t.entries()[0].to_string(),
+            "[t=    3] n1 -> n2: StepExecute"
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Binary encoding for persisted records.
+//!
+//! A small, hand-rolled, length-explicit codec over [`bytes`]: little-endian
+//! fixed-width integers, length-prefixed strings and sequences, and
+//! single-byte tags for enums. `serde` is deliberately not used — no
+//! serializer backend is on the approved dependency list, and a WAL wants a
+//! compact stable format anyway.
+//!
+//! Every persisted type implements [`Encode`]/[`Decode`]; decoding is
+//! total (no panics) and reports structured [`CodecError`]s so torn or
+//! corrupt log tails are handled gracefully by recovery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crew_model::{InstanceId, ItemKey, ItemScope, SchemaId, StepId, Value};
+use std::fmt;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the structure requires.
+    Truncated,
+    /// An enum tag byte had no meaning.
+    BadTag {
+        /// Which decoder rejected the tag.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A declared length exceeds sanity limits.
+    LengthOverflow(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "record truncated"),
+            CodecError::BadTag { context, tag } => write!(f, "bad tag {tag} for {context}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::LengthOverflow(n) => write!(f, "declared length {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sanity cap on declared collection/string lengths (1 MiB of elements).
+const MAX_LEN: u64 = 1 << 20;
+
+/// Serialize into a byte buffer.
+pub trait Encode {
+    /// Wrapped closure.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// Deserialize from a byte buffer.
+pub trait Decode: Sized {
+    /// Wrapped closure.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+// ---- primitives ----------------------------------------------------------
+
+impl Encode for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+}
+impl Decode for u8 {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 1)?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Encode for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(*self);
+    }
+}
+impl Decode for u16 {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 2)?;
+        Ok(buf.get_u16_le())
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+}
+impl Decode for u32 {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 4)?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+}
+impl Decode for u64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 8)?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+}
+impl Decode for i64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 8)?;
+        Ok(buf.get_i64_le())
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+}
+impl Decode for f64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 8)?;
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+impl Decode for bool {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { context: "bool", tag }),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+}
+impl Decode for String {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as u64;
+        if len > MAX_LEN {
+            return Err(CodecError::LengthOverflow(len));
+        }
+        need(buf, len as usize)?;
+        let raw = buf.split_to(len as usize);
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as u64;
+        if len > MAX_LEN {
+            return Err(CodecError::LengthOverflow(len));
+        }
+        let mut out = Vec::with_capacity(len.min(4096) as usize);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(CodecError::BadTag { context: "Option", tag }),
+        }
+    }
+}
+
+// ---- model types ----------------------------------------------------------
+
+impl Encode for StepId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+}
+impl Decode for StepId {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(StepId(u32::decode(buf)?))
+    }
+}
+
+impl Encode for SchemaId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+}
+impl Decode for SchemaId {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(SchemaId(u32::decode(buf)?))
+    }
+}
+
+impl Encode for InstanceId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.schema.encode(buf);
+        self.serial.encode(buf);
+    }
+}
+impl Decode for InstanceId {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(InstanceId { schema: SchemaId::decode(buf)?, serial: u32::decode(buf)? })
+    }
+}
+
+impl Encode for ItemKey {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self.scope {
+            ItemScope::WorkflowInput => buf.put_u8(0),
+            ItemScope::StepOutput(s) => {
+                buf.put_u8(1);
+                s.encode(buf);
+            }
+        }
+        self.slot.encode(buf);
+    }
+}
+impl Decode for ItemKey {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let scope = match u8::decode(buf)? {
+            0 => ItemScope::WorkflowInput,
+            1 => ItemScope::StepOutput(StepId::decode(buf)?),
+            tag => return Err(CodecError::BadTag { context: "ItemScope", tag }),
+        };
+        Ok(ItemKey { scope, slot: u16::decode(buf)? })
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Int(i) => {
+                buf.put_u8(0);
+                i.encode(buf);
+            }
+            Value::Float(x) => {
+                buf.put_u8(1);
+                x.encode(buf);
+            }
+            Value::Str(s) => {
+                buf.put_u8(2);
+                s.encode(buf);
+            }
+            Value::Bool(b) => {
+                buf.put_u8(3);
+                b.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for Value {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(Value::Int(i64::decode(buf)?)),
+            1 => Ok(Value::Float(f64::decode(buf)?)),
+            2 => Ok(Value::Str(String::decode(buf)?)),
+            3 => Ok(Value::Bool(bool::decode(buf)?)),
+            tag => Err(CodecError::BadTag { context: "Value", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let mut buf = bytes.clone();
+        let back = T::decode(&mut buf).expect("decode");
+        assert_eq!(back, v);
+        assert_eq!(buf.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(0xFFFFu16);
+        round_trip(123_456u32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(3.5f64);
+        round_trip(true);
+        round_trip(false);
+        round_trip("hello κόσμε".to_owned());
+        round_trip(String::new());
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+    }
+
+    #[test]
+    fn model_types_round_trip() {
+        round_trip(StepId(5));
+        round_trip(SchemaId(2));
+        round_trip(InstanceId::new(SchemaId(2), 4));
+        round_trip(ItemKey::input(1));
+        round_trip(ItemKey::output(StepId(3), 2));
+        round_trip(Value::Int(90));
+        round_trip(Value::Float(-0.5));
+        round_trip(Value::Str("Blower".into()));
+        round_trip(Value::Bool(true));
+        round_trip(vec![
+            Some(Value::Int(1)),
+            None,
+            Some(Value::Str("x".into())),
+        ]);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let bytes = Value::Str("hello".into()).to_bytes();
+        let mut cut = bytes.slice(0..bytes.len() - 2);
+        assert_eq!(Value::decode(&mut cut), Err(CodecError::Truncated));
+        let mut empty = Bytes::new();
+        assert_eq!(u32::decode(&mut empty), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_tags_reported() {
+        let mut buf = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(
+            Value::decode(&mut buf),
+            Err(CodecError::BadTag { context: "Value", tag: 9 })
+        ));
+        let mut buf = Bytes::from_static(&[2u8]);
+        assert!(matches!(
+            bool::decode(&mut buf),
+            Err(CodecError::BadTag { context: "bool", .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_lengths_rejected() {
+        let mut buf = BytesMut::new();
+        (u32::MAX).encode(&mut buf); // declared string length
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            String::decode(&mut bytes),
+            Err(CodecError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_reported() {
+        let mut buf = BytesMut::new();
+        2u32.encode(&mut buf);
+        buf.put_slice(&[0xFF, 0xFE]);
+        let mut bytes = buf.freeze();
+        assert_eq!(String::decode(&mut bytes), Err(CodecError::BadUtf8));
+    }
+}

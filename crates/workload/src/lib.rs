@@ -1,0 +1,22 @@
+//! # crew-workload
+//!
+//! Workload generation for the CREW experiments: a seeded random schema
+//! [generator](gen) over the Table 3 structural space, the hand-built
+//! [scenario schemas](scenarios) from the paper's motivating examples
+//! (order processing / travel booking / claim processing with nesting and
+//! loops), and the [deployment assembly](bench_setup) that turns a Table 3
+//! parameter point into a runnable deployment with coordination
+//! requirements and failure plans.
+
+#![warn(missing_docs)]
+
+pub mod bench_setup;
+pub mod gen;
+pub mod scenarios;
+
+pub use bench_setup::{build_deployment, link_instances, SetupParams};
+pub use gen::{generate, GenConfig};
+pub use scenarios::{
+    claim_processing, fraud_check, order_processing, register_programs, travel_booking,
+    CLAIM_SCHEMA, FRAUD_SCHEMA, ORDER_SCHEMA, TRAVEL_SCHEMA,
+};

@@ -1,0 +1,81 @@
+//! Live multi-threaded run: the same distributed agents that power the
+//! deterministic simulator, driven on real OS threads with crossbeam
+//! channels (the `ThreadedRuntime`).
+//!
+//! ```sh
+//! cargo run -p crew-examples --bin live_agents
+//! ```
+
+use crew_distributed::{DistAgent, DistConfig, DistMsg, Directory, FrontEnd, SharedCtx};
+use crew_exec::Deployment;
+use crew_model::{AgentId, ItemKey, SchemaBuilder, SchemaId, Value};
+use crew_simnet::{NodeId, ThreadedRuntime};
+use std::sync::Arc;
+
+fn main() {
+    // A four-step pipeline spread over four agents.
+    let mut b = SchemaBuilder::new(SchemaId(1), "LivePipeline").inputs(1);
+    let s1 = b.add_step("Ingest", "passthrough");
+    let s2 = b.add_step("Transform", "sum");
+    let s3 = b.add_step("Enrich", "stamp");
+    let s4 = b.add_step("Publish", "stamp");
+    b.seq(s1, s2).seq(s2, s3).seq(s3, s4);
+    b.read(s2, ItemKey::input(1));
+    for (i, s) in [s1, s2, s3, s4].iter().enumerate() {
+        b.configure(*s, |d| d.eligible_agents = vec![AgentId(i as u32)]);
+    }
+    let schema = b.build().expect("valid schema");
+
+    let agents = 4u32;
+    let deployment = Arc::new(Deployment::new([schema]));
+    let directory = Directory::new(agents);
+    let shared = SharedCtx {
+        deployment: deployment.clone(),
+        directory: directory.clone(),
+        config: DistConfig::default(),
+    };
+
+    let mut rt: ThreadedRuntime<DistMsg> = ThreadedRuntime::new();
+    for a in 0..agents {
+        rt.add_node(DistAgent::new(AgentId(a), shared.clone()));
+    }
+    rt.add_node(FrontEnd::new(shared));
+
+    // Start three instances through the front end (node `agents`).
+    let frontend = NodeId(agents);
+    let initial: Vec<(NodeId, DistMsg)> = (1..=3u32)
+        .map(|serial| {
+            (
+                frontend,
+                DistMsg::WorkflowStart {
+                    instance: crew_model::InstanceId::new(SchemaId(1), serial),
+                    inputs: vec![(ItemKey::input(1), Value::Int(serial as i64 * 10))],
+                    parent: None,
+                },
+            )
+        })
+        .collect();
+
+    println!("running {agents} distributed agents + front end on OS threads…");
+    let (metrics, nodes) = rt.run(initial);
+
+    let fe = nodes
+        .last()
+        .and_then(|n| n.as_any().downcast_ref::<FrontEnd>())
+        .expect("front end is the last node");
+    println!("outcomes: {:?}", fe.outcomes);
+    println!(
+        "messages delivered: {} ({} workflow packets)",
+        metrics.total_messages,
+        metrics
+            .by_kind
+            .iter()
+            .filter(|((k, _), _)| *k == "StepExecute")
+            .map(|(_, v)| *v)
+            .sum::<u64>()
+    );
+    println!("per-node load: {:?}", metrics.load_by_node);
+    println!();
+    println!("The agents are the same sans-io state machines the deterministic");
+    println!("simulator drives — only the runtime changed.");
+}

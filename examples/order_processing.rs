@@ -1,0 +1,104 @@
+//! Order processing with coordinated execution, specified in LAWS.
+//!
+//! Two concurrent orders compete for the same parts bin: a relative-order
+//! requirement keeps their reservation and dispatch steps in arrival order,
+//! and a mutex serializes the loading dock (the paper's Figure 2 scenario).
+//!
+//! ```sh
+//! cargo run -p crew-examples --bin order_processing
+//! ```
+
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_exec::Deployment;
+use crew_model::{AgentId, SchemaId, StepId, Value};
+use crew_simnet::Mechanism;
+
+const SPEC: &str = r#"
+workflow OrderProcessing (id 1) {
+    inputs 2;
+    step CheckStock {
+        program "inv.check";
+        kind query;
+        reads WF.I1;
+        outputs 2;
+        agents 0;
+    }
+    step ReserveParts {
+        program "inv.reserve";
+        compensate "inv.release";
+        reads WF.I1;
+        outputs 2;
+        agents 1;
+    }
+    step ChargePayment {
+        program "pay.charge";
+        compensate "pay.refund" partial;
+        reads WF.I2;
+        outputs 2;
+        agents 2;
+    }
+    step Dispatch {
+        program "ship.dispatch";
+        agents 3;
+    }
+    flow CheckStock -> ReserveParts;
+    flow ReserveParts -> ChargePayment;
+    flow ChargePayment -> Dispatch;
+    compensation set { ReserveParts, ChargePayment };
+    on failure of ChargePayment rollback to ReserveParts retry 3;
+}
+
+coordination {
+    order "parts-bin" (OrderProcessing.ReserveParts before OrderProcessing.ReserveParts),
+                      (OrderProcessing.Dispatch before OrderProcessing.Dispatch);
+    mutex "loading-dock" { OrderProcessing.Dispatch };
+}
+"#;
+
+fn main() {
+    let compiled = crew_laws::parse_and_compile(SPEC).expect("LAWS spec compiles");
+    println!(
+        "compiled {} schema(s); coordination: {} order + {} mutex requirement(s)",
+        compiled.schemas.len(),
+        compiled.coordination.relative_orders.len(),
+        compiled.coordination.mutual_exclusions.len()
+    );
+
+    let mut deployment = Deployment::new(compiled.schemas);
+    deployment.coordination = compiled.coordination;
+    crew_workload::register_programs(&mut deployment.registry);
+
+    let mut system =
+        WorkflowSystem::with_deployment(deployment, Architecture::Distributed { agents: 4 });
+    // The agents named in the spec must exist; 4 cover indices 0-3.
+    system.dist_config.piggyback_ro = true;
+
+    let mut scenario = Scenario::new();
+    // Two concurrent orders over the same parts; link them so the
+    // relative-order requirement binds the pair.
+    let first = scenario.start(SchemaId(1), vec![(1, Value::Int(40)), (2, Value::Int(120))]);
+    let second = scenario.start(SchemaId(1), vec![(1, Value::Int(70)), (2, Value::Int(300))]);
+    scenario.link(first, second);
+
+    let report = system.run(scenario);
+    println!(
+        "orders committed: {}/{} (aborted {})",
+        report.committed(),
+        2,
+        report.aborted()
+    );
+    println!(
+        "coordination messages per order: {:.1} (AddRule/AddEvent/AddPrecondition)",
+        report.messages_per_instance(Mechanism::CoordinatedExecution)
+    );
+    println!(
+        "normal workflow-packet traffic per order: {:.1}",
+        report.messages_per_instance(Mechanism::Normal)
+    );
+    println!();
+    println!("Whichever order reserved parts first also dispatched first — the");
+    println!("relative-ordering guarantee of the paper's Figure 2, enforced by the");
+    println!("arbiter + packet-piggybacked leading/lagging tags.");
+    let _ = StepId(0);
+    let _ = AgentId(0);
+}

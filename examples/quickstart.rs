@@ -1,0 +1,62 @@
+//! Quickstart: build a workflow schema, run it under all three control
+//! architectures, and compare the message bills.
+//!
+//! ```sh
+//! cargo run -p crew-examples --bin quickstart
+//! ```
+
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_model::{AgentId, SchemaBuilder, SchemaId, Value};
+use crew_simnet::Mechanism;
+
+fn main() {
+    // A five-step expense-approval workflow: Submit → Validate →
+    // AND(ManagerApproval, BudgetCheck) → Pay.
+    let mut b = SchemaBuilder::new(SchemaId(1), "ExpenseApproval").inputs(1);
+    let submit = b.add_step("Submit", "passthrough");
+    let validate = b.add_step("Validate", "passthrough");
+    let approve = b.add_step("ManagerApproval", "stamp");
+    let budget = b.add_step("BudgetCheck", "stamp");
+    let pay = b.add_step("Pay", "sum");
+    b.seq(submit, validate);
+    b.and_split(validate, [approve, budget]);
+    b.and_join([approve, budget], pay);
+    // Spread the steps over four agents.
+    for (i, s) in [submit, validate, approve, budget, pay].iter().enumerate() {
+        b.configure(*s, |d| d.eligible_agents = vec![AgentId(i as u32 % 4)]);
+    }
+    let schema = b.build().expect("valid schema");
+
+    println!(
+        "ExpenseApproval: {} steps, terminals {:?}",
+        schema.step_count(),
+        schema.terminal_steps()
+    );
+    println!();
+    println!(
+        "{:<14} {:>10} {:>17} {:>14}",
+        "architecture", "committed", "normal msgs/inst", "virtual time"
+    );
+    for (label, arch) in [
+        ("central", Architecture::Central { agents: 4 }),
+        ("parallel", Architecture::Parallel { agents: 4, engines: 2 }),
+        ("distributed", Architecture::Distributed { agents: 4 }),
+    ] {
+        let system = WorkflowSystem::new([schema.clone()], arch);
+        let mut scenario = Scenario::new();
+        for k in 0..5 {
+            scenario.start(SchemaId(1), vec![(1, Value::Int(100 + k))]);
+        }
+        let report = system.run(scenario);
+        println!(
+            "{:<14} {:>10} {:>17.1} {:>14}",
+            label,
+            report.committed(),
+            report.messages_per_instance(Mechanism::Normal),
+            report.virtual_time
+        );
+    }
+    println!();
+    println!("Distributed control ships workflow packets agent-to-agent (s·a+f msgs);");
+    println!("central control pays 2·s·a for engine round-trips — the paper's Table 4/6 contrast.");
+}

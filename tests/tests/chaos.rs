@@ -1,0 +1,159 @@
+//! Chaos coverage: user aborts racing coordination grants, mixed
+//! failure/abort/input-change fleets, and open (non-rejoining) XOR
+//! branches — everything must reach a terminal state, never deadlock.
+
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_integration_tests::ExecLog;
+use crew_model::{
+    AgentId, CmpOp, CoordinationSpec, Expr, ItemKey, MutualExclusion, SchemaBuilder,
+    SchemaId, SchemaStep, StepId, Value,
+};
+use crew_workload::{build_deployment, SetupParams};
+
+const ALL_ARCHS: [Architecture; 3] = [
+    Architecture::Central { agents: 6 },
+    Architecture::Parallel { agents: 6, engines: 2 },
+    Architecture::Distributed { agents: 6 },
+];
+
+/// An instance aborted while queued on (or holding) a mutex must not wedge
+/// the resource: the other contenders still commit.
+#[test]
+fn abort_does_not_wedge_mutex() {
+    for arch in ALL_ARCHS {
+        for abort_at in [2u64, 6, 12, 20] {
+            let log = ExecLog::new();
+            let mut b = SchemaBuilder::new(SchemaId(1), "mx").inputs(1);
+            let s1 = b.add_step("A", "log");
+            let s2 = b.add_step("B", "log"); // the mutex member
+            let s3 = b.add_step("C", "log");
+            b.seq(s1, s2).seq(s2, s3);
+            for (i, s) in [s1, s2, s3].iter().enumerate() {
+                b.configure(*s, |d| {
+                    d.eligible_agents = vec![AgentId(i as u32)];
+                    d.compensation_program = Some("passthrough".into());
+                });
+            }
+            let schema = b.build().unwrap();
+            let mut system = WorkflowSystem::new([schema], arch);
+            system.deployment.coordination = CoordinationSpec {
+                mutual_exclusions: vec![MutualExclusion {
+                    id: 0,
+                    resource: "r".into(),
+                    members: vec![SchemaStep::new(SchemaId(1), StepId(2))],
+                }],
+                ..CoordinationSpec::default()
+            };
+            log.register(&mut system.deployment.registry, "log");
+            let mut scenario = Scenario::new();
+            let doomed = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+            for k in 0..4 {
+                scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+            }
+            scenario.abort_at(doomed, abort_at);
+            let report = system.run(scenario);
+            let doomed_inst = report.outcomes.iter().next().map(|(&i, _)| i).unwrap();
+            let _ = doomed_inst;
+            // All five terminal; at least the four undisturbed commit.
+            assert!(report.all_terminal(), "{arch:?} abort_at={abort_at}");
+            assert!(
+                report.committed() >= 4,
+                "{arch:?} abort_at={abort_at}: {} committed, {} aborted",
+                report.committed(),
+                report.aborted()
+            );
+        }
+    }
+}
+
+/// A stochastic fleet with failures, input changes and aborts all enabled,
+/// plus coordination requirements: every instance terminates.
+#[test]
+fn stochastic_fleet_terminates_under_everything() {
+    let p = SetupParams {
+        s: 10,
+        c: 4,
+        z: 16,
+        a: 2,
+        me: 1,
+        ro: 2,
+        rd: 1,
+        r: 3,
+        pf: 0.15,
+        pi: 0.1,
+        pa: 0.1,
+        pr: 0.3,
+        seed: 77,
+    };
+    for arch in [
+        Architecture::Central { agents: p.z },
+        Architecture::Distributed { agents: p.z },
+    ] {
+        let mut deployment = build_deployment(&p, false);
+        let planned: Vec<crew_model::InstanceId> = (0..16u32)
+            .map(|k| {
+                let ids: Vec<SchemaId> = deployment.schemas.keys().copied().collect();
+                crew_model::InstanceId::new(ids[(k as usize) % ids.len()], k + 1)
+            })
+            .collect();
+        crew_workload::link_instances(&mut deployment, &planned);
+        let plan = deployment.plan.clone();
+        let system = WorkflowSystem::with_deployment(deployment, arch);
+        let mut scenario = Scenario::new();
+        for (k, inst) in planned.iter().enumerate() {
+            let idx = scenario.start(inst.schema, vec![(1, Value::Int(5)), (2, Value::Int(1))]);
+            let at = 8 + (k as u64 % 5) * 6;
+            if plan.user_aborts(*inst) {
+                scenario.abort_at(idx, at);
+            } else if plan.inputs_change(*inst) {
+                scenario.change_inputs_at(idx, at, vec![(1, Value::Int(42))]);
+            }
+        }
+        let report = system.run(scenario);
+        assert!(
+            report.all_terminal(),
+            "{arch:?}: {} committed, {} aborted of 16",
+            report.committed(),
+            report.aborted()
+        );
+    }
+}
+
+/// XOR branches that never re-join: each branch ends at its own terminal;
+/// the weight-accounting commit must handle whichever terminal runs.
+#[test]
+fn open_xor_branches_commit() {
+    for arch in ALL_ARCHS {
+        for input in [5i64, 50] {
+            let log = ExecLog::new();
+            let mut b = SchemaBuilder::new(SchemaId(1), "open").inputs(1);
+            let s1 = b.add_step("A", "log");
+            let hi = b.add_step("Hi", "log");
+            let hi2 = b.add_step("Hi2", "log");
+            let lo = b.add_step("Lo", "log");
+            let cond = Expr::cmp(CmpOp::Gt, Expr::item(ItemKey::input(1)), Expr::lit(10));
+            b.xor_split(s1, [(hi, Some(cond)), (lo, None)]);
+            b.seq(hi, hi2);
+            for (i, s) in [s1, hi, hi2, lo].iter().enumerate() {
+                b.configure(*s, |d| d.eligible_agents = vec![AgentId(i as u32)]);
+            }
+            let schema = b.build().unwrap();
+            assert_eq!(schema.terminal_steps().len(), 2);
+
+            let mut system = WorkflowSystem::new([schema], arch);
+            log.register(&mut system.deployment.registry, "log");
+            let mut scenario = Scenario::new();
+            let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(input))]);
+            let inst = scenario.instance_id(idx);
+            let report = system.run(scenario);
+            assert_eq!(report.committed(), 1, "{arch:?} input={input}");
+            if input > 10 {
+                assert_eq!(log.count(inst, hi2), 1);
+                assert_eq!(log.count(inst, lo), 0);
+            } else {
+                assert_eq!(log.count(inst, hi), 0);
+                assert_eq!(log.count(inst, lo), 1);
+            }
+        }
+    }
+}

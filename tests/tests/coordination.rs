@@ -1,0 +1,257 @@
+//! Coordinated-execution requirements across concurrent workflows:
+//! relative ordering (Figure 2), mutual exclusion, rollback dependencies.
+
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_integration_tests::ExecLog;
+use crew_model::{
+    AgentId, CoordinationSpec, MutualExclusion, RelativeOrder, RollbackDependency,
+    SchemaBuilder, SchemaId, SchemaStep, StepId, Value,
+};
+use crew_simnet::Mechanism;
+
+const ALL_ARCHS: [Architecture; 3] = [
+    Architecture::Central { agents: 6 },
+    Architecture::Parallel { agents: 6, engines: 3 },
+    Architecture::Distributed { agents: 6 },
+];
+
+fn logged_linear(id: u32, steps: u32, agent_base: u32) -> crew_model::WorkflowSchema {
+    let mut b = SchemaBuilder::new(SchemaId(id), format!("wf{id}")).inputs(1);
+    let ids: Vec<_> = (0..steps)
+        .map(|i| b.add_step(format!("S{}", i + 1), "log"))
+        .collect();
+    for w in ids.windows(2) {
+        b.seq(w[0], w[1]);
+    }
+    for (i, s) in ids.iter().enumerate() {
+        b.configure(*s, |d| {
+            d.eligible_agents = vec![AgentId((agent_base + i as u32) % 6)];
+            d.compensation_program = Some("passthrough".into());
+        });
+    }
+    b.build().unwrap()
+}
+
+/// Figure 2: two workflows with two conflicting step pairs. Whatever order
+/// the first pair executes in, the second pair must follow the same
+/// relative order.
+#[test]
+fn relative_order_preserved_across_pairs() {
+    for arch in ALL_ARCHS {
+        // WF1 steps S2, S4 conflict with WF2 steps S2, S4.
+        let ro = RelativeOrder {
+            id: 0,
+            conflict: "parts".into(),
+            pairs: vec![
+                (
+                    SchemaStep::new(SchemaId(1), StepId(2)),
+                    SchemaStep::new(SchemaId(2), StepId(2)),
+                ),
+                (
+                    SchemaStep::new(SchemaId(1), StepId(4)),
+                    SchemaStep::new(SchemaId(2), StepId(4)),
+                ),
+            ],
+        };
+        // Bias the race both ways by swapping agent placement.
+        for (base1, base2) in [(0u32, 3u32), (3, 0)] {
+            let log = ExecLog::new();
+            let wf1 = logged_linear(1, 5, base1);
+            let wf2 = logged_linear(2, 5, base2);
+            let mut system = WorkflowSystem::new([wf1, wf2], arch);
+            system.deployment.coordination = CoordinationSpec {
+                relative_orders: vec![ro.clone()],
+                ..CoordinationSpec::default()
+            };
+            log.register(&mut system.deployment.registry, "log");
+
+            let mut scenario = Scenario::new();
+            let a = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+            let b = scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
+            scenario.link(a, b);
+            let ia = scenario.instance_id(a);
+            let ib = scenario.instance_id(b);
+            let report = system.run(scenario);
+
+            assert_eq!(report.committed(), 2, "{arch:?} base=({base1},{base2})");
+            // The invariant: first-pair order == second-pair order.
+            let p2a = log.position(ia, StepId(2)).expect("WF1.S2 ran");
+            let p2b = log.position(ib, StepId(2)).expect("WF2.S2 ran");
+            let p4a = log.position(ia, StepId(4)).expect("WF1.S4 ran");
+            let p4b = log.position(ib, StepId(4)).expect("WF2.S4 ran");
+            assert_eq!(
+                p2a < p2b,
+                p4a < p4b,
+                "{arch:?} base=({base1},{base2}): relative order violated: \
+                 pair1 {p2a}/{p2b}, pair2 {p4a}/{p4b}"
+            );
+        }
+    }
+}
+
+/// Mutual exclusion: member steps of concurrent instances never starve and
+/// all instances commit; each member executes exactly once.
+#[test]
+fn mutual_exclusion_serializes_and_commits() {
+    for arch in ALL_ARCHS {
+        let log = ExecLog::new();
+        let wf1 = logged_linear(1, 4, 0);
+        let wf2 = logged_linear(2, 4, 2);
+        let mut system = WorkflowSystem::new([wf1, wf2], arch);
+        system.deployment.coordination = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "paint-booth".into(),
+                members: vec![
+                    SchemaStep::new(SchemaId(1), StepId(3)),
+                    SchemaStep::new(SchemaId(2), StepId(3)),
+                ],
+            }],
+            ..CoordinationSpec::default()
+        };
+        log.register(&mut system.deployment.registry, "log");
+
+        let mut scenario = Scenario::new();
+        let mut ids = Vec::new();
+        for k in 0..3 {
+            ids.push(scenario.start(SchemaId(1), vec![(1, Value::Int(k))]));
+            ids.push(scenario.start(SchemaId(2), vec![(1, Value::Int(k))]));
+        }
+        let instances: Vec<_> = ids.iter().map(|&i| scenario.instance_id(i)).collect();
+        let report = system.run(scenario);
+
+        assert_eq!(report.committed(), 6, "{arch:?}");
+        for i in &instances {
+            assert_eq!(log.count(*i, StepId(3)), 1, "{arch:?}: {i} member ran once");
+        }
+        // Centralized control coordinates without messages; the other two
+        // need coordination traffic.
+        let coord_msgs = report.messages_per_instance(Mechanism::CoordinatedExecution);
+        match arch {
+            Architecture::Central { .. } => {
+                assert_eq!(coord_msgs, 0.0, "central coordination is message-free")
+            }
+            _ => assert!(coord_msgs > 0.0, "{arch:?}: expected coordination traffic"),
+        }
+    }
+}
+
+/// Rollback dependency: when the source workflow rolls back past the
+/// declared step, the linked dependent instance rolls back too.
+#[test]
+fn rollback_dependency_propagates() {
+    for arch in ALL_ARCHS {
+        let log = ExecLog::new();
+        // WF1: S1 log, S2 flaky (fails once, rolls back to S1).
+        let mut b = SchemaBuilder::new(SchemaId(1), "src").inputs(1);
+        let s1 = b.add_step("A", "log");
+        let s2 = b.add_step("B", "flaky");
+        b.seq(s1, s2);
+        b.on_failure_rollback_to(s2, s1);
+        b.configure(s1, |d| {
+            d.eligible_agents = vec![AgentId(0)];
+            d.compensation_program = Some("passthrough".into());
+            d.reexec = crew_model::ReexecPolicy::Always;
+        });
+        b.configure(s2, |d| d.eligible_agents = vec![AgentId(1)]);
+        let wf1 = b.build().unwrap();
+        // WF2: 4 slow steps so it is mid-flight when WF1 fails.
+        let wf2 = logged_linear(2, 4, 2);
+
+        let mut system = WorkflowSystem::new([wf1, wf2], arch);
+        system.deployment.coordination = CoordinationSpec {
+            rollback_dependencies: vec![RollbackDependency {
+                id: 0,
+                source: SchemaStep::new(SchemaId(1), StepId(1)),
+                dependent_schema: SchemaId(2),
+                dependent_origin: StepId(1),
+            }],
+            ..CoordinationSpec::default()
+        };
+        log.register(&mut system.deployment.registry, "log");
+        log.register_flaky(&mut system.deployment.registry, "flaky");
+
+        let mut scenario = Scenario::new();
+        let a = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+        let bidx = scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
+        scenario.link(a, bidx);
+        let ia = scenario.instance_id(a);
+        let ib = scenario.instance_id(bidx);
+        let report = system.run(scenario);
+
+        assert_eq!(report.committed(), 2, "{arch:?}");
+        // WF1's S1 re-executed (Always policy, rollback to S1).
+        assert_eq!(log.count(ia, StepId(1)), 2, "{arch:?}: source rolled back");
+        // WF2's S1 executed at least once; if the dependency landed while
+        // WF2 was still in flight, it re-executed too (its policy is
+        // IfInputsChanged with no inputs → reuse, so count stays 1; the
+        // observable effect is that WF2 still commits despite the forced
+        // rollback).
+        assert!(log.count(ib, StepId(1)) >= 1, "{arch:?}");
+    }
+}
+
+/// Coordination requirements among *unlinked* instances are inert: no
+/// waiting, no cross-talk.
+#[test]
+fn unlinked_instances_ignore_requirements() {
+    for arch in ALL_ARCHS {
+        let log = ExecLog::new();
+        let wf1 = logged_linear(1, 3, 0);
+        let wf2 = logged_linear(2, 3, 3);
+        let mut system = WorkflowSystem::new([wf1, wf2], arch);
+        system.deployment.coordination = CoordinationSpec {
+            relative_orders: vec![RelativeOrder {
+                id: 0,
+                conflict: "x".into(),
+                pairs: vec![
+                    (
+                        SchemaStep::new(SchemaId(1), StepId(1)),
+                        SchemaStep::new(SchemaId(2), StepId(1)),
+                    ),
+                    (
+                        SchemaStep::new(SchemaId(1), StepId(2)),
+                        SchemaStep::new(SchemaId(2), StepId(2)),
+                    ),
+                ],
+            }],
+            ..CoordinationSpec::default()
+        };
+        log.register(&mut system.deployment.registry, "log");
+
+        let mut scenario = Scenario::new();
+        scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+        scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
+        // No scenario.link(...) — the instances are not concurrent over
+        // shared resources.
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 2, "{arch:?}");
+    }
+}
+
+/// Three-way contention on one mutex with interleaved starts: strict FIFO
+/// handoff means everyone eventually runs; nobody deadlocks.
+#[test]
+fn mutex_three_way_contention_no_deadlock() {
+    for arch in ALL_ARCHS {
+        let log = ExecLog::new();
+        let wf1 = logged_linear(1, 2, 0);
+        let mut system = WorkflowSystem::new([wf1], arch);
+        system.deployment.coordination = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "dock".into(),
+                members: vec![SchemaStep::new(SchemaId(1), StepId(2))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        log.register(&mut system.deployment.registry, "log");
+
+        let mut scenario = Scenario::new();
+        for k in 0..5 {
+            scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+        }
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 5, "{arch:?}");
+    }
+}

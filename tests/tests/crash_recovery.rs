@@ -1,0 +1,229 @@
+//! Agent-failure handling in distributed control (§5.2): crashed
+//! successor agents (messages buffered by the reliable substrate), crashed
+//! predecessors (pending-rule timeout → `StepStatus` poll → query-step
+//! takeover at an alternate eligible agent), and WAL-based forward
+//! recovery of agent state.
+
+use crew_core::{Architecture, CrashWindow, Scenario, WorkflowSystem};
+use crew_integration_tests::ExecLog;
+use crew_model::{AgentId, SchemaBuilder, SchemaId, StepId, StepKind, Value};
+use crew_storage::{AgentDb, DbOp, InstanceStatus, Wal};
+
+/// A successor agent is down when the packet arrives: the persistent
+/// substrate buffers it; on recovery the workflow continues and commits.
+#[test]
+fn crashed_successor_buffers_until_recovery() {
+    let log = ExecLog::new();
+    let mut b = SchemaBuilder::new(SchemaId(1), "buf").inputs(1);
+    let s1 = b.add_step("A", "log");
+    let s2 = b.add_step("B", "log");
+    let s3 = b.add_step("C", "log");
+    b.seq(s1, s2).seq(s2, s3);
+    for (i, s) in [s1, s2, s3].iter().enumerate() {
+        b.configure(*s, |d| d.eligible_agents = vec![AgentId(i as u32)]);
+    }
+    let schema = b.build().unwrap();
+
+    let mut system = WorkflowSystem::new([schema], Architecture::Distributed { agents: 3 });
+    log.register(&mut system.deployment.registry, "log");
+
+    let mut scenario = Scenario::new();
+    let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(5))]);
+    // Agent 1 (B's executor) is down from the start, recovering later.
+    scenario.crash(CrashWindow { agent: 1, at: 1, down_for: Some(200) });
+    let inst = scenario.instance_id(idx);
+    let report = system.run(scenario);
+
+    assert_eq!(report.committed(), 1);
+    assert_eq!(log.count(inst, s2), 1, "B ran exactly once, after recovery");
+    assert!(report.virtual_time >= 200, "commit waited for the recovery");
+}
+
+/// Predecessor crash with a *query* step: the successor's pending-rule
+/// timeout polls `StepStatus`; all replies are Unknown, so an alternate
+/// eligible agent takes the step over and the workflow commits without the
+/// crashed agent.
+#[test]
+fn crashed_predecessor_query_step_rerouted() {
+    let log = ExecLog::new();
+    let mut b = SchemaBuilder::new(SchemaId(1), "poll").inputs(1);
+    let s1 = b.add_step("A", "log");
+    let s2 = b.add_step("B", "log"); // query step, 2 eligible agents
+    let s3 = b.add_step("C", "log");
+    b.seq(s1, s2).seq(s2, s3);
+    b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
+    b.configure(s2, |d| {
+        d.eligible_agents = vec![AgentId(1), AgentId(2)];
+        d.kind = StepKind::Query;
+    });
+    b.configure(s3, |d| d.eligible_agents = vec![AgentId(3)]);
+    let schema = b.build().unwrap();
+
+    // Find which of agents 1/2 is designated for S2 so we can crash it.
+    let mut system = WorkflowSystem::new([schema.clone()], Architecture::Distributed { agents: 4 });
+    log.register(&mut system.deployment.registry, "log");
+    system.dist_config.enable_status_polling = true;
+    system.dist_config.poll_period = 20;
+    system.dist_config.poll_timeout = 40;
+
+    let mut scenario = Scenario::new();
+    let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(5))]);
+    let inst = scenario.instance_id(idx);
+    let designated = crew_distributed::designated_agent(
+        system.deployment.seed,
+        inst,
+        schema.expect_step(s2),
+    );
+    // Crash the designated executor of S2 forever.
+    scenario.crash(CrashWindow { agent: designated.0, at: 1, down_for: None });
+    let report = system.run(scenario);
+
+    assert_eq!(report.committed(), 1, "query step taken over by alternate");
+    assert_eq!(log.count(inst, s2), 1);
+    // The StepStatus poll went to the crashed designee (buffered, never
+    // delivered), so it does not show in delivered-message metrics; the
+    // observable evidence of the protocol is the commit itself plus the
+    // single execution above, achieved without the crashed agent.
+}
+
+/// Predecessor crash with an *update* step: the paper mandates waiting for
+/// the failed agent. With no recovery the run stalls (documented
+/// behaviour); with recovery it completes.
+#[test]
+fn crashed_predecessor_update_step_waits() {
+    let build = |down_for: Option<u64>| {
+        let log = ExecLog::new();
+        let mut b = SchemaBuilder::new(SchemaId(1), "upd").inputs(1);
+        let s1 = b.add_step("A", "log");
+        let s2 = b.add_step("B", "log");
+        let s3 = b.add_step("C", "log");
+        b.seq(s1, s2).seq(s2, s3);
+        b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
+        b.configure(s2, |d| {
+            d.eligible_agents = vec![AgentId(1), AgentId(2)];
+            d.kind = StepKind::Update;
+        });
+        b.configure(s3, |d| d.eligible_agents = vec![AgentId(3)]);
+        let schema = b.build().unwrap();
+        let mut system =
+            WorkflowSystem::new([schema.clone()], Architecture::Distributed { agents: 4 });
+        log.register(&mut system.deployment.registry, "log");
+        system.dist_config.enable_status_polling = true;
+        system.dist_config.poll_period = 20;
+        system.dist_config.poll_timeout = 40;
+        let mut scenario = Scenario::new();
+        let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(5))]);
+        let inst = scenario.instance_id(idx);
+        let designated = crew_distributed::designated_agent(
+            system.deployment.seed,
+            inst,
+            schema.expect_step(s2),
+        );
+        scenario.crash(CrashWindow { agent: designated.0, at: 1, down_for });
+        system.run(scenario)
+    };
+
+    // Never recovers: the update step must NOT be rerouted; the run stalls.
+    let report = build(None);
+    assert_eq!(report.committed(), 0, "update step is never taken over");
+    // Recovers: the buffered packet is delivered and the workflow commits.
+    let report = build(Some(300));
+    assert_eq!(report.committed(), 1);
+}
+
+/// An agent that crashes *after* executing steps recovers its AGDB from
+/// the WAL: committed status and step records survive.
+#[test]
+fn agent_recovers_state_from_wal() {
+    let log = ExecLog::new();
+    let mut b = SchemaBuilder::new(SchemaId(1), "walrec").inputs(1);
+    let s1 = b.add_step("A", "log");
+    let s2 = b.add_step("B", "log");
+    b.seq(s1, s2);
+    b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
+    b.configure(s2, |d| d.eligible_agents = vec![AgentId(1)]);
+    let schema = b.build().unwrap();
+
+    let mut deployment = crew_exec::Deployment::new([schema]);
+    log.register(&mut deployment.registry, "log");
+    let mut run = crew_distributed::DistRun::new(
+        deployment,
+        2,
+        crew_distributed::DistConfig::default(),
+    );
+    let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
+    // Let the run commit, then crash/recover agent 0 (the coordinator).
+    run.run();
+    assert_eq!(
+        run.agent(AgentId(0)).instance_status(inst),
+        Some(InstanceStatus::Committed)
+    );
+    let t = run.sim.now();
+    run.sim.schedule_crash(crew_simnet::NodeId(0), t + 1, Some(5));
+    run.run();
+    // After recovery the status is still known (rebuilt from the WAL).
+    assert_eq!(
+        run.agent(AgentId(0)).instance_status(inst),
+        Some(InstanceStatus::Committed),
+        "status survived the crash via WAL replay"
+    );
+    let history = run.agent(AgentId(0)).history_of(inst).expect("instance state rebuilt");
+    assert_eq!(history.state(s1), crew_exec::StepState::Done);
+}
+
+/// The WAL itself: an interleaved write/crash/replay round trip at the
+/// storage layer (unit-level sanity used by the agent recovery above).
+#[test]
+fn wal_projection_round_trip() {
+    let inst = crew_model::InstanceId::new(SchemaId(1), 1);
+    let mut wal: Wal<DbOp> = Wal::in_memory();
+    let ops = vec![
+        DbOp::InstanceCreated { instance: inst },
+        DbOp::DataWritten {
+            instance: inst,
+            key: crew_model::ItemKey::input(1),
+            value: Value::Int(5),
+        },
+        DbOp::StatusChanged { instance: inst, status: InstanceStatus::Committed },
+    ];
+    for op in &ops {
+        wal.append(op).unwrap();
+    }
+    let recovered = wal.recover().unwrap();
+    assert_eq!(recovered, ops);
+    let db = AgentDb::replay(recovered.iter());
+    assert_eq!(db.status(inst), Some(InstanceStatus::Committed));
+}
+
+/// Crash during a multi-instance run: untouched instances commit; the
+/// instance blocked on the crashed (recovering) agent commits after
+/// recovery.
+#[test]
+fn crash_isolates_to_dependent_instances() {
+    let log = ExecLog::new();
+    let mut b = SchemaBuilder::new(SchemaId(1), "iso").inputs(1);
+    let s1 = b.add_step("A", "log");
+    let s2 = b.add_step("B", "log");
+    b.seq(s1, s2);
+    b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
+    b.configure(s2, |d| d.eligible_agents = vec![AgentId(1)]);
+    let wf1 = b.build().unwrap();
+    let mut b = SchemaBuilder::new(SchemaId(2), "iso2").inputs(1);
+    let t1 = b.add_step("A", "log");
+    let t2 = b.add_step("B", "log");
+    b.seq(t1, t2);
+    b.configure(t1, |d| d.eligible_agents = vec![AgentId(2)]);
+    b.configure(t2, |d| d.eligible_agents = vec![AgentId(3)]);
+    let wf2 = b.build().unwrap();
+
+    let mut system =
+        WorkflowSystem::new([wf1, wf2], Architecture::Distributed { agents: 4 });
+    log.register(&mut system.deployment.registry, "log");
+
+    let mut scenario = Scenario::new();
+    scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+    scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
+    scenario.crash(CrashWindow { agent: 1, at: 1, down_for: Some(100) });
+    let report = system.run(scenario);
+    assert_eq!(report.committed(), 2, "both commit; WF2 unaffected by the crash");
+}

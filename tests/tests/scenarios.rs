@@ -1,0 +1,181 @@
+//! End-to-end runs of the paper-motivated scenario workflows: order
+//! processing, travel booking (parallel + XOR), claim processing (nested
+//! workflow + loop) — under all three architectures.
+
+use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_exec::Deployment;
+use crew_model::{AgentId, ItemKey, SchemaId, StepId, Value, WorkflowSchema};
+use crew_workload::{
+    claim_processing, fraud_check, order_processing, register_programs, travel_booking,
+    CLAIM_SCHEMA, ORDER_SCHEMA, TRAVEL_SCHEMA,
+};
+
+const ALL_ARCHS: [Architecture; 3] = [
+    Architecture::Central { agents: 5 },
+    Architecture::Parallel { agents: 5, engines: 2 },
+    Architecture::Distributed { agents: 5 },
+];
+
+fn assign(schema: &mut WorkflowSchema, agents: u32) {
+    let ids: Vec<StepId> = schema.steps().map(|d| d.id).collect();
+    for (i, s) in ids.iter().enumerate() {
+        schema.set_eligible_agents(*s, vec![AgentId(i as u32 % agents)]);
+    }
+}
+
+fn scenario_deployment(agents: u32) -> Deployment {
+    let mut schemas = vec![
+        order_processing(),
+        travel_booking(),
+        claim_processing(),
+        fraud_check(),
+    ];
+    for s in &mut schemas {
+        assign(s, agents);
+    }
+    let mut deployment = Deployment::new(schemas);
+    register_programs(&mut deployment.registry);
+    deployment
+}
+
+/// Order processing commits and produces the reservation/charge artifacts.
+#[test]
+fn order_processing_commits() {
+    for arch in ALL_ARCHS {
+        let system =
+            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let mut scenario = Scenario::new();
+        let idx = scenario.start(
+            ORDER_SCHEMA,
+            vec![(1, Value::Int(40)), (2, Value::Int(250))],
+        );
+        let inst = scenario.instance_id(idx);
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 1, "{arch:?}");
+        assert_eq!(
+            report.outcomes[&inst],
+            crew_core::InstanceOutcome::Committed
+        );
+    }
+}
+
+/// Travel booking: the AND-split books all three resources, the totals
+/// join, and the XOR picks the premium branch for long trips.
+#[test]
+fn travel_booking_parallel_and_xor() {
+    for arch in ALL_ARCHS {
+        let system =
+            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let mut scenario = Scenario::new();
+        // 2 days: total = 400·2 + 150·2 + 60·2 = 1220 > 800 → premium.
+        scenario.start(TRAVEL_SCHEMA, vec![(1, Value::Int(2))]);
+        // 1 day: total = 610 ≤ 800 → basic.
+        scenario.start(TRAVEL_SCHEMA, vec![(1, Value::Int(1))]);
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 2, "{arch:?}");
+    }
+}
+
+/// Claim processing: drives the nested fraud-check workflow and the
+/// document-resubmission loop; both parent and child commit.
+#[test]
+fn claim_processing_nested_and_loop() {
+    for arch in ALL_ARCHS {
+        let system =
+            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let mut scenario = Scenario::new();
+        let idx = scenario.start(CLAIM_SCHEMA, vec![(1, Value::Int(1200))]);
+        let inst = scenario.instance_id(idx);
+        let report = system.run(scenario);
+        assert_eq!(
+            report.outcomes[&inst],
+            crew_core::InstanceOutcome::Committed,
+            "{arch:?}"
+        );
+    }
+}
+
+/// Many concurrent instances of every scenario commit deterministically.
+#[test]
+fn mixed_fleet_commits() {
+    for arch in ALL_ARCHS {
+        let system =
+            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let mut scenario = Scenario::new();
+        for k in 0..4 {
+            scenario.start(
+                ORDER_SCHEMA,
+                vec![(1, Value::Int(10 + k)), (2, Value::Int(100))],
+            );
+            scenario.start(TRAVEL_SCHEMA, vec![(1, Value::Int(1 + k % 3))]);
+            scenario.start(CLAIM_SCHEMA, vec![(1, Value::Int(900 + k))]);
+        }
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 12, "{arch:?}");
+        assert!(report.all_terminal(), "{arch:?}");
+    }
+}
+
+/// The same scenario under the same seed produces byte-identical metrics —
+/// the determinism the experiment harness depends on.
+#[test]
+fn runs_are_deterministic() {
+    let run_once = || {
+        let system = WorkflowSystem::with_deployment(
+            scenario_deployment(5),
+            Architecture::Distributed { agents: 5 },
+        );
+        let mut scenario = Scenario::new();
+        scenario.start(ORDER_SCHEMA, vec![(1, Value::Int(40)), (2, Value::Int(250))]);
+        scenario.start(TRAVEL_SCHEMA, vec![(1, Value::Int(2))]);
+        let report = system.run(scenario);
+        (
+            report.metrics.total_messages,
+            report.metrics.by_kind.clone(),
+            report.virtual_time,
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+/// Workflow data flows correctly end to end: the order's charge amount
+/// equals the input amount (distributed data-table check).
+#[test]
+fn data_flow_is_correct_distributed() {
+    let deployment = scenario_deployment(5);
+    let system = WorkflowSystem::with_deployment(
+        deployment,
+        Architecture::Distributed { agents: 5 },
+    );
+    let mut scenario = Scenario::new();
+    let idx = scenario.start(
+        ORDER_SCHEMA,
+        vec![(1, Value::Int(40)), (2, Value::Int(250))],
+    );
+    let inst = scenario.instance_id(idx);
+    // Run manually through DistRun to inspect agent state.
+    let mut dep2 = scenario_deployment(5);
+    dep2.seed = 0;
+    let mut run = crew_distributed::DistRun::new(
+        dep2,
+        5,
+        crew_distributed::DistConfig::default(),
+    );
+    let inst2 = run.start_instance(ORDER_SCHEMA, vec![(1, Value::Int(40)), (2, Value::Int(250))]);
+    run.run();
+    assert_eq!(inst2, inst);
+    // Find the agent that executed ChargePayment (S3) and check outputs.
+    let charge_out = ItemKey::output(StepId(3), 2);
+    let mut found = false;
+    for a in 0..5 {
+        if let Some(data) = run.agent(AgentId(a)).data_of(inst) {
+            if let Some(v) = data.get(&charge_out) {
+                assert_eq!(v, &Value::Int(250));
+                found = true;
+            }
+        }
+    }
+    assert!(found, "charge amount visible at some agent");
+    let _ = system;
+    let _ = SchemaId(0);
+}
