@@ -211,9 +211,21 @@ mod tests {
         p.a = 4.0;
         p.d = 2.0;
         p.e = 2.0;
-        let r = rank(Profile::NormalPlusCoordinated, Criterion::PhysicalMessages, &p);
-        let dist_rank = r.iter().find(|x| x.arch == Architecture::Distributed).unwrap().rank;
-        let par_rank = r.iter().find(|x| x.arch == Architecture::Parallel).unwrap().rank;
+        let r = rank(
+            Profile::NormalPlusCoordinated,
+            Criterion::PhysicalMessages,
+            &p,
+        );
+        let dist_rank = r
+            .iter()
+            .find(|x| x.arch == Architecture::Distributed)
+            .unwrap()
+            .rank;
+        let par_rank = r
+            .iter()
+            .find(|x| x.arch == Architecture::Parallel)
+            .unwrap()
+            .rank;
         assert!(dist_rank > par_rank);
     }
 }

@@ -57,8 +57,11 @@ pub enum Architecture {
 
 impl Architecture {
     /// Const.
-    pub const ALL: [Architecture; 3] =
-        [Architecture::Central, Architecture::Parallel, Architecture::Distributed];
+    pub const ALL: [Architecture; 3] = [
+        Architecture::Central,
+        Architecture::Parallel,
+        Architecture::Distributed,
+    ];
 
     /// Label.
     pub fn label(self) -> &'static str {
@@ -114,9 +117,7 @@ pub fn messages(arch: Architecture, mech: Mechanism, p: &Params) -> f64 {
         (Architecture::Parallel, Mechanism::InputChange) => 2.0 * p.r * p.pi * p.pr * p.a,
         (Architecture::Parallel, Mechanism::Abort) => 2.0 * p.w * p.pa * p.a,
         (Architecture::Parallel, Mechanism::FailureHandling) => 2.0 * p.r * p.pf * p.pr * p.a,
-        (Architecture::Parallel, Mechanism::CoordinatedExecution) => {
-            p.coord_steps() * p.e * p.s
-        }
+        (Architecture::Parallel, Mechanism::CoordinatedExecution) => p.coord_steps() * p.e * p.s,
 
         (Architecture::Distributed, Mechanism::Normal) => p.s * p.a + p.f,
         (Architecture::Distributed, Mechanism::InputChange) => (p.r + p.v) * p.pi * p.a,
@@ -157,9 +158,7 @@ pub fn load_expression(arch: Architecture, mech: Mechanism) -> &'static str {
         (Architecture::Distributed, Mechanism::InputChange) => "(l·r·pi)/z",
         (Architecture::Distributed, Mechanism::Abort) => "(l·w·pa)/z",
         (Architecture::Distributed, Mechanism::FailureHandling) => "(l·r·pf)/z",
-        (Architecture::Distributed, Mechanism::CoordinatedExecution) => {
-            "(l·(me+ro+rd)·a·d·s)/z"
-        }
+        (Architecture::Distributed, Mechanism::CoordinatedExecution) => "(l·(me+ro+rd)·a·d·s)/z",
     }
 }
 
@@ -167,9 +166,7 @@ pub fn load_expression(arch: Architecture, mech: Mechanism) -> &'static str {
 pub fn message_expression(arch: Architecture, mech: Mechanism) -> &'static str {
     match (arch, mech) {
         (Architecture::Central | Architecture::Parallel, Mechanism::Normal) => "2·s·a",
-        (Architecture::Central | Architecture::Parallel, Mechanism::InputChange) => {
-            "2·r·pi·pr·a"
-        }
+        (Architecture::Central | Architecture::Parallel, Mechanism::InputChange) => "2·r·pi·pr·a",
         (Architecture::Central | Architecture::Parallel, Mechanism::Abort) => "2·w·pa·a",
         (Architecture::Central | Architecture::Parallel, Mechanism::FailureHandling) => {
             "2·r·pf·pr·a"
@@ -245,7 +242,10 @@ mod tests {
         assert!(close(messages(P, Mechanism::InputChange, &p), 0.125));
         assert!(close(messages(P, Mechanism::Abort, &p), 0.2));
         assert!(close(messages(P, Mechanism::FailureHandling, &p), 0.5));
-        assert!(close(messages(P, Mechanism::CoordinatedExecution, &p), 300.0));
+        assert!(close(
+            messages(P, Mechanism::CoordinatedExecution, &p),
+            300.0
+        ));
     }
 
     /// Table 6's normalized values, verbatim — except the coordinated-
@@ -266,7 +266,10 @@ mod tests {
         assert!(close(messages(D, Mechanism::InputChange, &p), 0.45));
         assert!(close(messages(D, Mechanism::Abort, &p), 0.2));
         assert!(close(messages(D, Mechanism::FailureHandling, &p), 1.8));
-        assert!(close(messages(D, Mechanism::CoordinatedExecution, &p), 150.0));
+        assert!(close(
+            messages(D, Mechanism::CoordinatedExecution, &p),
+            150.0
+        ));
     }
 
     #[test]
@@ -320,15 +323,21 @@ mod tests {
         p.d = 1.0;
         p.e = 4.0; // a·d = 1 < 4
         assert!(
-            messages(Architecture::Distributed, Mechanism::CoordinatedExecution, &p)
-                < messages(Architecture::Parallel, Mechanism::CoordinatedExecution, &p)
+            messages(
+                Architecture::Distributed,
+                Mechanism::CoordinatedExecution,
+                &p
+            ) < messages(Architecture::Parallel, Mechanism::CoordinatedExecution, &p)
         );
         p.a = 4.0;
         p.d = 2.0;
         p.e = 2.0; // a·d = 8 > 2
         assert!(
-            messages(Architecture::Distributed, Mechanism::CoordinatedExecution, &p)
-                > messages(Architecture::Parallel, Mechanism::CoordinatedExecution, &p)
+            messages(
+                Architecture::Distributed,
+                Mechanism::CoordinatedExecution,
+                &p
+            ) > messages(Architecture::Parallel, Mechanism::CoordinatedExecution, &p)
         );
     }
 }

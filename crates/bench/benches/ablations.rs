@@ -2,10 +2,10 @@
 //! Saga-style recovery cost, compensation-dependent-set size, coordination
 //! density (the (me+ro+rd)/s scalability knob), and packet growth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crew_bench::measure;
 use crew_core::Architecture;
 use crew_workload::SetupParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn base() -> SetupParams {
     SetupParams {
@@ -43,7 +43,13 @@ fn ocr_vs_saga(c: &mut Criterion) {
 fn coordination_density(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/coordination_density");
     for density in [0u32, 2, 4] {
-        let p = SetupParams { me: density, ro: density, rd: density / 2, pf: 0.0, ..base() };
+        let p = SetupParams {
+            me: density,
+            ro: density,
+            rd: density / 2,
+            pf: 0.0,
+            ..base()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(density), &p, |b, p| {
             b.iter(|| measure(Architecture::Distributed { agents: p.z }, p, 4))
         });
@@ -56,7 +62,11 @@ fn coordination_density(c: &mut Criterion) {
 fn rollback_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/rollback_depth");
     for r in [1u32, 4, 8] {
-        let p = SetupParams { r, pf: 0.2, ..base() };
+        let p = SetupParams {
+            r,
+            pf: 0.2,
+            ..base()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(r), &p, |b, p| {
             b.iter(|| measure(Architecture::Distributed { agents: p.z }, p, 8))
         });

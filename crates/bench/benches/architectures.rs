@@ -3,15 +3,18 @@
 //! evaluation table (Table 4 = central, Table 5 = parallel, Table 6 =
 //! distributed), plus a throughput sweep over the instance count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crew_bench::measure;
 use crew_core::Architecture;
 use crew_workload::SetupParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn mean_point() -> SetupParams {
     // A scaled-down mean point (c=4 schemas instead of 20) keeps bench
     // iterations fast while preserving the per-instance ratios.
-    SetupParams { c: 4, ..SetupParams::default() }
+    SetupParams {
+        c: 4,
+        ..SetupParams::default()
+    }
 }
 
 fn arch_central(c: &mut Criterion) {
@@ -24,7 +27,16 @@ fn arch_central(c: &mut Criterion) {
 fn arch_parallel(c: &mut Criterion) {
     let p = mean_point();
     c.bench_function("table5/parallel/mean-point", |b| {
-        b.iter(|| measure(Architecture::Parallel { agents: p.z, engines: 4 }, &p, 8))
+        b.iter(|| {
+            measure(
+                Architecture::Parallel {
+                    agents: p.z,
+                    engines: 4,
+                },
+                &p,
+                8,
+            )
+        })
     });
 }
 

@@ -74,7 +74,12 @@ fn table3() {
     println!(
         "{}",
         row(
-            &["Parameter".into(), "Symbol".into(), "Range".into(), "Mean".into()],
+            &[
+                "Parameter".into(),
+                "Symbol".into(),
+                "Range".into(),
+                "Mean".into()
+            ],
             &widths
         )
     );
@@ -148,10 +153,7 @@ fn table3() {
 /// Paper-printed normalized values (load, messages) for cross-checking.
 fn paper_values(arch: AArch) -> ([f64; 5], [f64; 5]) {
     match arch {
-        AArch::Central => (
-            [15.0, 0.125, 0.05, 0.5, 75.0],
-            [60.0, 0.125, 0.2, 0.5, 0.0],
-        ),
+        AArch::Central => ([15.0, 0.125, 0.05, 0.5, 75.0], [60.0, 0.125, 0.2, 0.5, 0.0]),
         AArch::Parallel => (
             [3.75, 0.0313, 0.0125, 0.125, 75.0],
             [60.0, 0.125, 0.2, 0.5, 300.0],
@@ -183,7 +185,12 @@ fn arch_table(arch: AArch, title: &str) {
     println!(
         "{}",
         row(
-            &["Mechanism".into(), "Expression".into(), "Paper".into(), "Analytic".into()],
+            &[
+                "Mechanism".into(),
+                "Expression".into(),
+                "Paper".into(),
+                "Analytic".into()
+            ],
             &widths
         )
     );
@@ -230,10 +237,19 @@ fn arch_table(arch: AArch, title: &str) {
     }
 
     // Measured counterpart on the simulator (scaled-down mean point).
-    let sp = SetupParams { c: 4, ..SetupParams::default() };
+    let sp = SetupParams {
+        c: 4,
+        ..SetupParams::default()
+    };
     let (sys_arch, engines) = match arch {
         AArch::Central => (Architecture::Central { agents: sp.z }, 1),
-        AArch::Parallel => (Architecture::Parallel { agents: sp.z, engines: 4 }, 4),
+        AArch::Parallel => (
+            Architecture::Parallel {
+                agents: sp.z,
+                engines: 4,
+            },
+            4,
+        ),
         AArch::Distributed => (Architecture::Distributed { agents: sp.z }, 1),
     };
     let measured = measure(sys_arch, &sp, 24);
@@ -245,7 +261,14 @@ fn arch_table(arch: AArch, title: &str) {
     let widths = [24, 14, 14];
     println!(
         "{}",
-        row(&["Mechanism".into(), "Measured/inst".into(), "Analytic".into()], &widths)
+        row(
+            &[
+                "Mechanism".into(),
+                "Measured/inst".into(),
+                "Analytic".into()
+            ],
+            &widths
+        )
     );
     for (i, m) in mechs.iter().enumerate() {
         println!(
@@ -274,7 +297,10 @@ fn table7_repro() {
     let widths = [20, 22, 40];
     println!(
         "{}",
-        row(&["Criteria".into(), "Profile".into(), "Ranking".into()], &widths)
+        row(
+            &["Criteria".into(), "Profile".into(), "Ranking".into()],
+            &widths
+        )
     );
     for (criterion, profile, ranks) in table7(&p) {
         let ranking = ranks
@@ -291,7 +317,11 @@ fn table7_repro() {
         );
     }
     // Sanity: the coordination column flips to Central-first.
-    let msgs = rank(Profile::NormalPlusCoordinated, Criterion::PhysicalMessages, &p);
+    let msgs = rank(
+        Profile::NormalPlusCoordinated,
+        Criterion::PhysicalMessages,
+        &p,
+    );
     assert_eq!(msgs[0].arch, AArch::Central);
 }
 
@@ -303,7 +333,10 @@ fn fig1() {
     header("Figure 1: Components of Centralized Workflow Control (message trace)");
     let mut deployment = crew_exec::Deployment::new([crew_workload::order_processing()]);
     crew_workload::register_programs(&mut deployment.registry);
-    let ids: Vec<StepId> = deployment.schemas[&SchemaId(1)].steps().map(|d| d.id).collect();
+    let ids: Vec<StepId> = deployment.schemas[&SchemaId(1)]
+        .steps()
+        .map(|d| d.id)
+        .collect();
     {
         let schema = std::sync::Arc::make_mut(deployment.schemas.get_mut(&SchemaId(1)).unwrap());
         for (i, s) in ids.iter().enumerate() {
@@ -354,17 +387,18 @@ fn fig3() {
     // scenario variant and report the branch decision + compensations.
     let mut deployment = crew_exec::Deployment::new([crew_workload::travel_booking()]);
     crew_workload::register_programs(&mut deployment.registry);
-    let ids: Vec<StepId> = deployment.schemas[&SchemaId(2)].steps().map(|d| d.id).collect();
+    let ids: Vec<StepId> = deployment.schemas[&SchemaId(2)]
+        .steps()
+        .map(|d| d.id)
+        .collect();
     {
         let schema = std::sync::Arc::make_mut(deployment.schemas.get_mut(&SchemaId(2)).unwrap());
         for (i, s) in ids.iter().enumerate() {
             schema.set_eligible_agents(*s, vec![crew_model::AgentId(i as u32 % 4)]);
         }
     }
-    let system = WorkflowSystem::with_deployment(
-        deployment,
-        Architecture::Distributed { agents: 4 },
-    );
+    let system =
+        WorkflowSystem::with_deployment(deployment, Architecture::Distributed { agents: 4 });
     let mut scenario = Scenario::new();
     scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
     let report = system.run(scenario);
@@ -404,11 +438,8 @@ fn fig4() {
             crew_model::InstanceId::new(SchemaId(2), 2),
         ],
     );
-    let mut run = crew_distributed::DistRun::new(
-        deployment,
-        p.z,
-        crew_distributed::DistConfig::default(),
-    );
+    let mut run =
+        crew_distributed::DistRun::new(deployment, p.z, crew_distributed::DistConfig::default());
     run.sim.enable_trace();
     run.start_instance(SchemaId(1), vec![(1, Value::Int(5)), (2, Value::Int(1))]);
     run.start_instance(SchemaId(2), vec![(1, Value::Int(5)), (2, Value::Int(1))]);
@@ -442,18 +473,56 @@ fn fig5() {
     );
     let inst = InstanceId::new(SchemaId(1), 1);
     let combos: Vec<(&str, ReexecPolicy, bool, bool, CompensationKind)> = vec![
-        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, true, false, CompensationKind::Complete),
-        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, true, true, CompensationKind::Complete),
-        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, true, true, CompensationKind::Partial),
-        ("IfInputsChanged", ReexecPolicy::IfInputsChanged, false, false, CompensationKind::Complete),
-        ("Always", ReexecPolicy::Always, true, false, CompensationKind::Complete),
-        ("Never", ReexecPolicy::Never, true, true, CompensationKind::Complete),
+        (
+            "IfInputsChanged",
+            ReexecPolicy::IfInputsChanged,
+            true,
+            false,
+            CompensationKind::Complete,
+        ),
+        (
+            "IfInputsChanged",
+            ReexecPolicy::IfInputsChanged,
+            true,
+            true,
+            CompensationKind::Complete,
+        ),
+        (
+            "IfInputsChanged",
+            ReexecPolicy::IfInputsChanged,
+            true,
+            true,
+            CompensationKind::Partial,
+        ),
+        (
+            "IfInputsChanged",
+            ReexecPolicy::IfInputsChanged,
+            false,
+            false,
+            CompensationKind::Complete,
+        ),
+        (
+            "Always",
+            ReexecPolicy::Always,
+            true,
+            false,
+            CompensationKind::Complete,
+        ),
+        (
+            "Never",
+            ReexecPolicy::Never,
+            true,
+            true,
+            CompensationKind::Complete,
+        ),
     ];
     for (label, policy, executed, changed, comp) in combos {
         let mut def = StepDef::new(StepId(1), "S", "p");
         def.reexec = policy;
         def.compensation_kind = comp;
-        def.inputs = vec![crew_model::InputBinding { source: crew_model::ItemKey::input(1) }];
+        def.inputs = vec![crew_model::InputBinding {
+            source: crew_model::ItemKey::input(1),
+        }];
         let mut history = InstanceHistory::new();
         let mut env = crew_model::DataEnv::new();
         env.set(crew_model::ItemKey::input(1), Value::Int(1));
@@ -514,7 +583,13 @@ fn fig6() {
     );
     for (label, arch) in [
         ("Central", Architecture::Central { agents: p.z }),
-        ("Parallel", Architecture::Parallel { agents: p.z, engines: 4 }),
+        (
+            "Parallel",
+            Architecture::Parallel {
+                agents: p.z,
+                engines: 4,
+            },
+        ),
         ("Distributed", Architecture::Distributed { agents: p.z }),
     ] {
         let m = measure(arch, &p, 8);
@@ -617,7 +692,14 @@ fn sweep() {
             seed: 9,
         };
         let cent = measure(Architecture::Central { agents: p.z }, &p, 8);
-        let par = measure(Architecture::Parallel { agents: p.z, engines: 4 }, &p, 8);
+        let par = measure(
+            Architecture::Parallel {
+                agents: p.z,
+                engines: 4,
+            },
+            &p,
+            8,
+        );
         let dist = measure(Architecture::Distributed { agents: p.z }, &p, 8);
         println!(
             "{}",
@@ -640,7 +722,10 @@ fn sweep() {
     let widths = [6, 18, 18];
     println!(
         "{}",
-        row(&["z".into(), "max load/inst".into(), "mean load/inst".into()], &widths)
+        row(
+            &["z".into(), "max load/inst".into(), "mean load/inst".into()],
+            &widths
+        )
     );
     for z in [10u32, 20, 50, 100] {
         let p = SetupParams {
@@ -676,7 +761,10 @@ fn sweep() {
     let widths = [6, 18, 18];
     println!(
         "{}",
-        row(&["a".into(), "cent msgs/inst".into(), "dist msgs/inst".into()], &widths)
+        row(
+            &["a".into(), "cent msgs/inst".into(), "dist msgs/inst".into()],
+            &widths
+        )
     );
     for a in [1u32, 2, 3, 4] {
         let p = SetupParams {
@@ -810,7 +898,12 @@ fn ablations() {
         )
     );
     for r in [1u32, 2, 4, 8] {
-        let p = SetupParams { r, pf: 0.2, pr: 0.5, ..base };
+        let p = SetupParams {
+            r,
+            pf: 0.2,
+            pr: 0.5,
+            ..base
+        };
         let m = measure(Architecture::Distributed { agents: p.z }, &p, 12);
         println!(
             "{}",
@@ -841,7 +934,12 @@ fn ablations() {
     );
     {
         use crew_distributed::SuccessorSelection;
-        let p = SetupParams { a: 3, pf: 0.0, r: 0, ..base };
+        let p = SetupParams {
+            a: 3,
+            pf: 0.0,
+            r: 0,
+            ..base
+        };
         for (label, mode) in [
             ("designated-hash", SuccessorSelection::DesignatedHash),
             ("load-balanced", SuccessorSelection::LoadBalanced),
@@ -884,12 +982,22 @@ fn ablations() {
     println!(
         "{}",
         row(
-            &["s".into(), "Total bytes".into(), "Bytes/message".into(), "Messages".into()],
+            &[
+                "s".into(),
+                "Total bytes".into(),
+                "Bytes/message".into(),
+                "Messages".into()
+            ],
             &widths
         )
     );
     for s in [5u32, 10, 15, 25] {
-        let p = SetupParams { s, pf: 0.0, r: 0, ..base };
+        let p = SetupParams {
+            s,
+            pf: 0.0,
+            r: 0,
+            ..base
+        };
         let m = measure(Architecture::Distributed { agents: p.z }, &p, 8);
         println!(
             "{}",
@@ -897,7 +1005,10 @@ fn ablations() {
                 &[
                     format!("{s}"),
                     format!("{}", m.total_bytes),
-                    format!("{:.0}", m.total_bytes as f64 / m.total_messages.max(1) as f64),
+                    format!(
+                        "{:.0}",
+                        m.total_bytes as f64 / m.total_messages.max(1) as f64
+                    ),
                     format!("{}", m.total_messages),
                 ],
                 &widths

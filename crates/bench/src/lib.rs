@@ -13,7 +13,7 @@
 use crew_analysis::Params;
 use crew_core::{Architecture, Scenario, WorkflowSystem};
 use crew_model::{SchemaId, Value};
-use crew_simnet::Mechanism;
+use crew_simnet::{Mechanism, NetFaultPlan, TransportStats};
 use crew_workload::{build_deployment, link_instances, SetupParams};
 
 /// Measured per-instance quantities for one run.
@@ -36,6 +36,13 @@ pub struct Measured {
     pub total_bytes: u64,
     /// Virtual duration of the run.
     pub virtual_time: u64,
+    /// Wire-level transport counters. All-zero on fault-free runs, which
+    /// keeps the §6 logical counts above byte-identical with or without
+    /// the reliable-channel layer compiled in.
+    pub transport: TransportStats,
+    /// Physical frames per logical data frame (`1.0` on a quiet network);
+    /// the retransmission overhead the paper's message counts exclude.
+    pub frame_overhead: f64,
 }
 
 /// Index of a mechanism in [`Measured::msgs`].
@@ -89,6 +96,20 @@ pub fn to_analysis_params(p: &SetupParams, e: u32, f: f64, v: f64, w: f64, d: f6
 /// instances of paired schemas are linked. `pi`/`pa` draws inject user
 /// input changes / aborts mid-flight.
 pub fn measure(arch: Architecture, p: &SetupParams, instances: u32) -> Measured {
+    measure_with_faults(arch, p, instances, None)
+}
+
+/// [`measure`], optionally routing all traffic through the WAL-backed
+/// reliable channels with `net` faults injected underneath. The logical
+/// per-mechanism counts stay comparable to the fault-free run (exactly-once
+/// delivery); retransmission overhead is reported separately in
+/// [`Measured::transport`] / [`Measured::frame_overhead`].
+pub fn measure_with_faults(
+    arch: Architecture,
+    p: &SetupParams,
+    instances: u32,
+    net: Option<NetFaultPlan>,
+) -> Measured {
     let mut deployment = build_deployment(p, false);
     let schemas: Vec<SchemaId> = deployment.schemas.keys().copied().collect();
 
@@ -103,7 +124,10 @@ pub fn measure(arch: Architecture, p: &SetupParams, instances: u32) -> Measured 
     }
     let plan = deployment.plan.clone();
 
-    let system = WorkflowSystem::with_deployment(deployment, arch);
+    let mut system = WorkflowSystem::with_deployment(deployment, arch);
+    if let Some(plan) = net {
+        system = system.with_net_faults(plan);
+    }
     let mut scenario = Scenario::new();
     for (k, inst) in planned.iter().enumerate() {
         let idx = scenario.start(inst.schema, vec![(1, Value::Int(5)), (2, Value::Int(1))]);
@@ -127,6 +151,8 @@ pub fn measure(arch: Architecture, p: &SetupParams, instances: u32) -> Measured 
         virtual_time: report.virtual_time,
         mean_load: report.scheduler_load_per_instance(),
         max_load: report.max_scheduler_load_per_instance(),
+        transport: *report.transport(),
+        frame_overhead: report.frame_overhead(),
         ..Measured::default()
     };
     for m in Mechanism::ALL {
@@ -169,7 +195,10 @@ mod tests {
         };
         for arch in [
             Architecture::Central { agents: p.z },
-            Architecture::Parallel { agents: p.z, engines: 2 },
+            Architecture::Parallel {
+                agents: p.z,
+                engines: 2,
+            },
             Architecture::Distributed { agents: p.z },
         ] {
             let m = measure(arch, &p, 6);
@@ -199,6 +228,42 @@ mod tests {
         let m = measure(Architecture::Distributed { agents: p.z }, &p, 12);
         assert!(m.aborted > 0, "some instances aborted: {m:?}");
         assert_eq!(m.committed + m.aborted, 12, "{m:?}");
+    }
+
+    #[test]
+    fn faulty_measurement_reports_overhead_separately() {
+        let p = SetupParams {
+            s: 5,
+            c: 2,
+            z: 6,
+            a: 1,
+            me: 0,
+            ro: 0,
+            rd: 0,
+            r: 2,
+            pf: 0.0,
+            pi: 0.0,
+            pa: 0.0,
+            pr: 0.25,
+            seed: 21,
+        };
+        let arch = Architecture::Distributed { agents: p.z };
+        let clean = measure(arch, &p, 6);
+        let noisy = measure_with_faults(
+            arch,
+            &p,
+            6,
+            Some(NetFaultPlan::probabilistic(5, 0.05, 0.05, 0.10)),
+        );
+        // Fault-free runs never touch the transport: counters all-zero.
+        assert_eq!(clean.transport, TransportStats::default());
+        assert_eq!(clean.frame_overhead, 1.0);
+        // The faulty run commits the same fleet and reports its wire
+        // overhead out-of-band of the §6 logical counts.
+        assert_eq!(noisy.committed, clean.committed);
+        assert_eq!(noisy.aborted, clean.aborted);
+        assert!(noisy.transport.data_frames > 0);
+        assert!(noisy.frame_overhead >= 1.0);
     }
 
     #[test]

@@ -25,14 +25,28 @@ pub struct AppAgent {
 
 impl AppAgent {
     pub fn new(registry: ProgramRegistry, plan: FailurePlan, seed: u64) -> Self {
-        AppAgent { registry, plan, seed, load: 0, executed: 0, compensated: 0 }
+        AppAgent {
+            registry,
+            plan,
+            seed,
+            load: 0,
+            executed: 0,
+            compensated: 0,
+        }
     }
 }
 
 impl Node<CentralMsg> for AppAgent {
     fn on_message(&mut self, from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
         match msg {
-            CentralMsg::ExecRequest { instance, step, program, inputs, attempt, cost } => {
+            CentralMsg::ExecRequest {
+                instance,
+                step,
+                program,
+                inputs,
+                attempt,
+                cost,
+            } => {
                 let reply = if self.plan.step_fails(instance, step, attempt) {
                     CentralMsg::ExecResult {
                         instance,
@@ -84,7 +98,13 @@ impl Node<CentralMsg> for AppAgent {
                 };
                 ctx.send(from, reply);
             }
-            CentralMsg::CompensateRequest { instance, step, program, for_abort, .. } => {
+            CentralMsg::CompensateRequest {
+                instance,
+                step,
+                program,
+                for_abort,
+                ..
+            } => {
                 if let Some(name) = program {
                     if let Some(p) = self.registry.get(&name) {
                         let pctx = ProgramCtx {
@@ -99,10 +119,23 @@ impl Node<CentralMsg> for AppAgent {
                     }
                 }
                 self.compensated += 1;
-                ctx.send(from, CentralMsg::CompensateResult { instance, step, for_abort });
+                ctx.send(
+                    from,
+                    CentralMsg::CompensateResult {
+                        instance,
+                        step,
+                        for_abort,
+                    },
+                );
             }
             CentralMsg::StateProbe { token } => {
-                ctx.send(from, CentralMsg::StateProbeReply { token, load: self.load });
+                ctx.send(
+                    from,
+                    CentralMsg::StateProbeReply {
+                        token,
+                        load: self.load,
+                    },
+                );
             }
             _ => {}
         }
@@ -183,7 +216,11 @@ mod tests {
         let p = sim.node_as::<Probe>(probe).unwrap();
         assert!(matches!(
             &p.got[0],
-            CentralMsg::ExecResult { outputs: None, error: Some(_), .. }
+            CentralMsg::ExecResult {
+                outputs: None,
+                error: Some(_),
+                ..
+            }
         ));
     }
 }

@@ -37,7 +37,13 @@ impl CentralRun {
         for e in 0..engines {
             sim.add_node(Engine::new(e, deployment.clone(), topo));
         }
-        CentralRun { sim, topo, deployment, next_serial: 1, started: Vec::new() }
+        CentralRun {
+            sim,
+            topo,
+            deployment,
+            next_serial: 1,
+            started: Vec::new(),
+        }
     }
 
     /// Start an instance through its owner engine's administrative
@@ -91,7 +97,10 @@ impl CentralRun {
             .collect();
         self.sim.send_external_at(
             self.topo.engine_node(owner),
-            CentralMsg::WorkflowChangeInputs { instance, new_inputs },
+            CentralMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            },
             at,
         );
     }
@@ -105,7 +114,10 @@ impl CentralRun {
             .collect();
         self.sim.send_external(
             self.topo.engine_node(owner),
-            CentralMsg::WorkflowChangeInputs { instance, new_inputs },
+            CentralMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            },
         );
     }
 

@@ -1,0 +1,456 @@
+//! Binary codec for [`CentralMsg`], so centralized/parallel traffic can
+//! ride the simulator's WAL-backed reliable channels (the durable outbox
+//! needs to persist message payloads across fail-stop crashes).
+
+use crate::msg::{CentralMsg, CoordMsg};
+use bytes::{Bytes, BytesMut};
+use crew_storage::{CodecError, Decode, Encode};
+
+impl Encode for CoordMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CoordMsg::RoFirstDone {
+                req,
+                claimant,
+                partner,
+            } => {
+                0u8.encode(buf);
+                req.encode(buf);
+                claimant.encode(buf);
+                partner.encode(buf);
+            }
+            CoordMsg::RoDecision {
+                req,
+                a,
+                b,
+                leader_side,
+            } => {
+                1u8.encode(buf);
+                req.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+                leader_side.encode(buf);
+            }
+            CoordMsg::RoRelease { req, k, lagging } => {
+                2u8.encode(buf);
+                req.encode(buf);
+                (*k as u64).encode(buf);
+                lagging.encode(buf);
+            }
+            CoordMsg::MutexAcquire {
+                req,
+                instance,
+                step,
+            } => {
+                3u8.encode(buf);
+                req.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            CoordMsg::MutexGrant {
+                req,
+                instance,
+                step,
+            } => {
+                4u8.encode(buf);
+                req.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            CoordMsg::MutexRelease {
+                req,
+                instance,
+                step,
+            } => {
+                5u8.encode(buf);
+                req.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            CoordMsg::RollbackDep { instance, origin } => {
+                6u8.encode(buf);
+                instance.encode(buf);
+                origin.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for CoordMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => CoordMsg::RoFirstDone {
+                req: Decode::decode(buf)?,
+                claimant: Decode::decode(buf)?,
+                partner: Decode::decode(buf)?,
+            },
+            1 => CoordMsg::RoDecision {
+                req: Decode::decode(buf)?,
+                a: Decode::decode(buf)?,
+                b: Decode::decode(buf)?,
+                leader_side: Decode::decode(buf)?,
+            },
+            2 => CoordMsg::RoRelease {
+                req: Decode::decode(buf)?,
+                k: u64::decode(buf)? as usize,
+                lagging: Decode::decode(buf)?,
+            },
+            3 => CoordMsg::MutexAcquire {
+                req: Decode::decode(buf)?,
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            4 => CoordMsg::MutexGrant {
+                req: Decode::decode(buf)?,
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            5 => CoordMsg::MutexRelease {
+                req: Decode::decode(buf)?,
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            6 => CoordMsg::RollbackDep {
+                instance: Decode::decode(buf)?,
+                origin: Decode::decode(buf)?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "CoordMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for CentralMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CentralMsg::WorkflowStart { instance, inputs } => {
+                0u8.encode(buf);
+                instance.encode(buf);
+                inputs.encode(buf);
+            }
+            CentralMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            } => {
+                1u8.encode(buf);
+                instance.encode(buf);
+                new_inputs.encode(buf);
+            }
+            CentralMsg::WorkflowAbort { instance } => {
+                2u8.encode(buf);
+                instance.encode(buf);
+            }
+            CentralMsg::WorkflowStatus { instance } => {
+                3u8.encode(buf);
+                instance.encode(buf);
+            }
+            CentralMsg::ExecRequest {
+                instance,
+                step,
+                program,
+                inputs,
+                attempt,
+                cost,
+            } => {
+                4u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                program.encode(buf);
+                inputs.encode(buf);
+                attempt.encode(buf);
+                cost.encode(buf);
+            }
+            CentralMsg::StateProbe { token } => {
+                5u8.encode(buf);
+                token.encode(buf);
+            }
+            CentralMsg::CompensateRequest {
+                instance,
+                step,
+                program,
+                partial,
+                for_abort,
+            } => {
+                6u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                program.encode(buf);
+                partial.encode(buf);
+                for_abort.encode(buf);
+            }
+            CentralMsg::ExecResult {
+                instance,
+                step,
+                attempt,
+                outputs,
+                error,
+            } => {
+                7u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                attempt.encode(buf);
+                outputs.encode(buf);
+                error.encode(buf);
+            }
+            CentralMsg::StateProbeReply { token, load } => {
+                8u8.encode(buf);
+                token.encode(buf);
+                load.encode(buf);
+            }
+            CentralMsg::CompensateResult {
+                instance,
+                step,
+                for_abort,
+            } => {
+                9u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                for_abort.encode(buf);
+            }
+            CentralMsg::Coord(c) => {
+                10u8.encode(buf);
+                c.encode(buf);
+            }
+            CentralMsg::ChildStart {
+                child,
+                inputs,
+                parent,
+                parent_step,
+            } => {
+                11u8.encode(buf);
+                child.encode(buf);
+                inputs.encode(buf);
+                parent.encode(buf);
+                parent_step.encode(buf);
+            }
+            CentralMsg::ChildDone {
+                parent,
+                parent_step,
+                outputs,
+            } => {
+                12u8.encode(buf);
+                parent.encode(buf);
+                parent_step.encode(buf);
+                outputs.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for CentralMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => CentralMsg::WorkflowStart {
+                instance: Decode::decode(buf)?,
+                inputs: Decode::decode(buf)?,
+            },
+            1 => CentralMsg::WorkflowChangeInputs {
+                instance: Decode::decode(buf)?,
+                new_inputs: Decode::decode(buf)?,
+            },
+            2 => CentralMsg::WorkflowAbort {
+                instance: Decode::decode(buf)?,
+            },
+            3 => CentralMsg::WorkflowStatus {
+                instance: Decode::decode(buf)?,
+            },
+            4 => CentralMsg::ExecRequest {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                program: Decode::decode(buf)?,
+                inputs: Decode::decode(buf)?,
+                attempt: Decode::decode(buf)?,
+                cost: Decode::decode(buf)?,
+            },
+            5 => CentralMsg::StateProbe {
+                token: Decode::decode(buf)?,
+            },
+            6 => CentralMsg::CompensateRequest {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                program: Decode::decode(buf)?,
+                partial: Decode::decode(buf)?,
+                for_abort: Decode::decode(buf)?,
+            },
+            7 => CentralMsg::ExecResult {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                attempt: Decode::decode(buf)?,
+                outputs: Decode::decode(buf)?,
+                error: Decode::decode(buf)?,
+            },
+            8 => CentralMsg::StateProbeReply {
+                token: Decode::decode(buf)?,
+                load: Decode::decode(buf)?,
+            },
+            9 => CentralMsg::CompensateResult {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                for_abort: Decode::decode(buf)?,
+            },
+            10 => CentralMsg::Coord(CoordMsg::decode(buf)?),
+            11 => CentralMsg::ChildStart {
+                child: Decode::decode(buf)?,
+                inputs: Decode::decode(buf)?,
+                parent: Decode::decode(buf)?,
+                parent_step: Decode::decode(buf)?,
+            },
+            12 => CentralMsg::ChildDone {
+                parent: Decode::decode(buf)?,
+                parent_step: Decode::decode(buf)?,
+                outputs: Decode::decode(buf)?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "CentralMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+    use crew_model::{InstanceId, ItemKey, SchemaId, StepId, Value};
+
+    fn inst(n: u32) -> InstanceId {
+        InstanceId::new(SchemaId(2), n)
+    }
+
+    fn round_trip(msg: CentralMsg) {
+        let bytes = msg.to_bytes();
+        let mut buf = bytes.clone();
+        let back = CentralMsg::decode(&mut buf).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(buf.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(CentralMsg::WorkflowStart {
+            instance: inst(1),
+            inputs: vec![
+                (ItemKey::input(0), Value::Int(7)),
+                (ItemKey::input(1), Value::Bool(true)),
+            ],
+        });
+        round_trip(CentralMsg::WorkflowChangeInputs {
+            instance: inst(2),
+            new_inputs: vec![(ItemKey::output(StepId(3), 0), Value::Str("x".into()))],
+        });
+        round_trip(CentralMsg::WorkflowAbort { instance: inst(3) });
+        round_trip(CentralMsg::WorkflowStatus { instance: inst(4) });
+        round_trip(CentralMsg::ExecRequest {
+            instance: inst(5),
+            step: StepId(2),
+            program: "passthrough".into(),
+            inputs: vec![Some(Value::Float(0.5)), None],
+            attempt: 2,
+            cost: 99,
+        });
+        round_trip(CentralMsg::StateProbe { token: u64::MAX });
+        round_trip(CentralMsg::CompensateRequest {
+            instance: inst(6),
+            step: StepId(1),
+            program: Some("undo".into()),
+            partial: true,
+            for_abort: false,
+        });
+        round_trip(CentralMsg::ExecResult {
+            instance: inst(7),
+            step: StepId(3),
+            attempt: 1,
+            outputs: Some(vec![Value::Int(1)]),
+            error: None,
+        });
+        round_trip(CentralMsg::ExecResult {
+            instance: inst(7),
+            step: StepId(3),
+            attempt: 2,
+            outputs: None,
+            error: Some("boom".into()),
+        });
+        round_trip(CentralMsg::StateProbeReply {
+            token: 4,
+            load: 1000,
+        });
+        round_trip(CentralMsg::CompensateResult {
+            instance: inst(8),
+            step: StepId(4),
+            for_abort: true,
+        });
+        round_trip(CentralMsg::ChildStart {
+            child: inst(9),
+            inputs: vec![],
+            parent: inst(1),
+            parent_step: StepId(5),
+        });
+        round_trip(CentralMsg::ChildDone {
+            parent: inst(1),
+            parent_step: StepId(5),
+            outputs: vec![Value::Bool(false)],
+        });
+    }
+
+    #[test]
+    fn coord_variants_round_trip() {
+        for c in [
+            CoordMsg::RoFirstDone {
+                req: 1,
+                claimant: inst(1),
+                partner: inst(2),
+            },
+            CoordMsg::RoDecision {
+                req: 2,
+                a: inst(1),
+                b: inst(2),
+                leader_side: 1,
+            },
+            CoordMsg::RoRelease {
+                req: 3,
+                k: 4,
+                lagging: inst(2),
+            },
+            CoordMsg::MutexAcquire {
+                req: 4,
+                instance: inst(3),
+                step: StepId(1),
+            },
+            CoordMsg::MutexGrant {
+                req: 5,
+                instance: inst(3),
+                step: StepId(1),
+            },
+            CoordMsg::MutexRelease {
+                req: 6,
+                instance: inst(3),
+                step: StepId(1),
+            },
+            CoordMsg::RollbackDep {
+                instance: inst(4),
+                origin: StepId(2),
+            },
+        ] {
+            round_trip(CentralMsg::Coord(c));
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = Bytes::from_static(&[200u8]);
+        assert!(matches!(
+            CentralMsg::decode(&mut buf),
+            Err(CodecError::BadTag {
+                context: "CentralMsg",
+                tag: 200
+            })
+        ));
+    }
+}

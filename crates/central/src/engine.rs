@@ -237,17 +237,25 @@ impl Engine {
     ) -> Option<(u8, usize, InstanceId, InstanceId)> {
         let (side, steps) = ro_side(r, instance, partner)?;
         let k = steps.iter().position(|&s| s == step)?;
-        let (a, b) = if side == 0 { (instance, partner) } else { (partner, instance) };
+        let (a, b) = if side == 0 {
+            (instance, partner)
+        } else {
+            (partner, instance)
+        };
         Some((side, k, a, b))
     }
 
     /// Should `step` of `instance` wait on a relative-order guard?
-    fn ro_blocked(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) -> bool {
+    fn ro_blocked(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) -> bool {
         let dep = self.deployment.clone();
         for r in &dep.coordination.relative_orders {
             for partner in dep.ro_links.partners_of(instance) {
-                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step)
-                else {
+                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step) else {
                     continue;
                 };
                 self.nav_load(ctx); // the coordination check itself costs
@@ -327,7 +335,11 @@ impl Engine {
             } else {
                 ctx.send(
                     self.topo.engine_node(manager),
-                    CentralMsg::Coord(CoordMsg::MutexAcquire { req: m.id, instance, step }),
+                    CentralMsg::Coord(CoordMsg::MutexAcquire {
+                        req: m.id,
+                        instance,
+                        step,
+                    }),
                 );
             }
         }
@@ -391,7 +403,11 @@ impl Engine {
         } else {
             ctx.send(
                 self.topo.engine_node(owner_engine),
-                CentralMsg::Coord(CoordMsg::MutexGrant { req, instance, step }),
+                CentralMsg::Coord(CoordMsg::MutexGrant {
+                    req,
+                    instance,
+                    step,
+                }),
             );
         }
     }
@@ -410,7 +426,11 @@ impl Engine {
         } else {
             ctx.send(
                 self.topo.engine_node(manager),
-                CentralMsg::Coord(CoordMsg::MutexRelease { req, instance, step }),
+                CentralMsg::Coord(CoordMsg::MutexRelease {
+                    req,
+                    instance,
+                    step,
+                }),
             );
         }
     }
@@ -528,7 +548,11 @@ impl Engine {
                         }
                     }
                 }
-                items.push(CompItem { step, partial, reason: CompReason::Failure });
+                items.push(CompItem {
+                    step,
+                    partial,
+                    reason: CompReason::Failure,
+                });
                 {
                     let st = self.inst(instance);
                     st.comp_queue.extend(items);
@@ -595,7 +619,12 @@ impl Engine {
     }
 
     /// Local effects of a completed compensation.
-    fn apply_compensation(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<CentralMsg>) {
+    fn apply_compensation(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
         let schema = self.schema(instance);
         {
             let st = self.inst(instance);
@@ -603,7 +632,11 @@ impl Engine {
             st.history.record_compensated(step);
             st.rules.add_event(EventKind::StepCompensated(step));
             st.rules.invalidate_event(EventKind::StepDone(step));
-            for arc_to in schema.forward_outgoing(step).map(|a| a.to).collect::<Vec<_>>() {
+            for arc_to in schema
+                .forward_outgoing(step)
+                .map(|a| a.to)
+                .collect::<Vec<_>>()
+            {
                 if let Some(slots) = st.weight_in.get_mut(&arc_to) {
                     slots.remove(&step);
                 }
@@ -618,7 +651,12 @@ impl Engine {
     /// Scatter-gather dispatch of a step's program: `ExecRequest` to the
     /// chosen executor, `StateProbe` to the other eligible agents — the
     /// `2·a` messages per step of the §6 model.
-    fn dispatch(&mut self, instance: InstanceId, def: &crew_model::StepDef, ctx: &mut Ctx<CentralMsg>) {
+    fn dispatch(
+        &mut self,
+        instance: InstanceId,
+        def: &crew_model::StepDef,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
         self.nav_load(ctx);
         let (attempt, inputs) = {
             let st = self.inst(instance);
@@ -650,7 +688,12 @@ impl Engine {
                 );
             } else {
                 self.probe_token += 1;
-                ctx.send(node, CentralMsg::StateProbe { token: self.probe_token });
+                ctx.send(
+                    node,
+                    CentralMsg::StateProbe {
+                        token: self.probe_token,
+                    },
+                );
             }
         }
     }
@@ -731,7 +774,10 @@ impl Engine {
         {
             let st = self.inst(instance);
             for t in &forward {
-                st.weight_in.entry(*t).or_default().insert(step, branch_weight);
+                st.weight_in
+                    .entry(*t)
+                    .or_default()
+                    .insert(step, branch_weight);
             }
             for arc in schema.outgoing(step).filter(|a| a.loop_back) {
                 // A loop re-enters with the same thread: the back-edge
@@ -768,7 +814,11 @@ impl Engine {
                     } else {
                         ctx.send(
                             self.topo.engine_node(owner),
-                            CentralMsg::ChildDone { parent: p, parent_step: pstep, outputs },
+                            CentralMsg::ChildDone {
+                                parent: p,
+                                parent_step: pstep,
+                                outputs,
+                            },
                         );
                     }
                 }
@@ -859,7 +909,8 @@ impl Engine {
             let st = self.inst(parent);
             st.pending_nested.remove(&parent_step);
             let attempt = st.history.begin_attempt(parent_step);
-            st.history.record_done(parent_step, attempt, vec![], outputs.clone());
+            st.history
+                .record_done(parent_step, attempt, vec![], outputs.clone());
             for (i, v) in outputs.iter().enumerate() {
                 let slot = (i + 1) as u16;
                 if slot <= def.output_slots {
@@ -890,7 +941,9 @@ impl Engine {
                 None => otherwise = Some(arc.to),
             }
         }
-        let Some(new_head) = chosen.or(otherwise) else { return };
+        let Some(new_head) = chosen.or(otherwise) else {
+            return;
+        };
         let prev = self.inst(instance).branch_choice.insert(split, new_head);
         if let Some(old_head) = prev {
             if old_head != new_head {
@@ -1043,7 +1096,11 @@ impl Engine {
         let items: Vec<CompItem> = done
             .into_iter()
             .filter(|s| schema.expect_step(*s).is_compensatable())
-            .map(|step| CompItem { step, partial: false, reason: CompReason::Abort })
+            .map(|step| CompItem {
+                step,
+                partial: false,
+                reason: CompReason::Abort,
+            })
             .collect();
         {
             let st = self.inst(instance);
@@ -1096,8 +1153,7 @@ impl Engine {
         let dep = self.deployment.clone();
         for r in &dep.coordination.relative_orders {
             for partner in dep.ro_links.partners_of(instance) {
-                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step)
-                else {
+                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step) else {
                     continue;
                 };
                 // If we lead, a completed pair-k step releases the lagging
@@ -1141,12 +1197,20 @@ impl Engine {
         ctx: &mut Ctx<CentralMsg>,
     ) {
         let key = (req, a, b);
-        if self.ro_decisions.get(&key).copied().unwrap_or(RoState::Undecided)
+        if self
+            .ro_decisions
+            .get(&key)
+            .copied()
+            .unwrap_or(RoState::Undecided)
             != RoState::Undecided
         {
             return;
         }
-        let state = if winner_side == 0 { RoState::SideALeads } else { RoState::SideBLeads };
+        let state = if winner_side == 0 {
+            RoState::SideALeads
+        } else {
+            RoState::SideBLeads
+        };
         self.ro_decisions.insert(key, state);
         self.nav_load(ctx);
         for engine in [self.topo.owner_engine(a), self.topo.owner_engine(b)] {
@@ -1155,7 +1219,12 @@ impl Engine {
             } else {
                 ctx.send(
                     self.topo.engine_node(engine),
-                    CentralMsg::Coord(CoordMsg::RoDecision { req, a, b, leader_side: winner_side }),
+                    CentralMsg::Coord(CoordMsg::RoDecision {
+                        req,
+                        a,
+                        b,
+                        leader_side: winner_side,
+                    }),
                 );
             }
         }
@@ -1169,7 +1238,11 @@ impl Engine {
         leader_side: u8,
         ctx: &mut Ctx<CentralMsg>,
     ) {
-        let state = if leader_side == 0 { RoState::SideALeads } else { RoState::SideBLeads };
+        let state = if leader_side == 0 {
+            RoState::SideALeads
+        } else {
+            RoState::SideBLeads
+        };
         self.ro_decisions.insert((req, a, b), state);
         // The decision may unblock deferred steps of instances we own.
         for inst in [a, b] {
@@ -1206,8 +1279,7 @@ impl Engine {
         let dep = self.deployment.clone();
         for r in &dep.coordination.relative_orders {
             for partner in dep.ro_links.partners_of(instance) {
-                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step)
-                else {
+                let Some((side, k, a, b)) = self.ro_position(r, instance, partner, step) else {
                     continue;
                 };
                 let decision = self
@@ -1226,7 +1298,11 @@ impl Engine {
                     } else {
                         ctx.send(
                             self.topo.engine_node(owner),
-                            CentralMsg::Coord(CoordMsg::RoRelease { req: r.id, k, lagging: partner }),
+                            CentralMsg::Coord(CoordMsg::RoRelease {
+                                req: r.id,
+                                k,
+                                lagging: partner,
+                            }),
                         );
                     }
                 }
@@ -1249,27 +1325,54 @@ impl Engine {
 
     fn on_coord(&mut self, msg: CoordMsg, ctx: &mut Ctx<CentralMsg>) {
         match msg {
-            CoordMsg::RoFirstDone { req, claimant, partner } => {
+            CoordMsg::RoFirstDone {
+                req,
+                claimant,
+                partner,
+            } => {
                 let dep = self.deployment.clone();
-                let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req)
+                let Some(r) = dep
+                    .coordination
+                    .relative_orders
+                    .iter()
+                    .find(|r| r.id == req)
                 else {
                     return;
                 };
-                let Some((side, _)) = ro_side(r, claimant, partner) else { return };
-                let (a, b) = if side == 0 { (claimant, partner) } else { (partner, claimant) };
+                let Some((side, _)) = ro_side(r, claimant, partner) else {
+                    return;
+                };
+                let (a, b) = if side == 0 {
+                    (claimant, partner)
+                } else {
+                    (partner, claimant)
+                };
                 self.ro_decide(req, a, b, side, ctx);
             }
-            CoordMsg::RoDecision { req, a, b, leader_side } => {
+            CoordMsg::RoDecision {
+                req,
+                a,
+                b,
+                leader_side,
+            } => {
                 self.ro_apply_decision(req, a, b, leader_side, ctx);
             }
             CoordMsg::RoRelease { req, k, lagging } => {
                 self.ro_apply_release(req, k, lagging, ctx);
             }
-            CoordMsg::MutexAcquire { req, instance, step } => {
+            CoordMsg::MutexAcquire {
+                req,
+                instance,
+                step,
+            } => {
                 let owner = self.topo.owner_engine(instance);
                 self.mutex_try_acquire(req, instance, step, owner, ctx);
             }
-            CoordMsg::MutexGrant { req, instance, step } => {
+            CoordMsg::MutexGrant {
+                req,
+                instance,
+                step,
+            } => {
                 let terminal = {
                     let st = self.inst(instance);
                     st.aborted || st.committed
@@ -1282,7 +1385,11 @@ impl Engine {
                     self.resume_waiting(instance, step, ctx);
                 }
             }
-            CoordMsg::MutexRelease { req, instance, step } => {
+            CoordMsg::MutexRelease {
+                req,
+                instance,
+                step,
+            } => {
                 self.mutex_do_release(req, instance, step, ctx);
             }
             CoordMsg::RollbackDep { instance, origin } => {
@@ -1319,17 +1426,22 @@ impl Node<CentralMsg> for Engine {
             CentralMsg::WorkflowStart { instance, inputs } => {
                 self.start_instance(instance, inputs, None, ctx)
             }
-            CentralMsg::WorkflowChangeInputs { instance, new_inputs } => {
-                self.change_inputs(instance, new_inputs, ctx)
-            }
+            CentralMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            } => self.change_inputs(instance, new_inputs, ctx),
             CentralMsg::WorkflowAbort { instance } => self.abort_instance(instance, ctx),
             CentralMsg::WorkflowStatus { .. } => {
                 // The admin tool reads the WFDB summary (self.statuses)
                 // directly in this architecture.
             }
-            CentralMsg::ExecResult { instance, step, attempt, outputs, .. } => {
-                self.on_exec_result(instance, step, attempt, outputs, ctx)
-            }
+            CentralMsg::ExecResult {
+                instance,
+                step,
+                attempt,
+                outputs,
+                ..
+            } => self.on_exec_result(instance, step, attempt, outputs, ctx),
             CentralMsg::CompensateResult { instance, step, .. } => {
                 self.apply_compensation(instance, step, ctx);
                 self.inst(instance).comp_active = false;
@@ -1342,12 +1454,17 @@ impl Node<CentralMsg> for Engine {
                 // informational.
             }
             CentralMsg::Coord(c) => self.on_coord(c, ctx),
-            CentralMsg::ChildStart { child, inputs, parent, parent_step } => {
-                self.start_instance(child, inputs, Some((parent, parent_step)), ctx)
-            }
-            CentralMsg::ChildDone { parent, parent_step, outputs } => {
-                self.on_child_done(parent, parent_step, outputs, ctx)
-            }
+            CentralMsg::ChildStart {
+                child,
+                inputs,
+                parent,
+                parent_step,
+            } => self.start_instance(child, inputs, Some((parent, parent_step)), ctx),
+            CentralMsg::ChildDone {
+                parent,
+                parent_step,
+                outputs,
+            } => self.on_child_done(parent, parent_step, outputs, ctx),
             CentralMsg::ExecRequest { .. }
             | CentralMsg::StateProbe { .. }
             | CentralMsg::CompensateRequest { .. } => {

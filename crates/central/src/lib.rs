@@ -13,6 +13,7 @@
 
 pub mod appagent;
 pub mod builder;
+pub mod codec;
 pub mod engine;
 pub mod msg;
 pub mod topology;

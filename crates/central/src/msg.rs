@@ -17,30 +17,68 @@ use crew_simnet::{Classify, Mechanism};
 pub enum CoordMsg {
     /// Relative order: first conflicting step of `claimant` (linked with
     /// `partner`) completed; the requirement's manager engine decides.
-    RoFirstDone { req: u32, claimant: InstanceId, partner: InstanceId },
+    RoFirstDone {
+        req: u32,
+        claimant: InstanceId,
+        partner: InstanceId,
+    },
     /// Manager → owner engine: the decision (leading instance).
-    RoDecision { req: u32, a: InstanceId, b: InstanceId, leader_side: u8 },
+    RoDecision {
+        req: u32,
+        a: InstanceId,
+        b: InstanceId,
+        leader_side: u8,
+    },
     /// Leading side's step `k` completed: release the lagging instance's
     /// step (owner engine of the lagging instance applies it).
-    RoRelease { req: u32, k: usize, lagging: InstanceId },
+    RoRelease {
+        req: u32,
+        k: usize,
+        lagging: InstanceId,
+    },
     /// Mutual exclusion request for `(instance, step)`.
-    MutexAcquire { req: u32, instance: InstanceId, step: StepId },
+    MutexAcquire {
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+    },
     /// Manager → owner engine: grant.
-    MutexGrant { req: u32, instance: InstanceId, step: StepId },
+    MutexGrant {
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+    },
     /// Release the resource.
-    MutexRelease { req: u32, instance: InstanceId, step: StepId },
+    MutexRelease {
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+    },
     /// Rollback dependency: roll `instance` back to `origin`.
-    RollbackDep { instance: InstanceId, origin: StepId },
+    RollbackDep {
+        instance: InstanceId,
+        origin: StepId,
+    },
 }
 
 /// The centralized/parallel control message set.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CentralMsg {
     // ---- administrative interface (external → engine) ----
-    WorkflowStart { instance: InstanceId, inputs: Vec<(ItemKey, Value)> },
-    WorkflowChangeInputs { instance: InstanceId, new_inputs: Vec<(ItemKey, Value)> },
-    WorkflowAbort { instance: InstanceId },
-    WorkflowStatus { instance: InstanceId },
+    WorkflowStart {
+        instance: InstanceId,
+        inputs: Vec<(ItemKey, Value)>,
+    },
+    WorkflowChangeInputs {
+        instance: InstanceId,
+        new_inputs: Vec<(ItemKey, Value)>,
+    },
+    WorkflowAbort {
+        instance: InstanceId,
+    },
+    WorkflowStatus {
+        instance: InstanceId,
+    },
 
     // ---- engine → agent ----
     /// Execute a step's program.
@@ -54,7 +92,9 @@ pub enum CentralMsg {
         cost: u64,
     },
     /// Load probe to the non-chosen eligible agents (scatter half).
-    StateProbe { token: u64 },
+    StateProbe {
+        token: u64,
+    },
     /// Compensate a previously executed step.
     CompensateRequest {
         instance: InstanceId,
@@ -74,8 +114,15 @@ pub enum CentralMsg {
         outputs: Option<Vec<Value>>,
         error: Option<String>,
     },
-    StateProbeReply { token: u64, load: u64 },
-    CompensateResult { instance: InstanceId, step: StepId, for_abort: bool },
+    StateProbeReply {
+        token: u64,
+        load: u64,
+    },
+    CompensateResult {
+        instance: InstanceId,
+        step: StepId,
+        for_abort: bool,
+    },
 
     // ---- engine ↔ engine (parallel only) ----
     Coord(CoordMsg),
@@ -226,8 +273,11 @@ mod tests {
             Mechanism::CoordinatedExecution
         );
         assert_eq!(
-            CentralMsg::Coord(CoordMsg::RollbackDep { instance: inst(), origin: StepId(1) })
-                .mechanism(),
+            CentralMsg::Coord(CoordMsg::RollbackDep {
+                instance: inst(),
+                origin: StepId(1)
+            })
+            .mechanism(),
             Mechanism::FailureHandling
         );
     }
@@ -235,6 +285,9 @@ mod tests {
     #[test]
     fn probe_has_no_instance() {
         assert_eq!(CentralMsg::StateProbe { token: 1 }.instance(), None);
-        assert_eq!(CentralMsg::WorkflowAbort { instance: inst() }.instance(), Some(inst()));
+        assert_eq!(
+            CentralMsg::WorkflowAbort { instance: inst() }.instance(),
+            Some(inst())
+        );
     }
 }

@@ -39,10 +39,8 @@ impl Topology {
         if self.engines == 1 {
             return 0;
         }
-        let h = crew_exec::hash::combine(
-            0xE17A,
-            &[instance.schema.0 as u64, instance.serial as u64],
-        );
+        let h =
+            crew_exec::hash::combine(0xE17A, &[instance.schema.0 as u64, instance.serial as u64]);
         (h % self.engines as u64) as u32
     }
 

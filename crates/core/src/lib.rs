@@ -28,6 +28,8 @@ pub mod system;
 pub use report::{InstanceOutcome, RunReport};
 pub use system::{Architecture, CrashWindow, Scenario, WorkflowSystem};
 
+pub use crew_simnet::{LinkCut, NetFaultPlan, RetransmitConfig, TransportStats};
+
 pub use crew_analysis as analysis;
 pub use crew_central as central;
 pub use crew_distributed as distributed;

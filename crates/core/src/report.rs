@@ -3,7 +3,7 @@
 //! message counts per instance, busiest-node and per-pool loads).
 
 use crew_model::InstanceId;
-use crew_simnet::{Mechanism, Metrics, NodeId};
+use crew_simnet::{Mechanism, Metrics, NodeId, TransportStats};
 use std::collections::BTreeMap;
 
 /// Terminal outcome of one instance.
@@ -39,7 +39,8 @@ pub struct RunReport {
 impl RunReport {
     /// Per-instance messages for a mechanism (the Tables 4–6 unit).
     pub fn messages_per_instance(&self, mechanism: Mechanism) -> f64 {
-        self.metrics.messages_per_instance(mechanism, self.instances)
+        self.metrics
+            .messages_per_instance(mechanism, self.instances)
     }
 
     /// Mean navigation load over the scheduling nodes, per instance, in
@@ -84,6 +85,24 @@ impl RunReport {
             .values()
             .filter(|o| **o == InstanceOutcome::Aborted)
             .count()
+    }
+
+    /// Wire-level transport counters (frames, retransmissions, injected
+    /// faults). All-zero unless the run had net faults enabled; the §6
+    /// logical message counts above never include this overhead.
+    pub fn transport(&self) -> &TransportStats {
+        &self.metrics.transport
+    }
+
+    /// Physical frames per logical message: the reliable-channel overhead
+    /// factor. `1.0` on a quiet network (every logical message costs one
+    /// data frame; acks are reported separately), higher under faults.
+    pub fn frame_overhead(&self) -> f64 {
+        let t = &self.metrics.transport;
+        if t.data_frames == 0 {
+            return 1.0;
+        }
+        (t.data_frames + t.retransmissions) as f64 / t.data_frames as f64
     }
 
     /// True if every instance reached a terminal state.

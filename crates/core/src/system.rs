@@ -25,6 +25,7 @@ use crew_central::CentralRun;
 use crew_distributed::{DistConfig, DistRun, Outcome};
 use crew_exec::Deployment;
 use crew_model::{InstanceId, SchemaId, Value, WorkflowSchema};
+use crew_simnet::NetFaultPlan;
 use crew_storage::InstanceStatus;
 use std::collections::BTreeMap;
 
@@ -53,13 +54,21 @@ pub enum Architecture {
 /// A user action injected mid-run.
 #[derive(Debug, Clone)]
 enum UserAction {
-    Abort { index: usize, at: u64 },
-    ChangeInputs { index: usize, at: u64, new_inputs: Vec<(u16, Value)> },
+    Abort {
+        index: usize,
+        at: u64,
+    },
+    ChangeInputs {
+        index: usize,
+        at: u64,
+        new_inputs: Vec<(u16, Value)>,
+    },
 }
 
-/// A crash window for a node (distributed architecture only; the central
-/// engine is the single point of failure the paper's reliability argument
-/// is about, and crashing it ends the run by construction).
+/// A crash window for an application-agent node (agents occupy node ids
+/// `0..z` under every architecture; the central engine itself is the
+/// single point of failure the paper's reliability argument is about, and
+/// crashing it ends the run by construction).
 #[derive(Debug, Clone, Copy)]
 pub struct CrashWindow {
     /// Agent index to crash.
@@ -106,8 +115,11 @@ impl Scenario {
 
     /// Change instance `index`'s inputs at virtual time `at`.
     pub fn change_inputs_at(&mut self, index: usize, at: u64, new_inputs: Vec<(u16, Value)>) {
-        self.actions
-            .push(UserAction::ChangeInputs { index, at, new_inputs });
+        self.actions.push(UserAction::ChangeInputs {
+            index,
+            at,
+            new_inputs,
+        });
     }
 
     /// Crash an agent (distributed runs only).
@@ -135,6 +147,9 @@ pub struct WorkflowSystem {
     pub architecture: Architecture,
     /// Distributed-control tunables (ignored by other architectures).
     pub dist_config: DistConfig,
+    /// Network fault plan; `Some` routes all traffic through the
+    /// WAL-backed reliable channels with these faults injected.
+    pub net_faults: Option<NetFaultPlan>,
 }
 
 impl WorkflowSystem {
@@ -148,12 +163,26 @@ impl WorkflowSystem {
             deployment: Deployment::new(schemas),
             architecture,
             dist_config: DistConfig::default(),
+            net_faults: None,
         }
     }
 
     /// Build from an existing deployment.
     pub fn with_deployment(deployment: Deployment, architecture: Architecture) -> Self {
-        WorkflowSystem { deployment, architecture, dist_config: DistConfig::default() }
+        WorkflowSystem {
+            deployment,
+            architecture,
+            dist_config: DistConfig::default(),
+            net_faults: None,
+        }
+    }
+
+    /// Inject network faults: all traffic rides the WAL-backed reliable
+    /// channels (exactly-once delivery) while `plan` drops, duplicates,
+    /// reorders, and partitions the wire underneath them.
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
+        self.net_faults = Some(plan);
+        self
     }
 
     /// Run a scenario to quiescence and report.
@@ -184,6 +213,9 @@ impl WorkflowSystem {
             run.sim
                 .schedule_crash(crew_simnet::NodeId(w.agent), w.at, w.down_for);
         }
+        if let Some(plan) = &self.net_faults {
+            run.sim.enable_net_faults(plan.clone());
+        }
         let mut ids = Vec::new();
         for (schema, inputs) in &scenario.starts {
             ids.push(run.start_instance(*schema, inputs.clone()));
@@ -191,9 +223,11 @@ impl WorkflowSystem {
         for action in &scenario.actions {
             match action {
                 UserAction::Abort { index, at } => run.abort_instance_at(ids[*index], *at),
-                UserAction::ChangeInputs { index, at, new_inputs } => {
-                    run.change_inputs_at(ids[*index], new_inputs.clone(), *at)
-                }
+                UserAction::ChangeInputs {
+                    index,
+                    at,
+                    new_inputs,
+                } => run.change_inputs_at(ids[*index], new_inputs.clone(), *at),
             }
         }
         // Bounded horizon: deliberately-unrecoverable crash scenarios keep
@@ -226,6 +260,13 @@ impl WorkflowSystem {
     fn run_central(&self, scenario: Scenario, agents: u32, engines: u32) -> RunReport {
         let deployment = self.linked_deployment(&scenario);
         let mut run = CentralRun::new(deployment, agents, engines);
+        for w in &scenario.crashes {
+            run.sim
+                .schedule_crash(crew_simnet::NodeId(w.agent), w.at, w.down_for);
+        }
+        if let Some(plan) = &self.net_faults {
+            run.sim.enable_net_faults(plan.clone());
+        }
         let mut ids = Vec::new();
         for (schema, inputs) in &scenario.starts {
             ids.push(run.start_instance(*schema, inputs.clone()));
@@ -233,9 +274,11 @@ impl WorkflowSystem {
         for action in &scenario.actions {
             match action {
                 UserAction::Abort { index, at } => run.abort_instance_at(ids[*index], *at),
-                UserAction::ChangeInputs { index, at, new_inputs } => {
-                    run.change_inputs_at(ids[*index], new_inputs.clone(), *at)
-                }
+                UserAction::ChangeInputs {
+                    index,
+                    at,
+                    new_inputs,
+                } => run.change_inputs_at(ids[*index], new_inputs.clone(), *at),
             }
         }
         let events = run.run();
@@ -281,7 +324,10 @@ mod tests {
     fn same_scenario_commits_under_all_architectures() {
         for arch in [
             Architecture::Central { agents: 2 },
-            Architecture::Parallel { agents: 2, engines: 2 },
+            Architecture::Parallel {
+                agents: 2,
+                engines: 2,
+            },
             Architecture::Distributed { agents: 2 },
         ] {
             let system = WorkflowSystem::new([two_step_schema()], arch);
@@ -296,6 +342,29 @@ mod tests {
     }
 
     #[test]
+    fn net_faults_preserve_outcomes_under_all_architectures() {
+        for arch in [
+            Architecture::Central { agents: 2 },
+            Architecture::Parallel {
+                agents: 2,
+                engines: 2,
+            },
+            Architecture::Distributed { agents: 2 },
+        ] {
+            let system = WorkflowSystem::new([two_step_schema()], arch)
+                .with_net_faults(NetFaultPlan::probabilistic(11, 0.05, 0.05, 0.10));
+            let mut scenario = Scenario::new();
+            scenario.start(SchemaId(1), vec![(1, Value::Int(7))]);
+            scenario.start(SchemaId(1), vec![(1, Value::Int(8))]);
+            let report = system.run(scenario);
+            assert_eq!(report.committed(), 2, "{arch:?}");
+            assert!(report.all_terminal(), "{arch:?}");
+            assert!(report.transport().data_frames > 0, "{arch:?}");
+            assert!(report.frame_overhead() >= 1.0, "{arch:?}");
+        }
+    }
+
+    #[test]
     fn scenario_instance_ids_are_serial() {
         let mut scenario = Scenario::new();
         let a = scenario.start(SchemaId(1), vec![]);
@@ -306,10 +375,8 @@ mod tests {
 
     #[test]
     fn abort_mid_flight_aborts() {
-        let system = WorkflowSystem::new(
-            [two_step_schema()],
-            Architecture::Distributed { agents: 2 },
-        );
+        let system =
+            WorkflowSystem::new([two_step_schema()], Architecture::Distributed { agents: 2 });
         let mut scenario = Scenario::new();
         let i = scenario.start(SchemaId(1), vec![(1, Value::Int(7))]);
         scenario.abort_at(i, 2);

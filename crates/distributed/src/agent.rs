@@ -33,14 +33,11 @@
 use crate::msg::{CoordRule, DistMsg, StepStatusKind};
 use crate::packet::{RoTag, WorkflowPacket};
 use crate::runtime::{
-    coordination_agent, designated_agent, nested_instance_serial, SharedCtx,
-    SuccessorSelection,
+    coordination_agent, designated_agent, nested_instance_serial, SharedCtx, SuccessorSelection,
 };
 use crate::tags;
 use crate::weight::Weight;
-use crew_exec::{
-    ocr_decide, InstanceHistory, OcrDecision, StepExecutor, StepOutcome, StepState,
-};
+use crew_exec::{ocr_decide, InstanceHistory, OcrDecision, StepExecutor, StepOutcome, StepState};
 use crew_model::{
     DataEnv, InstanceId, ItemKey, SchemaStep, SplitKind, StepId, Value, WorkflowSchema,
 };
@@ -206,7 +203,10 @@ impl DistAgent {
     // ---- small helpers ----------------------------------------------------
 
     fn schema(&self, instance: InstanceId) -> Arc<WorkflowSchema> {
-        self.shared.deployment.expect_schema(instance.schema).clone()
+        self.shared
+            .deployment
+            .expect_schema(instance.schema)
+            .clone()
     }
 
     fn seed(&self) -> u64 {
@@ -252,7 +252,9 @@ impl DistAgent {
     }
 
     fn log(&mut self, op: DbOp) {
-        self.wal.append(&op).expect("in-memory WAL append cannot fail");
+        self.wal
+            .append(&op)
+            .expect("in-memory WAL append cannot fail");
         self.db.apply(&op);
     }
 
@@ -266,7 +268,11 @@ impl DistAgent {
     /// Install the navigation rules for the locally-designated steps of an
     /// instance (first packet contact), wiring coordination preconditions.
     fn ensure_instantiated(&mut self, instance: InstanceId, ctx: &mut Ctx<DistMsg>) {
-        if self.instances.get(&instance).is_some_and(|s| s.instantiated) {
+        if self
+            .instances
+            .get(&instance)
+            .is_some_and(|s| s.instantiated)
+        {
             return;
         }
         let schema = self.schema(instance);
@@ -363,8 +369,10 @@ impl DistAgent {
                         continue;
                     }
                     let mut monitor = rule.clone();
-                    monitor.action =
-                        Action::NotifyExternal { route: ROUTE_MUTEX | req as u64, event: grant };
+                    monitor.action = Action::NotifyExternal {
+                        route: ROUTE_MUTEX | req as u64,
+                        event: grant,
+                    };
                     monitor.label = format!("mutex monitor {step} req {req}");
                     monitors.push(monitor);
                     st.rules.add_precondition(*id, EventKind::External(grant));
@@ -407,7 +415,9 @@ impl DistAgent {
         }
         for r in &dep.coordination.relative_orders {
             for partner in dep.ro_links.partners_of(instance) {
-                let Some((side, pairs)) = ro_side(r, instance, partner) else { continue };
+                let Some((side, pairs)) = ro_side(r, instance, partner) else {
+                    continue;
+                };
                 for (k, step) in pairs.iter().enumerate() {
                     if self.is_designated_opt(instance, schema, *step) {
                         let (a, b) = ro_canonical(instance, partner, side);
@@ -459,7 +469,11 @@ impl DistAgent {
         let writes: Vec<(ItemKey, Value)> =
             packet.data.iter().map(|(k, v)| (*k, v.clone())).collect();
         for (key, value) in writes {
-            self.log(DbOp::DataWritten { instance, key, value: value.clone() });
+            self.log(DbOp::DataWritten {
+                instance,
+                key,
+                value: value.clone(),
+            });
             self.inst(instance).data.set(key, value);
         }
         // Merge events by generation (idempotent across the broadcast,
@@ -467,7 +481,10 @@ impl DistAgent {
         for (e, gen) in &packet.events {
             let fresh = self.inst(instance).rules.merge_event(*e, *gen);
             if fresh {
-                self.log(DbOp::EventPosted { instance, code: e.code() });
+                self.log(DbOp::EventPosted {
+                    instance,
+                    code: e.code(),
+                });
             }
         }
         // Relative-order piggyback: lagging tags become preconditions of
@@ -504,8 +521,10 @@ impl DistAgent {
             });
             let st = self.inst(instance);
             if via_loop_back {
-                st.weight_in
-                    .insert(packet.target_step, BTreeMap::from([(source, packet.weight)]));
+                st.weight_in.insert(
+                    packet.target_step,
+                    BTreeMap::from([(source, packet.weight)]),
+                );
             } else {
                 st.weight_in
                     .entry(packet.target_step)
@@ -582,20 +601,26 @@ impl DistAgent {
     ) {
         // Find the member step this grant belongs to (tag is per step).
         let dep = self.shared.deployment.clone();
-        let Some(m) = dep.coordination.mutual_exclusions.iter().find(|m| m.id == req) else {
+        let Some(m) = dep
+            .coordination
+            .mutual_exclusions
+            .iter()
+            .find(|m| m.id == req)
+        else {
             return;
         };
-        let Some(member) = m
-            .members
-            .iter()
-            .find(|s| s.schema == instance.schema
-                && tags::mutex_grant(req, instance, s.step) == grant_tag)
-        else {
+        let Some(member) = m.members.iter().find(|s| {
+            s.schema == instance.schema && tags::mutex_grant(req, instance, s.step) == grant_tag
+        }) else {
             return;
         };
         let manager = self.mutex_manager_node(m);
         let msg = DistMsg::AddRule {
-            rule: CoordRule::MutexAcquire { req, instance, step: member.step },
+            rule: CoordRule::MutexAcquire {
+                req,
+                instance,
+                step: member.step,
+            },
         };
         if manager == ctx.self_id {
             self.handle_coord_rule(
@@ -623,11 +648,18 @@ impl DistAgent {
         ctx: &mut Ctx<DistMsg>,
     ) {
         let dep = self.shared.deployment.clone();
-        let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req) else {
+        let Some(r) = dep
+            .coordination
+            .relative_orders
+            .iter()
+            .find(|r| r.id == req)
+        else {
             return;
         };
         for partner in dep.ro_links.partners_of(instance) {
-            let Some((side, _)) = ro_side(r, instance, partner) else { continue };
+            let Some((side, _)) = ro_side(r, instance, partner) else {
+                continue;
+            };
             let (a, b) = ro_canonical(instance, partner, side);
             let arbiter = self.ro_arbiter_node(r, a, b);
             if arbiter == ctx.self_id {
@@ -636,7 +668,11 @@ impl DistAgent {
                 ctx.send(
                     arbiter,
                     DistMsg::AddRule {
-                        rule: CoordRule::RoFirstDone { req, claimant: instance, partner },
+                        rule: CoordRule::RoFirstDone {
+                            req,
+                            claimant: instance,
+                            partner,
+                        },
                     },
                 );
             }
@@ -693,8 +729,7 @@ impl DistAgent {
             }
             OcrDecision::PartialCompensateIncrementalReexec
             | OcrDecision::CompleteCompensateCompleteReexec => {
-                let partial =
-                    decision == OcrDecision::PartialCompensateIncrementalReexec;
+                let partial = decision == OcrDecision::PartialCompensateIncrementalReexec;
                 // Compensation dependent set: members that executed after
                 // this step must be compensated first, in reverse execution
                 // order, via the CompensateSet chain (§5.2).
@@ -749,7 +784,11 @@ impl DistAgent {
                 .expect("programs are registered at deployment build time")
         };
         match outcome {
-            StepOutcome::Done { attempt, outputs, cost } => {
+            StepOutcome::Done {
+                attempt,
+                outputs,
+                cost,
+            } => {
                 ctx.add_load(cost);
                 self.log(DbOp::StepRecorded {
                     instance,
@@ -780,7 +819,10 @@ impl DistAgent {
                 });
                 let st = self.inst(instance);
                 st.rules.add_event(EventKind::StepFail(def.id));
-                self.log(DbOp::EventPosted { instance, code: EventKind::StepFail(def.id).code() });
+                self.log(DbOp::EventPosted {
+                    instance,
+                    code: EventKind::StepFail(def.id).code(),
+                });
                 self.initiate_rollback(instance, def.id, ctx);
             }
         }
@@ -815,7 +857,10 @@ impl DistAgent {
                 }
             }
         }
-        self.log(DbOp::EventPosted { instance, code: EventKind::StepDone(step).code() });
+        self.log(DbOp::EventPosted {
+            instance,
+            code: EventKind::StepDone(step).code(),
+        });
 
         // Relative ordering: arbiter decision on the partner's first
         // conflicting step, first-done claims, and leading notifications.
@@ -891,9 +936,7 @@ impl DistAgent {
             .collect();
         let flow_weight = self.flow_weight(instance, step);
         let branch_weight = match split {
-            Some(SplitKind::And) if forward.len() > 1 => {
-                flow_weight.split(forward.len() as u64)
-            }
+            Some(SplitKind::And) if forward.len() > 1 => flow_weight.split(forward.len() as u64),
             _ => flow_weight,
         };
 
@@ -989,7 +1032,9 @@ impl DistAgent {
             let def = schema.expect_step(target);
             for agent in &def.eligible_agents {
                 let node = self.shared.directory.node_of(*agent);
-                let msg = DistMsg::StepExecute { packet: packet.clone() };
+                let msg = DistMsg::StepExecute {
+                    packet: packet.clone(),
+                };
                 if node == ctx.self_id {
                     self.on_packet(packet.clone(), ctx);
                 } else {
@@ -1018,7 +1063,12 @@ impl DistAgent {
             expected += 1;
             ctx.send(node, DistMsg::StateInformation { token });
         }
-        let pf = PendingForward { packet, candidates, replies: BTreeMap::new(), expected };
+        let pf = PendingForward {
+            packet,
+            candidates,
+            replies: BTreeMap::new(),
+            expected,
+        };
         if expected == 0 {
             self.finish_load_balanced_forward(pf, ctx);
         } else {
@@ -1059,7 +1109,12 @@ impl DistAgent {
             if node == ctx.self_id {
                 self.on_packet(packet.clone(), ctx);
             } else {
-                ctx.send(node, DistMsg::StepExecute { packet: packet.clone() });
+                ctx.send(
+                    node,
+                    DistMsg::StepExecute {
+                        packet: packet.clone(),
+                    },
+                );
             }
         }
         // If we chose ourselves, the navigation rule already fired (and
@@ -1071,7 +1126,13 @@ impl DistAgent {
     }
 
     /// Record a `StateInformationReply` for a deferred forward.
-    fn on_state_information_reply(&mut self, token: u64, load: u64, from: NodeId, ctx: &mut Ctx<DistMsg>) {
+    fn on_state_information_reply(
+        &mut self,
+        token: u64,
+        load: u64,
+        from: NodeId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
         let done = match self.pending_forwards.get_mut(&token) {
             None => return,
             Some(pf) => {
@@ -1097,7 +1158,9 @@ impl DistAgent {
         let dep = &self.shared.deployment;
         for r in &dep.coordination.relative_orders {
             for partner in dep.ro_links.partners_of(instance) {
-                let Some((side, my_pairs)) = ro_side(r, instance, partner) else { continue };
+                let Some((side, my_pairs)) = ro_side(r, instance, partner) else {
+                    continue;
+                };
                 let (a, b) = ro_canonical(instance, partner, side);
                 let key = (r.id, a, b);
                 let decision = self
@@ -1157,7 +1220,10 @@ impl DistAgent {
         for (tag, partner, partner_step) in notifies {
             let schema = self.shared.deployment.expect_schema(partner.schema).clone();
             let node = self.node_of_step(partner, &schema, partner_step);
-            let msg = DistMsg::AddEvent { instance: partner, tag };
+            let msg = DistMsg::AddEvent {
+                instance: partner,
+                tag,
+            };
             if node == ctx.self_id {
                 self.on_add_event(partner, tag, ctx);
             } else {
@@ -1170,7 +1236,12 @@ impl DistAgent {
 
     /// The arbiter node for requirement `r` between canonical instances
     /// `(a, b)`: the designated agent of `b`'s first conflicting step.
-    fn ro_arbiter_node(&self, r: &crew_model::RelativeOrder, a: InstanceId, b: InstanceId) -> NodeId {
+    fn ro_arbiter_node(
+        &self,
+        r: &crew_model::RelativeOrder,
+        a: InstanceId,
+        b: InstanceId,
+    ) -> NodeId {
         let _ = a;
         let (_, b_pairs) = ro_side(r, b, a).expect("b participates");
         let schema = self.shared.deployment.expect_schema(b.schema);
@@ -1190,7 +1261,11 @@ impl DistAgent {
         ctx: &mut Ctx<DistMsg>,
     ) {
         let key = (req, a, b);
-        if self.ro_decisions.get(&key).copied().unwrap_or(RoDecision::Undecided)
+        if self
+            .ro_decisions
+            .get(&key)
+            .copied()
+            .unwrap_or(RoDecision::Undecided)
             != RoDecision::Undecided
         {
             return; // already decided
@@ -1204,7 +1279,12 @@ impl DistAgent {
         self.nav_load(ctx);
 
         let dep = self.shared.deployment.clone();
-        let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req) else {
+        let Some(r) = dep
+            .coordination
+            .relative_orders
+            .iter()
+            .find(|r| r.id == req)
+        else {
             return;
         };
         let (leader, lagger, leader_side) = if winner_side == 0 {
@@ -1218,10 +1298,7 @@ impl DistAgent {
         let leader_schema = dep.expect_schema(leader.schema).clone();
         let lagger_schema = dep.expect_schema(lagger.schema).clone();
 
-        for (k, (&lead_step, &lag_step)) in leader_pairs
-            .iter()
-            .zip(lagger_pairs.iter())
-            .enumerate()
+        for (k, (&lead_step, &lag_step)) in leader_pairs.iter().zip(lagger_pairs.iter()).enumerate()
         {
             // Release the leader's guard: its steps must not wait.
             let lead_tag = tags::ro_guard(req, k, leader_side, a, b);
@@ -1250,7 +1327,13 @@ impl DistAgent {
                 self.on_add_event(leader, lead_tag, ctx);
             } else {
                 ctx.send(lead_node, notify);
-                ctx.send(lead_node, DistMsg::AddEvent { instance: leader, tag: lead_tag });
+                ctx.send(
+                    lead_node,
+                    DistMsg::AddEvent {
+                        instance: leader,
+                        tag: lead_tag,
+                    },
+                );
             }
         }
         let _ = lagger_schema;
@@ -1276,9 +1359,16 @@ impl DistAgent {
         };
         // If the local step already completed (raced), emit immediately.
         if already_done {
-            let schema = self.shared.deployment.expect_schema(target_instance.schema).clone();
+            let schema = self
+                .shared
+                .deployment
+                .expect_schema(target_instance.schema)
+                .clone();
             let node = self.node_of_step(target_instance, &schema, target_step);
-            let msg = DistMsg::AddEvent { instance: target_instance, tag };
+            let msg = DistMsg::AddEvent {
+                instance: target_instance,
+                tag,
+            };
             if node == ctx.self_id {
                 self.on_add_event(target_instance, tag, ctx);
             } else {
@@ -1299,7 +1389,11 @@ impl DistAgent {
         for m in &dep.coordination.mutual_exclusions {
             if m.members.contains(&SchemaStep::new(instance.schema, step)) {
                 let manager = self.mutex_manager_node(m);
-                let rule = CoordRule::MutexRelease { req: m.id, instance, step };
+                let rule = CoordRule::MutexRelease {
+                    req: m.id,
+                    instance,
+                    step,
+                };
                 if manager == ctx.self_id {
                     self.handle_coord_rule(rule, ctx.self_id, ctx);
                 } else {
@@ -1311,7 +1405,11 @@ impl DistAgent {
 
     fn handle_coord_rule(&mut self, rule: CoordRule, from: NodeId, ctx: &mut Ctx<DistMsg>) {
         match rule {
-            CoordRule::MutexAcquire { req, instance, step } => {
+            CoordRule::MutexAcquire {
+                req,
+                instance,
+                step,
+            } => {
                 let grant_to = from;
                 let state = self.mutexes.entry(req).or_default();
                 let triple = (instance, step, grant_to);
@@ -1330,7 +1428,11 @@ impl DistAgent {
                     state.queue.push_back(triple);
                 }
             }
-            CoordRule::MutexRelease { req, instance, step } => {
+            CoordRule::MutexRelease {
+                req,
+                instance,
+                step,
+            } => {
                 let next = {
                     let state = self.mutexes.entry(req).or_default();
                     // Drop queued requests of the releasing (instance,
@@ -1356,13 +1458,23 @@ impl DistAgent {
                     }
                 }
             }
-            CoordRule::RoFirstDone { req, claimant, partner } => {
+            CoordRule::RoFirstDone {
+                req,
+                claimant,
+                partner,
+            } => {
                 let dep = self.shared.deployment.clone();
-                let Some(r) = dep.coordination.relative_orders.iter().find(|r| r.id == req)
+                let Some(r) = dep
+                    .coordination
+                    .relative_orders
+                    .iter()
+                    .find(|r| r.id == req)
                 else {
                     return;
                 };
-                let Some((side, _)) = ro_side(r, claimant, partner) else { return };
+                let Some((side, _)) = ro_side(r, claimant, partner) else {
+                    return;
+                };
                 let (a, b) = ro_canonical(claimant, partner, side);
                 self.ro_decide(req, a, b, side, ctx);
             }
@@ -1389,7 +1501,10 @@ impl DistAgent {
     fn on_add_event(&mut self, instance: InstanceId, tag: u64, ctx: &mut Ctx<DistMsg>) {
         let st = self.inst(instance);
         st.rules.add_event(EventKind::External(tag));
-        self.log(DbOp::EventPosted { instance, code: EventKind::External(tag).code() });
+        self.log(DbOp::EventPosted {
+            instance,
+            code: EventKind::External(tag).code(),
+        });
         self.fire_rules(instance, ctx);
         self.maybe_release_stale_grant(instance, tag, ctx);
     }
@@ -1400,7 +1515,12 @@ impl DistAgent {
     /// forever: nobody is left to release it. If the grant was not
     /// consumed by any rule in the firing sweep above and the step is not
     /// awaiting its first execution, hand the resource straight back.
-    fn maybe_release_stale_grant(&mut self, instance: InstanceId, tag: u64, ctx: &mut Ctx<DistMsg>) {
+    fn maybe_release_stale_grant(
+        &mut self,
+        instance: InstanceId,
+        tag: u64,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
         let dep = self.shared.deployment.clone();
         let hit = dep.coordination.mutual_exclusions.iter().find_map(|m| {
             m.members
@@ -1414,9 +1534,8 @@ impl DistAgent {
         let Some((req, step)) = hit else { return };
         let stale = {
             let st = self.inst(instance);
-            let executed = st.history.state(step) != StepState::NotExecuted
-                || st.committed
-                || st.aborted;
+            let executed =
+                st.history.state(step) != StepState::NotExecuted || st.committed || st.aborted;
             let unconsumed = st
                 .rule_ids
                 .get(&step)
@@ -1441,7 +1560,11 @@ impl DistAgent {
                     .expect("requirement exists");
                 self.mutex_manager_node(m)
             };
-            let rule = CoordRule::MutexRelease { req, instance, step };
+            let rule = CoordRule::MutexRelease {
+                req,
+                instance,
+                step,
+            };
             if manager == ctx.self_id {
                 self.handle_coord_rule(rule, ctx.self_id, ctx);
             } else {
@@ -1581,7 +1704,12 @@ impl DistAgent {
     }
 
     fn on_compensate_set_msg(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
-        let DistMsg::CompensateSet { instance, origin, mut steps } = msg else {
+        let DistMsg::CompensateSet {
+            instance,
+            origin,
+            mut steps,
+        } = msg
+        else {
             return;
         };
         self.ensure_instantiated(instance, ctx);
@@ -1600,7 +1728,11 @@ impl DistAgent {
             return;
         }
         let target = self.node_of_step(instance, &schema, *steps.last().expect("non-empty"));
-        let msg = DistMsg::CompensateSet { instance, origin, steps };
+        let msg = DistMsg::CompensateSet {
+            instance,
+            origin,
+            steps,
+        };
         if target == ctx.self_id {
             self.on_compensate_set_msg(msg, ctx);
         } else {
@@ -1609,7 +1741,13 @@ impl DistAgent {
     }
 
     fn on_compensate_thread_msg(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
-        let DistMsg::CompensateThread { instance, mut steps } = msg else { return };
+        let DistMsg::CompensateThread {
+            instance,
+            mut steps,
+        } = msg
+        else {
+            return;
+        };
         self.ensure_instantiated(instance, ctx);
         self.nav_load(ctx);
         let Some(step) = steps.pop() else { return };
@@ -1802,7 +1940,14 @@ impl DistAgent {
                     if node == ctx.self_id || !notified.insert(node) {
                         continue;
                     }
-                    ctx.send(node, DistMsg::HaltThread { instance, origin, epoch });
+                    ctx.send(
+                        node,
+                        DistMsg::HaltThread {
+                            instance,
+                            origin,
+                            epoch,
+                        },
+                    );
                 }
             }
         }
@@ -1871,7 +2016,10 @@ impl DistAgent {
             st.is_coordinator = true;
             st.parent = parent;
         }
-        self.log(DbOp::StatusChanged { instance, status: InstanceStatus::Executing });
+        self.log(DbOp::StatusChanged {
+            instance,
+            status: InstanceStatus::Executing,
+        });
         let mut data = DataEnv::new();
         for (k, v) in inputs {
             data.set(k, v);
@@ -1884,7 +2032,12 @@ impl DistAgent {
         for agent in &def.eligible_agents {
             let node = self.shared.directory.node_of(*agent);
             if node != ctx.self_id {
-                ctx.send(node, DistMsg::StepExecute { packet: packet.clone() });
+                ctx.send(
+                    node,
+                    DistMsg::StepExecute {
+                        packet: packet.clone(),
+                    },
+                );
             }
         }
         self.on_packet(packet, ctx);
@@ -1918,7 +2071,10 @@ impl DistAgent {
         if !committed_now {
             return;
         }
-        self.log(DbOp::StatusChanged { instance, status: InstanceStatus::Committed });
+        self.log(DbOp::StatusChanged {
+            instance,
+            status: InstanceStatus::Committed,
+        });
         // Notify the front end (or the parent, for nested instances).
         match parent {
             Some((parent_instance, parent_step)) => {
@@ -1971,7 +2127,13 @@ impl DistAgent {
     }
 
     fn on_nested_completed(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
-        let DistMsg::NestedCompleted { parent, parent_step, child, outputs } = msg else {
+        let DistMsg::NestedCompleted {
+            parent,
+            parent_step,
+            child,
+            outputs,
+        } = msg
+        else {
             return;
         };
         self.ensure_instantiated(parent, ctx);
@@ -1990,7 +2152,11 @@ impl DistAgent {
             let slot = (i + 1) as u16;
             if slot <= def.output_slots {
                 let key = ItemKey::output(parent_step, slot);
-                self.log(DbOp::DataWritten { instance: parent, key, value: v.clone() });
+                self.log(DbOp::DataWritten {
+                    instance: parent,
+                    key,
+                    value: v.clone(),
+                });
                 self.inst(parent).data.set(key, v.clone());
             }
         }
@@ -2004,10 +2170,7 @@ impl DistAgent {
         child_schema: crew_model::SchemaId,
         ctx: &mut Ctx<DistMsg>,
     ) {
-        let already = self
-            .inst(instance)
-            .pending_nested
-            .contains_key(&step);
+        let already = self.inst(instance).pending_nested.contains_key(&step);
         if already {
             return;
         }
@@ -2039,10 +2202,15 @@ impl DistAgent {
             parent: Some((instance, step)),
         };
         if coord == ctx.self_id {
-            self.on_workflow_start(child, match msg {
-                DistMsg::WorkflowStart { inputs, .. } => inputs,
-                _ => unreachable!(),
-            }, Some((instance, step)), ctx);
+            self.on_workflow_start(
+                child,
+                match msg {
+                    DistMsg::WorkflowStart { inputs, .. } => inputs,
+                    _ => unreachable!(),
+                },
+                Some((instance, step)),
+                ctx,
+            );
         } else {
             ctx.send(coord, msg);
         }
@@ -2060,7 +2228,10 @@ impl DistAgent {
             // commit will be rejected."
             ctx.send(
                 self.shared.directory.frontend,
-                DistMsg::WorkflowStatusReply { instance, status: "abort-rejected" },
+                DistMsg::WorkflowStatusReply {
+                    instance,
+                    status: "abort-rejected",
+                },
             );
             return;
         }
@@ -2071,7 +2242,10 @@ impl DistAgent {
             }
             st.aborted = true;
         }
-        self.log(DbOp::StatusChanged { instance, status: InstanceStatus::Aborted });
+        self.log(DbOp::StatusChanged {
+            instance,
+            status: InstanceStatus::Aborted,
+        });
         // Hand back (or de-queue) every mutex this instance may hold or
         // await, so contenders are never wedged by the abort.
         {
@@ -2105,7 +2279,10 @@ impl DistAgent {
             }
             for agent in &def.eligible_agents {
                 let node = self.shared.directory.node_of(*agent);
-                let msg = DistMsg::StepCompensate { instance, step: def.id };
+                let msg = DistMsg::StepCompensate {
+                    instance,
+                    step: def.id,
+                };
                 if node == ctx.self_id {
                     let compensated = self.compensate_local(instance, def.id, false, ctx);
                     let _ = compensated;
@@ -2142,7 +2319,10 @@ impl DistAgent {
         if reject {
             ctx.send(
                 self.shared.directory.frontend,
-                DistMsg::WorkflowStatusReply { instance, status: "change-rejected" },
+                DistMsg::WorkflowStatusReply {
+                    instance,
+                    status: "change-rejected",
+                },
             );
             return;
         }
@@ -2163,7 +2343,11 @@ impl DistAgent {
             })
             .unwrap_or(schema.start_step());
         let target = self.node_of_step(instance, &schema, origin);
-        let msg = DistMsg::InputsChanged { instance, origin, new_inputs };
+        let msg = DistMsg::InputsChanged {
+            instance,
+            origin,
+            new_inputs,
+        };
         if target == ctx.self_id {
             self.on_inputs_changed(msg, ctx);
         } else {
@@ -2172,10 +2356,21 @@ impl DistAgent {
     }
 
     fn on_inputs_changed(&mut self, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
-        let DistMsg::InputsChanged { instance, origin, new_inputs } = msg else { return };
+        let DistMsg::InputsChanged {
+            instance,
+            origin,
+            new_inputs,
+        } = msg
+        else {
+            return;
+        };
         self.ensure_instantiated(instance, ctx);
         for (key, value) in new_inputs {
-            self.log(DbOp::DataWritten { instance, key, value: value.clone() });
+            self.log(DbOp::DataWritten {
+                instance,
+                key,
+                value: value.clone(),
+            });
             self.inst(instance).data.set(key, value);
         }
         self.on_workflow_rollback(instance, origin, false, ctx);
@@ -2281,7 +2476,13 @@ impl DistAgent {
         }
     }
 
-    fn on_step_status(&mut self, instance: InstanceId, step: StepId, from: NodeId, ctx: &mut Ctx<DistMsg>) {
+    fn on_step_status(
+        &mut self,
+        instance: InstanceId,
+        step: StepId,
+        from: NodeId,
+        ctx: &mut Ctx<DistMsg>,
+    ) {
         let status = match self.instances.get(&instance) {
             None => StepStatusKind::Unknown,
             Some(st) => match st.history.state(step) {
@@ -2291,7 +2492,14 @@ impl DistAgent {
                 StepState::NotExecuted | StepState::Compensated => StepStatusKind::Unknown,
             },
         };
-        ctx.send(from, DistMsg::StepStatusReply { instance, step, status });
+        ctx.send(
+            from,
+            DistMsg::StepStatusReply {
+                instance,
+                step,
+                status,
+            },
+        );
     }
 
     fn on_step_status_reply(
@@ -2366,7 +2574,12 @@ impl DistAgent {
         let instances = std::mem::take(&mut self.purge_queue);
         for node in self.shared.directory.agent_nodes().collect::<Vec<_>>() {
             if node != ctx.self_id {
-                ctx.send(node, DistMsg::PurgeBroadcast { instances: instances.clone() });
+                ctx.send(
+                    node,
+                    DistMsg::PurgeBroadcast {
+                        instances: instances.clone(),
+                    },
+                );
             }
         }
         self.apply_purge(&instances);
@@ -2411,12 +2624,7 @@ impl DistAgent {
         self.mutexes
             .iter()
             .filter(|(_, st)| st.holder.is_some() || !st.queue.is_empty())
-            .map(|(&req, st)| {
-                (
-                    req,
-                    format!("holder {:?} queue {:?}", st.holder, st.queue),
-                )
-            })
+            .map(|(&req, st)| (req, format!("holder {:?} queue {:?}", st.holder, st.queue)))
             .collect()
     }
 
@@ -2509,12 +2717,15 @@ fn ro_canonical(mine: InstanceId, partner: InstanceId, my_side: u8) -> (Instance
 impl Node<DistMsg> for DistAgent {
     fn on_message(&mut self, from: NodeId, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
         match msg {
-            DistMsg::WorkflowStart { instance, inputs, parent } => {
-                self.on_workflow_start(instance, inputs, parent, ctx)
-            }
-            DistMsg::WorkflowChangeInputs { instance, new_inputs } => {
-                self.on_change_inputs(instance, new_inputs, ctx)
-            }
+            DistMsg::WorkflowStart {
+                instance,
+                inputs,
+                parent,
+            } => self.on_workflow_start(instance, inputs, parent, ctx),
+            DistMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            } => self.on_change_inputs(instance, new_inputs, ctx),
             DistMsg::WorkflowAbort { instance } => self.on_workflow_abort(instance, ctx),
             DistMsg::WorkflowStatus { instance } => {
                 let status = match self.db.status(instance) {
@@ -2526,7 +2737,12 @@ impl Node<DistMsg> for DistAgent {
                 ctx.send(from, DistMsg::WorkflowStatusReply { instance, status });
             }
             DistMsg::StepExecute { packet } => self.on_packet(packet, ctx),
-            DistMsg::StepCompleted { instance, step, weight_num, weight_den } => {
+            DistMsg::StepCompleted {
+                instance,
+                step,
+                weight_num,
+                weight_den,
+            } => {
                 let w = if weight_num == 0 {
                     Weight::ZERO
                 } else {
@@ -2535,7 +2751,13 @@ impl Node<DistMsg> for DistAgent {
                 self.on_step_completed(instance, step, w, ctx);
             }
             DistMsg::StateInformation { token } => {
-                ctx.send(from, DistMsg::StateInformationReply { token, load: self.load });
+                ctx.send(
+                    from,
+                    DistMsg::StateInformationReply {
+                        token,
+                        load: self.load,
+                    },
+                );
             }
             DistMsg::StateInformationReply { token, load } => {
                 self.on_state_information_reply(token, load, from, ctx)
@@ -2545,12 +2767,21 @@ impl Node<DistMsg> for DistAgent {
             DistMsg::WorkflowRollback { instance, origin } => {
                 self.on_workflow_rollback(instance, origin, false, ctx)
             }
-            DistMsg::HaltThread { instance, origin, epoch } => {
-                self.on_halt_thread(instance, origin, epoch, ctx)
-            }
+            DistMsg::HaltThread {
+                instance,
+                origin,
+                epoch,
+            } => self.on_halt_thread(instance, origin, epoch, ctx),
             DistMsg::StepCompensate { instance, step } => {
                 let compensated = self.compensate_local(instance, step, false, ctx);
-                ctx.send(from, DistMsg::StepCompensateAck { instance, step, compensated });
+                ctx.send(
+                    from,
+                    DistMsg::StepCompensateAck {
+                        instance,
+                        step,
+                        compensated,
+                    },
+                );
             }
             DistMsg::StepCompensateAck { .. } => {}
             DistMsg::CompensateSet { .. } => self.on_compensate_set_msg(msg, ctx),
@@ -2558,15 +2789,21 @@ impl Node<DistMsg> for DistAgent {
             DistMsg::StepStatus { instance, step } => {
                 self.on_step_status(instance, step, from, ctx)
             }
-            DistMsg::StepStatusReply { instance, step, status } => {
-                self.on_step_status_reply(instance, step, status, from, ctx)
-            }
+            DistMsg::StepStatusReply {
+                instance,
+                step,
+                status,
+            } => self.on_step_status_reply(instance, step, status, from, ctx),
             DistMsg::ExecuteRequest { instance, step } => {
                 self.on_execute_request(instance, step, ctx)
             }
             DistMsg::AddRule { rule } => self.handle_coord_rule(rule, from, ctx),
             DistMsg::AddEvent { instance, tag } => self.on_add_event(instance, tag, ctx),
-            DistMsg::AddPrecondition { instance, step, tag } => {
+            DistMsg::AddPrecondition {
+                instance,
+                step,
+                tag,
+            } => {
                 self.add_precondition_local(instance, step, tag);
                 self.fire_rules(instance, ctx);
             }
@@ -2603,8 +2840,12 @@ impl Node<DistMsg> for DistAgent {
         // restored here so StepStatus polls answer correctly.
         let ops = self.wal.recover().expect("in-memory WAL recovery");
         self.db = AgentDb::replay(ops.iter());
-        for (&instance, table) in
-            self.db.instances().map(|(i, t)| (i, t.clone())).collect::<Vec<_>>().iter()
+        for (&instance, table) in self
+            .db
+            .instances()
+            .map(|(i, t)| (i, t.clone()))
+            .collect::<Vec<_>>()
+            .iter()
         {
             let st = self.instances.entry(instance).or_default();
             st.data = table.data.clone();
@@ -2614,7 +2855,8 @@ impl Node<DistMsg> for DistAgent {
                         for _ in 0..*attempt {
                             st.history.begin_attempt(*step);
                         }
-                        st.history.record_done(*step, *attempt, vec![], outputs.clone());
+                        st.history
+                            .record_done(*step, *attempt, vec![], outputs.clone());
                     }
                     StoredStepState::Failed => {
                         st.history.begin_attempt(*step);
@@ -2622,7 +2864,8 @@ impl Node<DistMsg> for DistAgent {
                     }
                     StoredStepState::Compensated => {
                         st.history.begin_attempt(*step);
-                        st.history.record_done(*step, *attempt, vec![], outputs.clone());
+                        st.history
+                            .record_done(*step, *attempt, vec![], outputs.clone());
                         st.history.record_compensated(*step);
                     }
                     StoredStepState::Executing => {}

@@ -53,11 +53,7 @@ impl DistRun {
 
     /// Start a new instance of `schema` with the given workflow inputs,
     /// injected through the front end. Returns the instance id.
-    pub fn start_instance(
-        &mut self,
-        schema: SchemaId,
-        inputs: Vec<(u16, Value)>,
-    ) -> InstanceId {
+    pub fn start_instance(&mut self, schema: SchemaId, inputs: Vec<(u16, Value)>) -> InstanceId {
         let instance = InstanceId::new(schema, self.next_serial);
         self.next_serial += 1;
         let inputs: Vec<(ItemKey, Value)> = inputs
@@ -66,7 +62,11 @@ impl DistRun {
             .collect();
         self.sim.send_external(
             self.directory.frontend,
-            DistMsg::WorkflowStart { instance, inputs, parent: None },
+            DistMsg::WorkflowStart {
+                instance,
+                inputs,
+                parent: None,
+            },
         );
         self.started.push(instance);
         instance
@@ -74,10 +74,8 @@ impl DistRun {
 
     /// Inject a user abort for `instance`.
     pub fn abort_instance(&mut self, instance: InstanceId) {
-        self.sim.send_external(
-            self.directory.frontend,
-            DistMsg::WorkflowAbort { instance },
-        );
+        self.sim
+            .send_external(self.directory.frontend, DistMsg::WorkflowAbort { instance });
     }
 
     /// Inject a user abort at a specific virtual time (mid-flight).
@@ -102,7 +100,10 @@ impl DistRun {
             .collect();
         self.sim.send_external_at(
             self.directory.frontend,
-            DistMsg::WorkflowChangeInputs { instance, new_inputs },
+            DistMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            },
             at,
         );
     }
@@ -115,7 +116,10 @@ impl DistRun {
             .collect();
         self.sim.send_external(
             self.directory.frontend,
-            DistMsg::WorkflowChangeInputs { instance, new_inputs },
+            DistMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            },
         );
     }
 
@@ -165,11 +169,7 @@ impl DistRun {
 /// Assign eligible agents round-robin across a pool of size `agents`, with
 /// `per_step` eligible agents per step — the deployment-side knob for the
 /// paper's parameter `a`.
-pub fn assign_agents_round_robin(
-    deployment: &mut Deployment,
-    agents: u32,
-    per_step: u32,
-) {
+pub fn assign_agents_round_robin(deployment: &mut Deployment, agents: u32, per_step: u32) {
     assert!(agents > 0 && per_step > 0 && per_step <= agents);
     let schemas: Vec<SchemaId> = deployment.schemas.keys().copied().collect();
     for sid in schemas {

@@ -1,0 +1,840 @@
+//! Binary codec for [`DistMsg`] and [`WorkflowPacket`], so distributed
+//! traffic can ride the simulator's WAL-backed reliable channels (the
+//! durable outbox persists message payloads across fail-stop crashes).
+//!
+//! Foreign model types without their own codec ([`DataEnv`],
+//! [`EventKind`], [`Weight`]) are encoded through private helpers here
+//! rather than trait impls, keeping `crew-storage` free of rules/exec
+//! dependencies. The `&'static str` status of `WorkflowStatusReply` is a
+//! closed vocabulary and travels as a one-byte tag.
+
+use crate::msg::{CoordRule, DistMsg, StepStatusKind};
+use crate::packet::{RoTag, WorkflowPacket};
+use crate::weight::Weight;
+use bytes::{Bytes, BytesMut};
+use crew_model::{DataEnv, ItemKey, Value};
+use crew_rules::EventKind;
+use crew_storage::{CodecError, Decode, Encode};
+
+// ---- foreign-type helpers -------------------------------------------------
+
+fn encode_data_env(env: &DataEnv, buf: &mut BytesMut) {
+    (env.len() as u32).encode(buf);
+    for (k, v) in env.iter() {
+        k.encode(buf);
+        v.encode(buf);
+    }
+}
+
+fn decode_data_env(buf: &mut Bytes) -> Result<DataEnv, CodecError> {
+    let n = u32::decode(buf)?;
+    let mut env = DataEnv::new();
+    for _ in 0..n {
+        let k = ItemKey::decode(buf)?;
+        let v = Value::decode(buf)?;
+        env.set(k, v);
+    }
+    Ok(env)
+}
+
+fn encode_event_kind(e: &EventKind, buf: &mut BytesMut) {
+    match e {
+        EventKind::WorkflowStart => 0u8.encode(buf),
+        EventKind::StepDone(s) => {
+            1u8.encode(buf);
+            s.encode(buf);
+        }
+        EventKind::StepFail(s) => {
+            2u8.encode(buf);
+            s.encode(buf);
+        }
+        EventKind::StepCompensated(s) => {
+            3u8.encode(buf);
+            s.encode(buf);
+        }
+        EventKind::WorkflowDone => 4u8.encode(buf),
+        EventKind::WorkflowAbort => 5u8.encode(buf),
+        EventKind::External(t) => {
+            6u8.encode(buf);
+            t.encode(buf);
+        }
+    }
+}
+
+fn decode_event_kind(buf: &mut Bytes) -> Result<EventKind, CodecError> {
+    Ok(match u8::decode(buf)? {
+        0 => EventKind::WorkflowStart,
+        1 => EventKind::StepDone(Decode::decode(buf)?),
+        2 => EventKind::StepFail(Decode::decode(buf)?),
+        3 => EventKind::StepCompensated(Decode::decode(buf)?),
+        4 => EventKind::WorkflowDone,
+        5 => EventKind::WorkflowAbort,
+        6 => EventKind::External(Decode::decode(buf)?),
+        tag => {
+            return Err(CodecError::BadTag {
+                context: "EventKind",
+                tag,
+            })
+        }
+    })
+}
+
+fn encode_weight(w: &Weight, buf: &mut BytesMut) {
+    let (num, den) = w.parts();
+    num.encode(buf);
+    den.encode(buf);
+}
+
+fn decode_weight(buf: &mut Bytes) -> Result<Weight, CodecError> {
+    let num = u64::decode(buf)?;
+    let den = u64::decode(buf)?;
+    // A zero denominator cannot come from Weight::parts(); treat it as
+    // corruption rather than panicking inside Weight::new.
+    if den == 0 {
+        return Err(CodecError::BadTag {
+            context: "Weight",
+            tag: 0,
+        });
+    }
+    Ok(Weight::new(num, den))
+}
+
+/// The closed status vocabulary of `WorkflowStatusReply`.
+const STATUS_TABLE: [&str; 6] = [
+    "committed",
+    "aborted",
+    "executing",
+    "unknown",
+    "abort-rejected",
+    "change-rejected",
+];
+
+fn encode_status(status: &'static str, buf: &mut BytesMut) {
+    let tag = STATUS_TABLE.iter().position(|&s| s == status).unwrap_or(3) as u8; // any unrecognized status degrades to "unknown"
+    tag.encode(buf);
+}
+
+fn decode_status(buf: &mut Bytes) -> Result<&'static str, CodecError> {
+    let tag = u8::decode(buf)?;
+    STATUS_TABLE
+        .get(tag as usize)
+        .copied()
+        .ok_or(CodecError::BadTag {
+            context: "WorkflowStatus",
+            tag,
+        })
+}
+
+// ---- protocol types -------------------------------------------------------
+
+impl Encode for StepStatusKind {
+    fn encode(&self, buf: &mut BytesMut) {
+        let tag: u8 = match self {
+            StepStatusKind::Unknown => 0,
+            StepStatusKind::Executing => 1,
+            StepStatusKind::Done => 2,
+            StepStatusKind::Failed => 3,
+        };
+        tag.encode(buf);
+    }
+}
+
+impl Decode for StepStatusKind {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => StepStatusKind::Unknown,
+            1 => StepStatusKind::Executing,
+            2 => StepStatusKind::Done,
+            3 => StepStatusKind::Failed,
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "StepStatusKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for CoordRule {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CoordRule::RoFirstDone {
+                req,
+                claimant,
+                partner,
+            } => {
+                0u8.encode(buf);
+                req.encode(buf);
+                claimant.encode(buf);
+                partner.encode(buf);
+            }
+            CoordRule::MutexAcquire {
+                req,
+                instance,
+                step,
+            } => {
+                1u8.encode(buf);
+                req.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            CoordRule::MutexRelease {
+                req,
+                instance,
+                step,
+            } => {
+                2u8.encode(buf);
+                req.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            CoordRule::RoNotify {
+                req,
+                instance,
+                local_step,
+                tag,
+                target_instance,
+                target_step,
+            } => {
+                3u8.encode(buf);
+                req.encode(buf);
+                instance.encode(buf);
+                local_step.encode(buf);
+                tag.encode(buf);
+                target_instance.encode(buf);
+                target_step.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for CoordRule {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => CoordRule::RoFirstDone {
+                req: Decode::decode(buf)?,
+                claimant: Decode::decode(buf)?,
+                partner: Decode::decode(buf)?,
+            },
+            1 => CoordRule::MutexAcquire {
+                req: Decode::decode(buf)?,
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            2 => CoordRule::MutexRelease {
+                req: Decode::decode(buf)?,
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            3 => CoordRule::RoNotify {
+                req: Decode::decode(buf)?,
+                instance: Decode::decode(buf)?,
+                local_step: Decode::decode(buf)?,
+                tag: Decode::decode(buf)?,
+                target_instance: Decode::decode(buf)?,
+                target_step: Decode::decode(buf)?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "CoordRule",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for RoTag {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.local_step.encode(buf);
+        self.tag.encode(buf);
+        self.partner.encode(buf);
+        self.partner_step.encode(buf);
+    }
+}
+
+impl Decode for RoTag {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(RoTag {
+            local_step: Decode::decode(buf)?,
+            tag: Decode::decode(buf)?,
+            partner: Decode::decode(buf)?,
+            partner_step: Decode::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for WorkflowPacket {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.instance.encode(buf);
+        self.target_step.encode(buf);
+        self.source_step.encode(buf);
+        self.executor.encode(buf);
+        self.epoch.encode(buf);
+        encode_data_env(&self.data, buf);
+        (self.events.len() as u32).encode(buf);
+        for (e, gen) in &self.events {
+            encode_event_kind(e, buf);
+            gen.encode(buf);
+        }
+        self.ro_leading.encode(buf);
+        self.ro_lagging.encode(buf);
+        encode_weight(&self.weight, buf);
+    }
+}
+
+impl Decode for WorkflowPacket {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let instance = Decode::decode(buf)?;
+        let target_step = Decode::decode(buf)?;
+        let source_step = Decode::decode(buf)?;
+        let executor = Decode::decode(buf)?;
+        let epoch = Decode::decode(buf)?;
+        let data = decode_data_env(buf)?;
+        let n = u32::decode(buf)?;
+        let mut events = Vec::with_capacity(n.min(4096) as usize);
+        for _ in 0..n {
+            let e = decode_event_kind(buf)?;
+            let gen = u32::decode(buf)?;
+            events.push((e, gen));
+        }
+        let ro_leading = Decode::decode(buf)?;
+        let ro_lagging = Decode::decode(buf)?;
+        let weight = decode_weight(buf)?;
+        Ok(WorkflowPacket {
+            instance,
+            target_step,
+            source_step,
+            executor,
+            epoch,
+            data,
+            events,
+            ro_leading,
+            ro_lagging,
+            weight,
+        })
+    }
+}
+
+impl Encode for DistMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            DistMsg::WorkflowStart {
+                instance,
+                inputs,
+                parent,
+            } => {
+                0u8.encode(buf);
+                instance.encode(buf);
+                inputs.encode(buf);
+                parent.encode(buf);
+            }
+            DistMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            } => {
+                1u8.encode(buf);
+                instance.encode(buf);
+                new_inputs.encode(buf);
+            }
+            DistMsg::WorkflowAbort { instance } => {
+                2u8.encode(buf);
+                instance.encode(buf);
+            }
+            DistMsg::WorkflowStatus { instance } => {
+                3u8.encode(buf);
+                instance.encode(buf);
+            }
+            DistMsg::WorkflowStatusReply { instance, status } => {
+                4u8.encode(buf);
+                instance.encode(buf);
+                encode_status(status, buf);
+            }
+            DistMsg::WorkflowCommitted { instance } => {
+                5u8.encode(buf);
+                instance.encode(buf);
+            }
+            DistMsg::WorkflowAborted { instance } => {
+                6u8.encode(buf);
+                instance.encode(buf);
+            }
+            DistMsg::StepExecute { packet } => {
+                7u8.encode(buf);
+                packet.encode(buf);
+            }
+            DistMsg::StepCompleted {
+                instance,
+                step,
+                weight_num,
+                weight_den,
+            } => {
+                8u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                weight_num.encode(buf);
+                weight_den.encode(buf);
+            }
+            DistMsg::StateInformation { token } => {
+                9u8.encode(buf);
+                token.encode(buf);
+            }
+            DistMsg::StateInformationReply { token, load } => {
+                10u8.encode(buf);
+                token.encode(buf);
+                load.encode(buf);
+            }
+            DistMsg::NestedCompleted {
+                parent,
+                parent_step,
+                child,
+                outputs,
+            } => {
+                11u8.encode(buf);
+                parent.encode(buf);
+                parent_step.encode(buf);
+                child.encode(buf);
+                outputs.encode(buf);
+            }
+            DistMsg::InputsChanged {
+                instance,
+                origin,
+                new_inputs,
+            } => {
+                12u8.encode(buf);
+                instance.encode(buf);
+                origin.encode(buf);
+                new_inputs.encode(buf);
+            }
+            DistMsg::WorkflowRollback { instance, origin } => {
+                13u8.encode(buf);
+                instance.encode(buf);
+                origin.encode(buf);
+            }
+            DistMsg::HaltThread {
+                instance,
+                origin,
+                epoch,
+            } => {
+                14u8.encode(buf);
+                instance.encode(buf);
+                origin.encode(buf);
+                epoch.encode(buf);
+            }
+            DistMsg::StepCompensate { instance, step } => {
+                15u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            DistMsg::StepCompensateAck {
+                instance,
+                step,
+                compensated,
+            } => {
+                16u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                compensated.encode(buf);
+            }
+            DistMsg::CompensateSet {
+                instance,
+                origin,
+                steps,
+            } => {
+                17u8.encode(buf);
+                instance.encode(buf);
+                origin.encode(buf);
+                steps.encode(buf);
+            }
+            DistMsg::CompensateThread { instance, steps } => {
+                18u8.encode(buf);
+                instance.encode(buf);
+                steps.encode(buf);
+            }
+            DistMsg::StepStatus { instance, step } => {
+                19u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            DistMsg::StepStatusReply {
+                instance,
+                step,
+                status,
+            } => {
+                20u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                status.encode(buf);
+            }
+            DistMsg::ExecuteRequest { instance, step } => {
+                21u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
+            DistMsg::AddRule { rule } => {
+                22u8.encode(buf);
+                rule.encode(buf);
+            }
+            DistMsg::AddEvent { instance, tag } => {
+                23u8.encode(buf);
+                instance.encode(buf);
+                tag.encode(buf);
+            }
+            DistMsg::AddPrecondition {
+                instance,
+                step,
+                tag,
+            } => {
+                24u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+                tag.encode(buf);
+            }
+            DistMsg::PurgeBroadcast { instances } => {
+                25u8.encode(buf);
+                instances.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for DistMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            0 => DistMsg::WorkflowStart {
+                instance: Decode::decode(buf)?,
+                inputs: Decode::decode(buf)?,
+                parent: Decode::decode(buf)?,
+            },
+            1 => DistMsg::WorkflowChangeInputs {
+                instance: Decode::decode(buf)?,
+                new_inputs: Decode::decode(buf)?,
+            },
+            2 => DistMsg::WorkflowAbort {
+                instance: Decode::decode(buf)?,
+            },
+            3 => DistMsg::WorkflowStatus {
+                instance: Decode::decode(buf)?,
+            },
+            4 => DistMsg::WorkflowStatusReply {
+                instance: Decode::decode(buf)?,
+                status: decode_status(buf)?,
+            },
+            5 => DistMsg::WorkflowCommitted {
+                instance: Decode::decode(buf)?,
+            },
+            6 => DistMsg::WorkflowAborted {
+                instance: Decode::decode(buf)?,
+            },
+            7 => DistMsg::StepExecute {
+                packet: Decode::decode(buf)?,
+            },
+            8 => DistMsg::StepCompleted {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                weight_num: Decode::decode(buf)?,
+                weight_den: Decode::decode(buf)?,
+            },
+            9 => DistMsg::StateInformation {
+                token: Decode::decode(buf)?,
+            },
+            10 => DistMsg::StateInformationReply {
+                token: Decode::decode(buf)?,
+                load: Decode::decode(buf)?,
+            },
+            11 => DistMsg::NestedCompleted {
+                parent: Decode::decode(buf)?,
+                parent_step: Decode::decode(buf)?,
+                child: Decode::decode(buf)?,
+                outputs: Decode::decode(buf)?,
+            },
+            12 => DistMsg::InputsChanged {
+                instance: Decode::decode(buf)?,
+                origin: Decode::decode(buf)?,
+                new_inputs: Decode::decode(buf)?,
+            },
+            13 => DistMsg::WorkflowRollback {
+                instance: Decode::decode(buf)?,
+                origin: Decode::decode(buf)?,
+            },
+            14 => DistMsg::HaltThread {
+                instance: Decode::decode(buf)?,
+                origin: Decode::decode(buf)?,
+                epoch: Decode::decode(buf)?,
+            },
+            15 => DistMsg::StepCompensate {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            16 => DistMsg::StepCompensateAck {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                compensated: Decode::decode(buf)?,
+            },
+            17 => DistMsg::CompensateSet {
+                instance: Decode::decode(buf)?,
+                origin: Decode::decode(buf)?,
+                steps: Decode::decode(buf)?,
+            },
+            18 => DistMsg::CompensateThread {
+                instance: Decode::decode(buf)?,
+                steps: Decode::decode(buf)?,
+            },
+            19 => DistMsg::StepStatus {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            20 => DistMsg::StepStatusReply {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                status: Decode::decode(buf)?,
+            },
+            21 => DistMsg::ExecuteRequest {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+            },
+            22 => DistMsg::AddRule {
+                rule: Decode::decode(buf)?,
+            },
+            23 => DistMsg::AddEvent {
+                instance: Decode::decode(buf)?,
+                tag: Decode::decode(buf)?,
+            },
+            24 => DistMsg::AddPrecondition {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
+                tag: Decode::decode(buf)?,
+            },
+            25 => DistMsg::PurgeBroadcast {
+                instances: Decode::decode(buf)?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "DistMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+    use crew_model::{InstanceId, SchemaId, StepId};
+
+    fn inst(n: u32) -> InstanceId {
+        InstanceId::new(SchemaId(2), n)
+    }
+
+    fn round_trip(msg: DistMsg) {
+        let bytes = msg.to_bytes();
+        let mut buf = bytes.clone();
+        let back = DistMsg::decode(&mut buf).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(buf.remaining(), 0, "no trailing bytes for {}", bytes.len());
+    }
+
+    fn rich_packet() -> WorkflowPacket {
+        let mut data = DataEnv::new();
+        data.set(ItemKey::input(1), Value::Int(90));
+        data.set(ItemKey::output(StepId(1), 2), Value::Str("Gasket".into()));
+        WorkflowPacket {
+            instance: inst(4),
+            target_step: StepId(3),
+            source_step: Some(StepId(2)),
+            executor: Some(crew_model::AgentId(5)),
+            epoch: 7,
+            data,
+            events: vec![
+                (EventKind::WorkflowStart, 1),
+                (EventKind::StepDone(StepId(1)), 2),
+                (EventKind::StepFail(StepId(2)), 1),
+                (EventKind::StepCompensated(StepId(2)), 1),
+                (EventKind::WorkflowDone, 1),
+                (EventKind::WorkflowAbort, 1),
+                (EventKind::External(0xBEEF), 3),
+            ],
+            ro_leading: vec![RoTag {
+                local_step: StepId(3),
+                tag: 0xBEEF,
+                partner: inst(15),
+                partner_step: StepId(5),
+            }],
+            ro_lagging: vec![RoTag {
+                local_step: StepId(2),
+                tag: 0xF00D,
+                partner: inst(12),
+                partner_step: StepId(2),
+            }],
+            weight: Weight::new(3, 8),
+        }
+    }
+
+    #[test]
+    fn packet_round_trips_with_all_payloads() {
+        round_trip(DistMsg::StepExecute {
+            packet: rich_packet(),
+        });
+        round_trip(DistMsg::StepExecute {
+            packet: WorkflowPacket::initial(inst(1), StepId(1), DataEnv::new()),
+        });
+    }
+
+    #[test]
+    fn all_message_variants_round_trip() {
+        let msgs = vec![
+            DistMsg::WorkflowStart {
+                instance: inst(1),
+                inputs: vec![(ItemKey::input(0), Value::Int(1))],
+                parent: Some((inst(2), StepId(3))),
+            },
+            DistMsg::WorkflowChangeInputs {
+                instance: inst(1),
+                new_inputs: vec![(ItemKey::input(0), Value::Bool(true))],
+            },
+            DistMsg::WorkflowAbort { instance: inst(1) },
+            DistMsg::WorkflowStatus { instance: inst(1) },
+            DistMsg::WorkflowCommitted { instance: inst(1) },
+            DistMsg::WorkflowAborted { instance: inst(1) },
+            DistMsg::StepCompleted {
+                instance: inst(1),
+                step: StepId(2),
+                weight_num: 1,
+                weight_den: 4,
+            },
+            DistMsg::StateInformation { token: 9 },
+            DistMsg::StateInformationReply {
+                token: 9,
+                load: 777,
+            },
+            DistMsg::NestedCompleted {
+                parent: inst(1),
+                parent_step: StepId(2),
+                child: inst(3),
+                outputs: vec![Value::Float(1.5)],
+            },
+            DistMsg::InputsChanged {
+                instance: inst(1),
+                origin: StepId(1),
+                new_inputs: vec![],
+            },
+            DistMsg::WorkflowRollback {
+                instance: inst(1),
+                origin: StepId(1),
+            },
+            DistMsg::HaltThread {
+                instance: inst(1),
+                origin: StepId(1),
+                epoch: 2,
+            },
+            DistMsg::StepCompensate {
+                instance: inst(1),
+                step: StepId(2),
+            },
+            DistMsg::StepCompensateAck {
+                instance: inst(1),
+                step: StepId(2),
+                compensated: true,
+            },
+            DistMsg::CompensateSet {
+                instance: inst(1),
+                origin: StepId(1),
+                steps: vec![StepId(2), StepId(3)],
+            },
+            DistMsg::CompensateThread {
+                instance: inst(1),
+                steps: vec![StepId(4)],
+            },
+            DistMsg::StepStatus {
+                instance: inst(1),
+                step: StepId(2),
+            },
+            DistMsg::ExecuteRequest {
+                instance: inst(1),
+                step: StepId(2),
+            },
+            DistMsg::AddEvent {
+                instance: inst(1),
+                tag: 4,
+            },
+            DistMsg::AddPrecondition {
+                instance: inst(1),
+                step: StepId(2),
+                tag: 4,
+            },
+            DistMsg::PurgeBroadcast {
+                instances: vec![inst(1), inst(2)],
+            },
+        ];
+        for m in msgs {
+            round_trip(m);
+        }
+    }
+
+    #[test]
+    fn status_replies_round_trip_the_whole_vocabulary() {
+        for status in super::STATUS_TABLE {
+            round_trip(DistMsg::WorkflowStatusReply {
+                instance: inst(1),
+                status,
+            });
+        }
+        for status in [
+            StepStatusKind::Unknown,
+            StepStatusKind::Executing,
+            StepStatusKind::Done,
+            StepStatusKind::Failed,
+        ] {
+            round_trip(DistMsg::StepStatusReply {
+                instance: inst(1),
+                step: StepId(1),
+                status,
+            });
+        }
+    }
+
+    #[test]
+    fn coord_rules_round_trip() {
+        for rule in [
+            CoordRule::RoFirstDone {
+                req: 1,
+                claimant: inst(1),
+                partner: inst(2),
+            },
+            CoordRule::MutexAcquire {
+                req: 2,
+                instance: inst(1),
+                step: StepId(1),
+            },
+            CoordRule::MutexRelease {
+                req: 3,
+                instance: inst(1),
+                step: StepId(1),
+            },
+            CoordRule::RoNotify {
+                req: 4,
+                instance: inst(1),
+                local_step: StepId(2),
+                tag: 0xAB,
+                target_instance: inst(2),
+                target_step: StepId(3),
+            },
+        ] {
+            round_trip(DistMsg::AddRule { rule });
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = Bytes::from_static(&[99u8]);
+        assert!(matches!(
+            DistMsg::decode(&mut buf),
+            Err(CodecError::BadTag {
+                context: "DistMsg",
+                tag: 99
+            })
+        ));
+    }
+}

@@ -20,23 +20,39 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 #[allow(missing_docs)]
 pub enum UserRequest {
-    Start { instance: InstanceId, inputs: Vec<(ItemKey, Value)> },
-    Abort { instance: InstanceId },
-    ChangeInputs { instance: InstanceId, new_inputs: Vec<(ItemKey, Value)> },
-    Status { instance: InstanceId },
+    Start {
+        instance: InstanceId,
+        inputs: Vec<(ItemKey, Value)>,
+    },
+    Abort {
+        instance: InstanceId,
+    },
+    ChangeInputs {
+        instance: InstanceId,
+        new_inputs: Vec<(ItemKey, Value)>,
+    },
+    Status {
+        instance: InstanceId,
+    },
 }
 
 impl UserRequest {
     /// The wire message to send to the front-end node.
     pub fn into_msg(self) -> DistMsg {
         match self {
-            UserRequest::Start { instance, inputs } => {
-                DistMsg::WorkflowStart { instance, inputs, parent: None }
-            }
+            UserRequest::Start { instance, inputs } => DistMsg::WorkflowStart {
+                instance,
+                inputs,
+                parent: None,
+            },
             UserRequest::Abort { instance } => DistMsg::WorkflowAbort { instance },
-            UserRequest::ChangeInputs { instance, new_inputs } => {
-                DistMsg::WorkflowChangeInputs { instance, new_inputs }
-            }
+            UserRequest::ChangeInputs {
+                instance,
+                new_inputs,
+            } => DistMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            },
             UserRequest::Status { instance } => DistMsg::WorkflowStatus { instance },
         }
     }
@@ -86,17 +102,37 @@ impl Node<DistMsg> for FrontEnd {
     fn on_message(&mut self, _from: NodeId, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
         match msg {
             // External world → route to the coordination agent.
-            DistMsg::WorkflowStart { instance, inputs, parent } => {
+            DistMsg::WorkflowStart {
+                instance,
+                inputs,
+                parent,
+            } => {
                 let coord = self.coordination_node(instance);
-                ctx.send(coord, DistMsg::WorkflowStart { instance, inputs, parent });
+                ctx.send(
+                    coord,
+                    DistMsg::WorkflowStart {
+                        instance,
+                        inputs,
+                        parent,
+                    },
+                );
             }
             DistMsg::WorkflowAbort { instance } => {
                 let coord = self.coordination_node(instance);
                 ctx.send(coord, DistMsg::WorkflowAbort { instance });
             }
-            DistMsg::WorkflowChangeInputs { instance, new_inputs } => {
+            DistMsg::WorkflowChangeInputs {
+                instance,
+                new_inputs,
+            } => {
                 let coord = self.coordination_node(instance);
-                ctx.send(coord, DistMsg::WorkflowChangeInputs { instance, new_inputs });
+                ctx.send(
+                    coord,
+                    DistMsg::WorkflowChangeInputs {
+                        instance,
+                        new_inputs,
+                    },
+                );
             }
             DistMsg::WorkflowStatus { instance } => {
                 let coord = self.coordination_node(instance);

@@ -17,6 +17,7 @@
 
 pub mod agent;
 pub mod builder;
+pub mod codec;
 pub mod frontend;
 pub mod msg;
 pub mod packet;
@@ -35,7 +36,6 @@ pub use frontend::{FrontEnd, Outcome};
 pub use msg::{CoordRule, DistMsg, StepStatusKind};
 pub use packet::{RoTag, WorkflowPacket};
 pub use runtime::{
-    coordination_agent, designated_agent, Directory, DistConfig, SharedCtx,
-    SuccessorSelection,
+    coordination_agent, designated_agent, Directory, DistConfig, SharedCtx, SuccessorSelection,
 };
 pub use weight::Weight;

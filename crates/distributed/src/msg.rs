@@ -43,9 +43,17 @@ pub enum CoordRule {
     },
     /// Mutual exclusion: request the resource for `holder` step of
     /// `instance`.
-    MutexAcquire { req: u32, instance: InstanceId, step: StepId },
+    MutexAcquire {
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+    },
     /// Mutual exclusion: release the resource.
-    MutexRelease { req: u32, instance: InstanceId, step: StepId },
+    MutexRelease {
+        req: u32,
+        instance: InstanceId,
+        step: StepId,
+    },
     /// Relative order: the arbiter instructs the *leading* side's agent to
     /// inject `tag` at the lagging side once `local_step` completes.
     RoNotify {
@@ -127,7 +135,10 @@ pub enum DistMsg {
         new_inputs: Vec<(ItemKey, Value)>,
     },
     /// Roll the workflow back to `origin` (failing agent → origin agent).
-    WorkflowRollback { instance: InstanceId, origin: StepId },
+    WorkflowRollback {
+        instance: InstanceId,
+        origin: StepId,
+    },
     /// Halt probe: quiesce control flow downstream of `origin`, adopting
     /// `epoch` (§5.2).
     HaltThread {
@@ -311,7 +322,11 @@ mod tests {
         use Mechanism::*;
         let cases: Vec<(DistMsg, Mechanism)> = vec![
             (
-                DistMsg::WorkflowStart { instance: inst(), inputs: vec![], parent: None },
+                DistMsg::WorkflowStart {
+                    instance: inst(),
+                    inputs: vec![],
+                    parent: None,
+                },
                 Normal,
             ),
             (DistMsg::WorkflowStatus { instance: inst() }, Normal),
@@ -326,7 +341,10 @@ mod tests {
             ),
             (DistMsg::StateInformation { token: 0 }, Normal),
             (
-                DistMsg::WorkflowChangeInputs { instance: inst(), new_inputs: vec![] },
+                DistMsg::WorkflowChangeInputs {
+                    instance: inst(),
+                    new_inputs: vec![],
+                },
                 InputChange,
             ),
             (
@@ -338,13 +356,26 @@ mod tests {
                 InputChange,
             ),
             (DistMsg::WorkflowAbort { instance: inst() }, Abort),
-            (DistMsg::StepCompensate { instance: inst(), step: StepId(1) }, Abort),
             (
-                DistMsg::WorkflowRollback { instance: inst(), origin: StepId(2) },
+                DistMsg::StepCompensate {
+                    instance: inst(),
+                    step: StepId(1),
+                },
+                Abort,
+            ),
+            (
+                DistMsg::WorkflowRollback {
+                    instance: inst(),
+                    origin: StepId(2),
+                },
                 FailureHandling,
             ),
             (
-                DistMsg::HaltThread { instance: inst(), origin: StepId(2), epoch: 1 },
+                DistMsg::HaltThread {
+                    instance: inst(),
+                    origin: StepId(2),
+                    epoch: 1,
+                },
                 FailureHandling,
             ),
             (
@@ -355,10 +386,26 @@ mod tests {
                 },
                 FailureHandling,
             ),
-            (DistMsg::StepStatus { instance: inst(), step: StepId(1) }, FailureHandling),
-            (DistMsg::AddEvent { instance: inst(), tag: 1 }, CoordinatedExecution),
             (
-                DistMsg::AddPrecondition { instance: inst(), step: StepId(1), tag: 1 },
+                DistMsg::StepStatus {
+                    instance: inst(),
+                    step: StepId(1),
+                },
+                FailureHandling,
+            ),
+            (
+                DistMsg::AddEvent {
+                    instance: inst(),
+                    tag: 1,
+                },
+                CoordinatedExecution,
+            ),
+            (
+                DistMsg::AddPrecondition {
+                    instance: inst(),
+                    step: StepId(1),
+                    tag: 1,
+                },
                 CoordinatedExecution,
             ),
             (
@@ -385,7 +432,11 @@ mod tests {
         assert_eq!(DistMsg::StateInformation { token: 1 }.instance(), None);
         assert_eq!(
             DistMsg::AddRule {
-                rule: CoordRule::RoFirstDone { req: 0, claimant: inst(), partner: inst() }
+                rule: CoordRule::RoFirstDone {
+                    req: 0,
+                    claimant: inst(),
+                    partner: inst()
+                }
             }
             .instance(),
             Some(inst())
@@ -394,9 +445,17 @@ mod tests {
 
     #[test]
     fn kinds_are_stable_names() {
-        assert_eq!(DistMsg::WorkflowAbort { instance: inst() }.kind(), "WorkflowAbort");
         assert_eq!(
-            DistMsg::HaltThread { instance: inst(), origin: StepId(1), epoch: 0 }.kind(),
+            DistMsg::WorkflowAbort { instance: inst() }.kind(),
+            "WorkflowAbort"
+        );
+        assert_eq!(
+            DistMsg::HaltThread {
+                instance: inst(),
+                origin: StepId(1),
+                epoch: 0
+            }
+            .kind(),
             "HaltThread"
         );
     }

@@ -19,7 +19,10 @@ pub struct Directory {
 
 impl Directory {
     pub fn new(agents: u32) -> Self {
-        Directory { agents, frontend: NodeId(agents) }
+        Directory {
+            agents,
+            frontend: NodeId(agents),
+        }
     }
 
     /// Node hosting `agent`.
@@ -114,11 +117,7 @@ pub fn designated_agent(seed: u64, instance: InstanceId, def: &StepDef) -> Agent
 /// The coordination agent of an instance: the designated executor of its
 /// start step (§4.1: "typically the agent responsible for executing the
 /// first step of the workflow").
-pub fn coordination_agent(
-    seed: u64,
-    instance: InstanceId,
-    schema: &WorkflowSchema,
-) -> AgentId {
+pub fn coordination_agent(seed: u64, instance: InstanceId, schema: &WorkflowSchema) -> AgentId {
     designated_agent(seed, instance, schema.expect_step(schema.start_step()))
 }
 
@@ -205,6 +204,9 @@ mod tests {
         let a = nested_instance_serial(p, StepId(2));
         let b = nested_instance_serial(p, StepId(3));
         assert_ne!(a, b);
-        assert_ne!(a, nested_instance_serial(InstanceId::new(SchemaId(1), 6), StepId(2)));
+        assert_ne!(
+            a,
+            nested_instance_serial(InstanceId::new(SchemaId(1), 6), StepId(2))
+        );
     }
 }

@@ -60,6 +60,10 @@ mod tests {
             mutex_grant(0, a, StepId(2)),
             "step matters for mutex"
         );
-        assert_ne!(t1, mutex_grant(0, a, StepId(1)), "kinds partition the space");
+        assert_ne!(
+            t1,
+            mutex_grant(0, a, StepId(1)),
+            "kinds partition the space"
+        );
     }
 }

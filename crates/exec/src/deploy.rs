@@ -83,10 +83,7 @@ impl Deployment {
     /// defaults everywhere else.
     pub fn new(schemas: impl IntoIterator<Item = WorkflowSchema>) -> Self {
         Deployment {
-            schemas: schemas
-                .into_iter()
-                .map(|s| (s.id, Arc::new(s)))
-                .collect(),
+            schemas: schemas.into_iter().map(|s| (s.id, Arc::new(s))).collect(),
             coordination: CoordinationSpec::default(),
             ro_links: RelOrderLinks::new(),
             registry: ProgramRegistry::with_builtins(),
@@ -158,7 +155,9 @@ mod tests {
         links.link(c, a);
         assert_eq!(links.partners_of(a), vec![b, c]);
         assert_eq!(links.partners_of(b), vec![a]);
-        assert!(links.partners_of(InstanceId::new(SchemaId(9), 9)).is_empty());
+        assert!(links
+            .partners_of(InstanceId::new(SchemaId(9), 9))
+            .is_empty());
         assert_eq!(links.iter().count(), 2);
         assert!(!links.is_empty());
     }

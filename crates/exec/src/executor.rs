@@ -72,7 +72,11 @@ pub struct StepExecutor {
 impl StepExecutor {
     /// Create a new, empty value.
     pub fn new(registry: ProgramRegistry, plan: FailurePlan, seed: u64) -> Self {
-        StepExecutor { registry, plan, seed }
+        StepExecutor {
+            registry,
+            plan,
+            seed,
+        }
     }
 
     /// Execute `def` for `instance`: allocates the attempt in `history`,
@@ -120,7 +124,11 @@ impl StepExecutor {
                     }
                 }
                 history.record_done(def.id, attempt, inputs, outputs.clone());
-                Ok(StepOutcome::Done { attempt, outputs, cost: def.cost })
+                Ok(StepOutcome::Done {
+                    attempt,
+                    outputs,
+                    cost: def.cost,
+                })
             }
             Err(StepFailure { reason }) => {
                 history.record_failed(def.id);
@@ -177,8 +185,12 @@ mod tests {
     fn sum_step() -> StepDef {
         let mut def = StepDef::new(StepId(1), "Sum", "sum");
         def.inputs = vec![
-            InputBinding { source: ItemKey::input(1) },
-            InputBinding { source: ItemKey::input(2) },
+            InputBinding {
+                source: ItemKey::input(1),
+            },
+            InputBinding {
+                source: ItemKey::input(2),
+            },
         ];
         def.output_slots = 1;
         def
@@ -198,7 +210,10 @@ mod tests {
         let mut h = InstanceHistory::new();
         let out = ex.execute(&def, inst(), &mut env, &mut h).unwrap();
         assert!(out.is_done());
-        assert_eq!(env.get(&ItemKey::output(StepId(1), 1)), Some(&Value::Int(42)));
+        assert_eq!(
+            env.get(&ItemKey::output(StepId(1), 1)),
+            Some(&Value::Int(42))
+        );
         assert_eq!(h.state(StepId(1)), StepState::Done);
         assert_eq!(h.record(StepId(1)).unwrap().inputs.len(), 2);
     }

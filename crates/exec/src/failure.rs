@@ -37,6 +37,9 @@ pub struct FailurePlan {
     pub scripted_input_changes: BTreeSet<InstanceId>,
     /// Scripted aborts: instances a user aborts mid-flight.
     pub scripted_aborts: BTreeSet<InstanceId>,
+    /// Scripted revisit re-executions: (instance, step) pairs whose OCR
+    /// revisit must re-execute regardless of `pr`.
+    pub scripted_reexec: BTreeSet<(InstanceId, StepId)>,
 }
 
 impl FailurePlan {
@@ -47,7 +50,14 @@ impl FailurePlan {
 
     /// A plan with the given probabilities and seed, no scripted events.
     pub fn probabilistic(seed: u64, pf: f64, pi: f64, pa: f64, pr: f64) -> Self {
-        FailurePlan { seed, pf, pi, pa, pr, ..FailurePlan::default() }
+        FailurePlan {
+            seed,
+            pf,
+            pi,
+            pa,
+            pr,
+            ..FailurePlan::default()
+        }
     }
 
     /// Script a failure of `step` in `instance` on `attempt`.
@@ -65,6 +75,13 @@ impl FailurePlan {
     /// Script a user abort for `instance`.
     pub fn abort(mut self, instance: InstanceId) -> Self {
         self.scripted_aborts.insert(instance);
+        self
+    }
+
+    /// Script that an OCR revisit of `step` in `instance` must re-execute
+    /// it (deterministic counterpart of `pr`, for exact OCR tests).
+    pub fn force_reexec(mut self, instance: InstanceId, step: StepId) -> Self {
+        self.scripted_reexec.insert((instance, step));
         self
     }
 
@@ -111,7 +128,8 @@ impl FailurePlan {
     /// the paper's `pr` for workloads whose data drift is not captured in
     /// the data table.
     pub fn revisit_requires_reexec(&self, instance: InstanceId, step: StepId) -> bool {
-        hash::draw(self.seed, &Self::parts(instance, step, 0x9EEC), self.pr)
+        self.scripted_reexec.contains(&(instance, step))
+            || hash::draw(self.seed, &Self::parts(instance, step, 0x9EEC), self.pr)
     }
 }
 
@@ -154,7 +172,9 @@ mod tests {
     fn probabilistic_rates_roughly_match() {
         let p = FailurePlan::probabilistic(11, 0.2, 0.05, 0.05, 0.5);
         let n = 2000u32;
-        let fails = (0..n).filter(|&i| p.step_fails(inst(i), StepId(1), 1)).count();
+        let fails = (0..n)
+            .filter(|&i| p.step_fails(inst(i), StepId(1), 1))
+            .count();
         let changes = (0..n).filter(|&i| p.inputs_change(inst(i))).count();
         let aborts = (0..n).filter(|&i| p.user_aborts(inst(i))).count();
         let reexec = (0..n)
@@ -164,6 +184,24 @@ mod tests {
         assert!((50..160).contains(&changes), "pi {changes}");
         assert!((50..160).contains(&aborts), "pa {aborts}");
         assert!((850..1150).contains(&reexec), "pr {reexec}");
+    }
+
+    #[test]
+    fn scripted_reexec_fires_exactly() {
+        let p = FailurePlan::none().force_reexec(inst(1), StepId(4));
+        assert!(p.revisit_requires_reexec(inst(1), StepId(4)));
+        assert!(
+            !p.revisit_requires_reexec(inst(1), StepId(3)),
+            "other steps unaffected"
+        );
+        assert!(
+            !p.revisit_requires_reexec(inst(2), StepId(4)),
+            "other instances unaffected"
+        );
+        // Composes with the probabilistic draw rather than replacing it.
+        let p = FailurePlan::probabilistic(11, 0.0, 0.0, 0.0, 1.0).force_reexec(inst(1), StepId(4));
+        assert!(p.revisit_requires_reexec(inst(9), StepId(9)));
+        assert!(p.revisit_requires_reexec(inst(1), StepId(4)));
     }
 
     #[test]

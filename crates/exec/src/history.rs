@@ -235,9 +235,6 @@ mod tests {
         let rec = h.record(StepId(1)).unwrap();
         assert!(rec.seq > first_seq);
         assert_eq!(rec.attempt, 2);
-        assert_eq!(
-            h.done_steps_reverse_order(),
-            vec![StepId(1), StepId(2)]
-        );
+        assert_eq!(h.done_steps_reverse_order(), vec![StepId(1), StepId(2)]);
     }
 }

@@ -20,9 +20,7 @@
 
 use crate::failure::FailurePlan;
 use crate::history::{InstanceHistory, StepState};
-use crew_model::{
-    CompensationKind, DataEnv, InstanceId, ReexecPolicy, StepDef,
-};
+use crew_model::{CompensationKind, DataEnv, InstanceId, ReexecPolicy, StepDef};
 
 /// Fraction of a full execution charged for an incremental re-execution
 /// (and of a full compensation for a partial one). The paper leaves the
@@ -70,9 +68,7 @@ impl OcrDecision {
                 let run = (def.cost as f64 * INCREMENTAL_FRACTION) as u64;
                 comp + run
             }
-            OcrDecision::CompleteCompensateCompleteReexec => {
-                def.compensation_cost() + def.cost
-            }
+            OcrDecision::CompleteCompensateCompleteReexec => def.compensation_cost() + def.cost,
             OcrDecision::ExecuteFresh => def.cost,
         }
     }
@@ -147,7 +143,9 @@ mod tests {
         let mut def = StepDef::new(StepId(2), "S2", "p");
         def.reexec = policy;
         def.compensation_kind = comp;
-        def.inputs = vec![crew_model::InputBinding { source: ItemKey::input(1) }];
+        def.inputs = vec![crew_model::InputBinding {
+            source: ItemKey::input(1),
+        }];
         def.cost = 100;
         def.compensation_cost = Some(80);
         (def, InstanceId::new(SchemaId(1), 1))
@@ -156,7 +154,12 @@ mod tests {
     fn history_done(def: &StepDef, input: i64) -> InstanceHistory {
         let mut h = InstanceHistory::new();
         let a = h.begin_attempt(def.id);
-        h.record_done(def.id, a, vec![Some(Value::Int(input))], vec![Value::Int(0)]);
+        h.record_done(
+            def.id,
+            a,
+            vec![Some(Value::Int(input))],
+            vec![Value::Int(0)],
+        );
         h
     }
 

@@ -67,7 +67,9 @@ pub struct StepFailure {
 impl StepFailure {
     /// Create a new, empty value.
     pub fn new(reason: impl Into<String>) -> Self {
-        StepFailure { reason: reason.into() }
+        StepFailure {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -129,9 +131,7 @@ impl ProgramRegistry {
         r.register(
             "sum",
             FnProgram(|ctx: &ProgramCtx| {
-                let total: i64 = (0..ctx.inputs.len())
-                    .map(|i| ctx.int_input(i, 0))
-                    .sum();
+                let total: i64 = (0..ctx.inputs.len()).map(|i| ctx.int_input(i, 0)).sum();
                 Ok(vec![Value::Int(total)])
             }),
         );
@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(out, vec![Value::Int(42)]);
 
         let inc = r.get("increment").unwrap();
-        assert_eq!(inc.run(&ctx(vec![Some(Value::Int(4))])).unwrap(), vec![Value::Int(5)]);
+        assert_eq!(
+            inc.run(&ctx(vec![Some(Value::Int(4))])).unwrap(),
+            vec![Value::Int(5)]
+        );
 
         let stamp = r.get("stamp").unwrap();
         let out = stamp.run(&ctx(vec![])).unwrap();
@@ -244,7 +247,10 @@ mod tests {
     fn custom_registration_overrides() {
         let mut r = ProgramRegistry::with_builtins();
         r.register("sum", FnProgram(|_: &ProgramCtx| Ok(vec![Value::Int(-1)])));
-        assert_eq!(r.get("sum").unwrap().run(&ctx(vec![])).unwrap(), vec![Value::Int(-1)]);
+        assert_eq!(
+            r.get("sum").unwrap().run(&ctx(vec![])).unwrap(),
+            vec![Value::Int(-1)]
+        );
         assert!(r.names().any(|n| n == "stamp"));
     }
 }

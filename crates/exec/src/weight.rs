@@ -43,7 +43,10 @@ impl Weight {
             return Weight::ZERO;
         }
         let g = gcd(num, den);
-        Weight { num: num / g, den: den / g }
+        Weight {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Split this weight evenly among `k` parallel branches.

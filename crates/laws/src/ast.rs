@@ -74,7 +74,12 @@ pub enum FlowItem {
     /// `flow A -> B;`
     Seq { from: String, to: String, pos: Pos },
     /// `parallel A -> { B, C } -> D;`
-    Parallel { from: String, branches: Vec<String>, join: String, pos: Pos },
+    Parallel {
+        from: String,
+        branches: Vec<String>,
+        join: String,
+        pos: Pos,
+    },
     /// `choice A -> { B when e, C otherwise } -> D;`
     Choice {
         from: String,
@@ -84,22 +89,45 @@ pub enum FlowItem {
     },
     /// `loop A while e;` (self-loop) or `loop A -> B while e;` (back-edge
     /// from A to upstream B).
-    Loop { from: String, to: String, while_: ExprAst, pos: Pos },
+    Loop {
+        from: String,
+        to: String,
+        while_: ExprAst,
+        pos: Pos,
+    },
     /// `compensation set { A, B };`
     CompSet { members: Vec<String>, pos: Pos },
     /// `on failure of A rollback to B [retry N];`
-    OnFailure { failing: String, origin: String, retries: Option<u32>, pos: Pos },
+    OnFailure {
+        failing: String,
+        origin: String,
+        retries: Option<u32>,
+        pos: Pos,
+    },
 }
 
 /// Coordination-block declarations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoordItem {
     /// `mutex "res" { WF.Step, WF2.Step };`
-    Mutex { resource: String, members: Vec<QualRef>, pos: Pos },
+    Mutex {
+        resource: String,
+        members: Vec<QualRef>,
+        pos: Pos,
+    },
     /// `order "conflict" (A.X before B.Y), (A.X2 before B.Y2);`
-    Order { conflict: String, pairs: Vec<(QualRef, QualRef)>, pos: Pos },
+    Order {
+        conflict: String,
+        pairs: Vec<(QualRef, QualRef)>,
+        pos: Pos,
+    },
     /// `rollback A.X forces B to Y;`
-    Rollback { source: QualRef, dependent: String, origin: String, pos: Pos },
+    Rollback {
+        source: QualRef,
+        dependent: String,
+        origin: String,
+        pos: Pos,
+    },
 }
 
 /// `WorkflowName.StepName`

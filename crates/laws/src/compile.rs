@@ -9,9 +9,9 @@
 use crate::ast::*;
 use crate::token::Pos;
 use crew_model::{
-    CompensationKind, CoordinationSpec, Expr, InputBinding, ItemKey, MutualExclusion,
-    RelativeOrder, ReexecPolicy, RollbackDependency, SchemaBuilder, SchemaError, SchemaId,
-    SchemaStep, StepId, StepKind, WorkflowSchema,
+    CompensationKind, CoordinationSpec, Expr, InputBinding, ItemKey, MutualExclusion, ReexecPolicy,
+    RelativeOrder, RollbackDependency, SchemaBuilder, SchemaError, SchemaId, SchemaStep, StepId,
+    StepKind, WorkflowSchema,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -36,7 +36,10 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { pos: Some(pos), message: message.into() })
+    Err(CompileError {
+        pos: Some(pos),
+        message: message.into(),
+    })
 }
 
 /// The compiled output of a LAWS spec.
@@ -64,7 +67,10 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, CompileError> {
             if let Some(prev) = seen.insert(wf.id, &wf.name) {
                 return err(
                     wf.pos,
-                    format!("workflow id {} used by both `{prev}` and `{}`", wf.id, wf.name),
+                    format!(
+                        "workflow id {} used by both `{prev}` and `{}`",
+                        wf.id, wf.name
+                    ),
                 );
             }
         }
@@ -81,7 +87,10 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, CompileError> {
     }
 
     let coordination = compile_coordination(&spec.coordination, &wf_ids, &step_maps)?;
-    Ok(CompiledSpec { schemas, coordination })
+    Ok(CompiledSpec {
+        schemas,
+        coordination,
+    })
 }
 
 fn compile_workflow<'a>(
@@ -100,7 +109,10 @@ fn compile_workflow<'a>(
             (Some(_), Some(_)) => {
                 return err(
                     step.pos,
-                    format!("step `{}` has both `program` and `calls workflow`", step.name),
+                    format!(
+                        "step `{}` has both `program` and `calls workflow`",
+                        step.name
+                    ),
                 )
             }
             (Some(p), None) => b.add_step(&step.name, p.clone()),
@@ -136,8 +148,15 @@ fn compile_workflow<'a>(
             Some(ReexecDecl::When(e)) => Some(ReexecPolicy::When(resolve_expr(e, &ids)?)),
         };
         b.configure(id, |d| {
-            d.kind = if step.query { StepKind::Query } else { StepKind::Update };
-            d.inputs = reads.into_iter().map(|source| InputBinding { source }).collect();
+            d.kind = if step.query {
+                StepKind::Query
+            } else {
+                StepKind::Update
+            };
+            d.inputs = reads
+                .into_iter()
+                .map(|source| InputBinding { source })
+                .collect();
             d.output_slots = step.outputs;
             d.cost = step.cost;
             if let Some((prog, partial)) = &step.compensate {
@@ -161,12 +180,10 @@ fn compile_workflow<'a>(
 
     // Pass 3: flow items.
     let lookup = |name: &str, pos: Pos, ids: &BTreeMap<&str, StepId>| {
-        ids.get(name)
-            .copied()
-            .ok_or_else(|| CompileError {
-                pos: Some(pos),
-                message: format!("unknown step `{name}` in workflow `{}`", wf.name),
-            })
+        ids.get(name).copied().ok_or_else(|| CompileError {
+            pos: Some(pos),
+            message: format!("unknown step `{name}` in workflow `{}`", wf.name),
+        })
     };
     for item in &wf.items {
         match item {
@@ -175,7 +192,12 @@ fn compile_workflow<'a>(
                 let t = lookup(to, *pos, &ids)?;
                 b.seq(f, t);
             }
-            FlowItem::Parallel { from, branches, join, pos } => {
+            FlowItem::Parallel {
+                from,
+                branches,
+                join,
+                pos,
+            } => {
                 let f = lookup(from, *pos, &ids)?;
                 let heads = branches
                     .iter()
@@ -185,7 +207,12 @@ fn compile_workflow<'a>(
                 b.and_split(f, heads.clone());
                 b.and_join(heads, j);
             }
-            FlowItem::Choice { from, branches, join, pos } => {
+            FlowItem::Choice {
+                from,
+                branches,
+                join,
+                pos,
+            } => {
                 let f = lookup(from, *pos, &ids)?;
                 let mut arcs = Vec::new();
                 for (name, cond) in branches {
@@ -201,7 +228,12 @@ fn compile_workflow<'a>(
                 b.xor_split(f, arcs);
                 b.xor_join(heads, j);
             }
-            FlowItem::Loop { from, to, while_, pos } => {
+            FlowItem::Loop {
+                from,
+                to,
+                while_,
+                pos,
+            } => {
                 let f = lookup(from, *pos, &ids)?;
                 let t = lookup(to, *pos, &ids)?;
                 b.loop_back(f, t, resolve_expr(while_, &ids)?);
@@ -213,7 +245,12 @@ fn compile_workflow<'a>(
                     .collect::<Result<Vec<_>, _>>()?;
                 b.compensation_set(m);
             }
-            FlowItem::OnFailure { failing, origin, retries, pos } => {
+            FlowItem::OnFailure {
+                failing,
+                origin,
+                retries,
+                pos,
+            } => {
                 let f = lookup(failing, *pos, &ids)?;
                 let o = lookup(origin, *pos, &ids)?;
                 match retries {
@@ -243,11 +280,17 @@ fn resolve_item(r: &ItemRef, ids: &BTreeMap<&str, StepId>) -> Result<ItemKey, Co
     if r.scope == "WF" {
         match slot_num(&r.slot, 'I') {
             Some(n) => Ok(ItemKey::input(n)),
-            None => err(r.pos, format!("workflow items are WF.I<n>, got `WF.{}`", r.slot)),
+            None => err(
+                r.pos,
+                format!("workflow items are WF.I<n>, got `WF.{}`", r.slot),
+            ),
         }
     } else {
         let Some(&step) = ids.get(r.scope.as_str()) else {
-            return err(r.pos, format!("unknown step `{}` in item reference", r.scope));
+            return err(
+                r.pos,
+                format!("unknown step `{}` in item reference", r.scope),
+            );
         };
         match slot_num(&r.slot, 'O') {
             Some(n) => Ok(ItemKey::output(step, n)),
@@ -323,7 +366,9 @@ fn compile_coordination(
     let mut next_id = 0u32;
     for item in items {
         match item {
-            CoordItem::Mutex { resource, members, .. } => {
+            CoordItem::Mutex {
+                resource, members, ..
+            } => {
                 spec.mutual_exclusions.push(MutualExclusion {
                     id: next_id,
                     resource: resource.clone(),
@@ -331,7 +376,9 @@ fn compile_coordination(
                 });
                 next_id += 1;
             }
-            CoordItem::Order { conflict, pairs, .. } => {
+            CoordItem::Order {
+                conflict, pairs, ..
+            } => {
                 spec.relative_orders.push(RelativeOrder {
                     id: next_id,
                     conflict: conflict.clone(),
@@ -342,7 +389,12 @@ fn compile_coordination(
                 });
                 next_id += 1;
             }
-            CoordItem::Rollback { source, dependent, origin, pos } => {
+            CoordItem::Rollback {
+                source,
+                dependent,
+                origin,
+                pos,
+            } => {
                 let src = resolve(source)?;
                 let Some(&dep_schema) = wf_ids.get(dependent.as_str()) else {
                     return err(*pos, format!("unknown workflow `{dependent}`"));
@@ -487,22 +539,15 @@ mod tests {
 
     #[test]
     fn name_resolution_errors() {
-        let e = compile_src(
-            "workflow W (id 1) { step A { program \"p\"; } flow A -> Nope; }",
-        )
-        .unwrap_err();
+        let e = compile_src("workflow W (id 1) { step A { program \"p\"; } flow A -> Nope; }")
+            .unwrap_err();
         assert!(e.message.contains("unknown step `Nope`"), "{e}");
 
-        let e = compile_src(
-            "workflow W (id 1) { step A { program \"p\"; reads B.O1; } }",
-        )
-        .unwrap_err();
+        let e =
+            compile_src("workflow W (id 1) { step A { program \"p\"; reads B.O1; } }").unwrap_err();
         assert!(e.message.contains("unknown step `B`"), "{e}");
 
-        let e = compile_src(
-            "workflow W (id 1) { step A { calls workflow Ghost; } }",
-        )
-        .unwrap_err();
+        let e = compile_src("workflow W (id 1) { step A { calls workflow Ghost; } }").unwrap_err();
         assert!(e.message.contains("unknown nested workflow"), "{e}");
 
         let e = compile_src("coordination { mutex \"x\" { W.A }; }").unwrap_err();
@@ -520,7 +565,10 @@ mod tests {
             }",
         )
         .unwrap_err();
-        assert!(e.message.contains("cycle") || e.message.contains("start step"), "{e}");
+        assert!(
+            e.message.contains("cycle") || e.message.contains("start step"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -548,10 +596,8 @@ mod tests {
 
     #[test]
     fn bad_item_slots_rejected() {
-        let e = compile_src(
-            "workflow W (id 1) { step A { program \"p\"; reads WF.X1; } }",
-        )
-        .unwrap_err();
+        let e = compile_src("workflow W (id 1) { step A { program \"p\"; reads WF.X1; } }")
+            .unwrap_err();
         assert!(e.message.contains("WF.I<n>"), "{e}");
 
         let e = compile_src(

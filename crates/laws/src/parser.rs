@@ -48,7 +48,10 @@ struct Parser {
 
 /// Parse a LAWS source text.
 pub fn parse(source: &str) -> Result<Spec, ParseError> {
-    let tokens = lex(source).map_err(|e| ParseError { pos: e.pos, message: e.message })?;
+    let tokens = lex(source).map_err(|e| ParseError {
+        pos: e.pos,
+        message: e.message,
+    })?;
     let mut p = Parser { tokens, at: 0 };
     p.spec()
 }
@@ -67,7 +70,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos: self.peek().pos, message: message.into() })
+        Err(ParseError {
+            pos: self.peek().pos,
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, tok: Tok) -> Result<Token, ParseError> {
@@ -193,7 +199,12 @@ impl Parser {
                         self.expect(Tok::Arrow)?;
                         let (join, _) = self.ident()?;
                         self.expect(Tok::Semi)?;
-                        decl.items.push(FlowItem::Parallel { from, branches, join, pos });
+                        decl.items.push(FlowItem::Parallel {
+                            from,
+                            branches,
+                            join,
+                            pos,
+                        });
                     }
                     "choice" => {
                         let pos = self.next().pos;
@@ -209,7 +220,12 @@ impl Parser {
                         self.expect(Tok::Arrow)?;
                         let (join, _) = self.ident()?;
                         self.expect(Tok::Semi)?;
-                        decl.items.push(FlowItem::Choice { from, branches, join, pos });
+                        decl.items.push(FlowItem::Choice {
+                            from,
+                            branches,
+                            join,
+                            pos,
+                        });
                     }
                     "loop" => {
                         let pos = self.next().pos;
@@ -223,7 +239,12 @@ impl Parser {
                         self.keyword("while")?;
                         let while_ = self.expr()?;
                         self.expect(Tok::Semi)?;
-                        decl.items.push(FlowItem::Loop { from, to, while_, pos });
+                        decl.items.push(FlowItem::Loop {
+                            from,
+                            to,
+                            while_,
+                            pos,
+                        });
                     }
                     "compensation" => {
                         let pos = self.next().pos;
@@ -253,11 +274,14 @@ impl Parser {
                             None
                         };
                         self.expect(Tok::Semi)?;
-                        decl.items.push(FlowItem::OnFailure { failing, origin, retries, pos });
+                        decl.items.push(FlowItem::OnFailure {
+                            failing,
+                            origin,
+                            retries,
+                            pos,
+                        });
                     }
-                    other => {
-                        return self.err(format!("unexpected workflow item `{other}`"))
-                    }
+                    other => return self.err(format!("unexpected workflow item `{other}`")),
                 },
                 other => return self.err(format!("unexpected token {other}")),
             }
@@ -404,7 +428,11 @@ impl Parser {
         let (workflow, pos) = self.ident()?;
         self.expect(Tok::Dot)?;
         let (step, _) = self.ident()?;
-        Ok(QualRef { workflow, step, pos })
+        Ok(QualRef {
+            workflow,
+            step,
+            pos,
+        })
     }
 
     fn coord_item(&mut self) -> Result<CoordItem, ParseError> {
@@ -420,7 +448,11 @@ impl Parser {
                 }
                 self.expect(Tok::RBrace)?;
                 self.expect(Tok::Semi)?;
-                Ok(CoordItem::Mutex { resource, members, pos })
+                Ok(CoordItem::Mutex {
+                    resource,
+                    members,
+                    pos,
+                })
             }
             "order" => {
                 let conflict = self.string()?;
@@ -430,7 +462,11 @@ impl Parser {
                     pairs.push(self.order_pair()?);
                 }
                 self.expect(Tok::Semi)?;
-                Ok(CoordItem::Order { conflict, pairs, pos })
+                Ok(CoordItem::Order {
+                    conflict,
+                    pairs,
+                    pos,
+                })
             }
             "rollback" => {
                 let source = self.qual_ref()?;
@@ -439,7 +475,12 @@ impl Parser {
                 self.keyword("to")?;
                 let (origin, _) = self.ident()?;
                 self.expect(Tok::Semi)?;
-                Ok(CoordItem::Rollback { source, dependent, origin, pos })
+                Ok(CoordItem::Rollback {
+                    source,
+                    dependent,
+                    origin,
+                    pos,
+                })
             }
             other => Err(ParseError {
                 pos,
@@ -641,9 +682,13 @@ mod tests {
             .items
             .iter()
             .any(|i| matches!(i, FlowItem::Parallel { branches, .. } if branches.len() == 2)));
-        assert!(wf.items.iter().any(
-            |i| matches!(i, FlowItem::OnFailure { retries: Some(5), .. })
-        ));
+        assert!(wf.items.iter().any(|i| matches!(
+            i,
+            FlowItem::OnFailure {
+                retries: Some(5),
+                ..
+            }
+        )));
         assert_eq!(
             wf.items
                 .iter()
@@ -692,7 +737,9 @@ mod tests {
         };
         let cond = branches[0].1.as_ref().unwrap();
         // Shape: And(Cmp(Gt, Add(I1, Mul(2, I2)), 10), Not(Defined(A.O1)))
-        let ExprAst::And(l, r) = cond else { panic!("top is &&: {cond:?}") };
+        let ExprAst::And(l, r) = cond else {
+            panic!("top is &&: {cond:?}")
+        };
         assert!(matches!(**l, ExprAst::Cmp(CmpOpAst::Gt, _, _)));
         assert!(matches!(**r, ExprAst::Not(_)));
     }
@@ -702,9 +749,17 @@ mod tests {
         let err = parse("workflow X { }").unwrap_err();
         assert!(err.message.contains("expected `(`"), "{}", err.message);
         let err = parse("workflow X (id 1) { step A { bogus 1; } }").unwrap_err();
-        assert!(err.message.contains("unexpected step item"), "{}", err.message);
+        assert!(
+            err.message.contains("unexpected step item"),
+            "{}",
+            err.message
+        );
         let err = parse("nonsense").unwrap_err();
-        assert!(err.message.contains("expected `workflow`"), "{}", err.message);
+        assert!(
+            err.message.contains("expected `workflow`"),
+            "{}",
+            err.message
+        );
         let err = parse("coordination { order \"x\" (A.B after C.D); }").unwrap_err();
         assert!(err.message.contains("before"), "{}", err.message);
     }

@@ -157,32 +157,53 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                             bump!();
                         }
                     }
-                    _ => out.push(Token { tok: Tok::Slash, pos }),
+                    _ => out.push(Token {
+                        tok: Tok::Slash,
+                        pos,
+                    }),
                 }
             }
             '{' => {
                 bump!();
-                out.push(Token { tok: Tok::LBrace, pos });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    pos,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Token { tok: Tok::RBrace, pos });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    pos,
+                });
             }
             '(' => {
                 bump!();
-                out.push(Token { tok: Tok::LParen, pos });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    pos,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Token { tok: Tok::RParen, pos });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    pos,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Token { tok: Tok::Comma, pos });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos,
+                });
             }
             ';' => {
                 bump!();
-                out.push(Token { tok: Tok::Semi, pos });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    pos,
+                });
             }
             '.' => {
                 bump!();
@@ -190,37 +211,61 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             '+' => {
                 bump!();
-                out.push(Token { tok: Tok::Plus, pos });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    pos,
+                });
             }
             '*' => {
                 bump!();
-                out.push(Token { tok: Tok::Star, pos });
+                out.push(Token {
+                    tok: Tok::Star,
+                    pos,
+                });
             }
             '-' => {
                 bump!();
                 if chars.peek() == Some(&'>') {
                     bump!();
-                    out.push(Token { tok: Tok::Arrow, pos });
+                    out.push(Token {
+                        tok: Tok::Arrow,
+                        pos,
+                    });
                 } else {
-                    out.push(Token { tok: Tok::Minus, pos });
+                    out.push(Token {
+                        tok: Tok::Minus,
+                        pos,
+                    });
                 }
             }
             '=' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Token { tok: Tok::EqEq, pos });
+                    out.push(Token {
+                        tok: Tok::EqEq,
+                        pos,
+                    });
                 } else {
-                    return Err(LexError { pos, message: "expected `==`".into() });
+                    return Err(LexError {
+                        pos,
+                        message: "expected `==`".into(),
+                    });
                 }
             }
             '!' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Token { tok: Tok::NotEq, pos });
+                    out.push(Token {
+                        tok: Tok::NotEq,
+                        pos,
+                    });
                 } else {
-                    out.push(Token { tok: Tok::Bang, pos });
+                    out.push(Token {
+                        tok: Tok::Bang,
+                        pos,
+                    });
                 }
             }
             '<' => {
@@ -245,18 +290,30 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 bump!();
                 if chars.peek() == Some(&'&') {
                     bump!();
-                    out.push(Token { tok: Tok::AndAnd, pos });
+                    out.push(Token {
+                        tok: Tok::AndAnd,
+                        pos,
+                    });
                 } else {
-                    return Err(LexError { pos, message: "expected `&&`".into() });
+                    return Err(LexError {
+                        pos,
+                        message: "expected `&&`".into(),
+                    });
                 }
             }
             '|' => {
                 bump!();
                 if chars.peek() == Some(&'|') {
                     bump!();
-                    out.push(Token { tok: Tok::OrOr, pos });
+                    out.push(Token {
+                        tok: Tok::OrOr,
+                        pos,
+                    });
                 } else {
-                    return Err(LexError { pos, message: "expected `||`".into() });
+                    return Err(LexError {
+                        pos,
+                        message: "expected `||`".into(),
+                    });
                 }
             }
             '"' => {
@@ -285,7 +342,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), pos });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -334,7 +394,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                out.push(Token { tok: Tok::Ident(text), pos });
+                out.push(Token {
+                    tok: Tok::Ident(text),
+                    pos,
+                });
             }
             other => {
                 return Err(LexError {

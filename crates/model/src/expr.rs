@@ -87,7 +87,11 @@ pub enum EvalError {
     /// An `Item` reference had no value in the environment.
     Undefined(ItemKey),
     /// Operand types did not fit the operator (e.g. `"abc" < 3`).
-    TypeMismatch { op: String, lhs: &'static str, rhs: &'static str },
+    TypeMismatch {
+        op: String,
+        lhs: &'static str,
+        rhs: &'static str,
+    },
     /// `x / 0`.
     DivisionByZero,
     /// The top-level expression did not produce a boolean where one was
@@ -185,10 +189,7 @@ impl Expr {
     pub fn eval(&self, env: &DataEnv) -> Result<Value, EvalError> {
         match self {
             Expr::Const(v) => Ok(v.clone()),
-            Expr::Item(key) => env
-                .get(key)
-                .cloned()
-                .ok_or(EvalError::Undefined(*key)),
+            Expr::Item(key) => env.get(key).cloned().ok_or(EvalError::Undefined(*key)),
             Expr::Defined(key) => Ok(Value::Bool(env.get(key).is_some())),
             Expr::Cmp(op, lhs, rhs) => {
                 let l = lhs.eval(env)?;

@@ -24,7 +24,10 @@ pub struct CompensationSet {
 impl CompensationSet {
     /// Create a new, empty value.
     pub fn new(id: u32, members: impl IntoIterator<Item = StepId>) -> Self {
-        CompensationSet { id, members: members.into_iter().collect() }
+        CompensationSet {
+            id,
+            members: members.into_iter().collect(),
+        }
     }
 
     /// Contains.
@@ -52,7 +55,11 @@ pub struct RollbackSpec {
 impl RollbackSpec {
     /// Create a new, empty value.
     pub fn new(failing_step: StepId, origin: StepId) -> Self {
-        RollbackSpec { failing_step, origin, max_attempts: 3 }
+        RollbackSpec {
+            failing_step,
+            origin,
+            max_attempts: 3,
+        }
     }
 }
 

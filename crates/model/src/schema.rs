@@ -92,7 +92,11 @@ pub enum SchemaError {
     /// concurrent parallel branch (i.e. the producer is a descendant), or
     /// reads a nonexistent slot.
     /// Badinput.
-    BadInput { step: StepId, source: ItemKey, reason: &'static str },
+    BadInput {
+        step: StepId,
+        source: ItemKey,
+        reason: &'static str,
+    },
     /// A condition references an item that no upstream step produces.
     /// Badconditionitem.
     BadConditionItem { at: StepId, item: ItemKey },
@@ -142,7 +146,11 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::UndeclaredSplit(s) => write!(f, "step {s} fans out without a split kind"),
             SchemaError::UndeclaredJoin(s) => write!(f, "step {s} fans in without a join kind"),
-            SchemaError::BadInput { step, source, reason } => {
+            SchemaError::BadInput {
+                step,
+                source,
+                reason,
+            } => {
                 write!(f, "step {step} input {source}: {reason}")
             }
             SchemaError::BadConditionItem { at, item } => {
@@ -152,7 +160,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "step {s} belongs to more than one compensation set")
             }
             SchemaError::BadRollbackOrigin { failing, origin } => {
-                write!(f, "rollback origin {origin} is not an ancestor of failing step {failing}")
+                write!(
+                    f,
+                    "rollback origin {origin} is not an ancestor of failing step {failing}"
+                )
             }
             SchemaError::BadLoopBack { from, to } => {
                 write!(f, "loop back-edge {from}->{to} does not target an ancestor")
@@ -161,7 +172,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "step {step} reads undeclared workflow input slot {slot}")
             }
             SchemaError::NestedStepHasProgram(s) => {
-                write!(f, "nested-workflow step {s} must use the nested placeholder program")
+                write!(
+                    f,
+                    "nested-workflow step {s} must use the nested placeholder program"
+                )
             }
         }
     }
@@ -345,8 +359,7 @@ impl WorkflowSchema {
         if heads.len() < 2 {
             return None;
         }
-        let reach: Vec<BTreeSet<StepId>> =
-            heads.iter().map(|&h| self.reachable_from(h)).collect();
+        let reach: Vec<BTreeSet<StepId>> = heads.iter().map(|&h| self.reachable_from(h)).collect();
         self.topo
             .iter()
             .copied()
@@ -373,7 +386,6 @@ impl WorkflowSchema {
     pub fn invalidation_set(&self, origin: StepId) -> BTreeSet<StepId> {
         self.descendants(origin)
     }
-
 
     /// Extra `step.done` events a step's firing rule must wait for beyond
     /// its control-flow predecessors: the producers of its inputs that are
@@ -464,7 +476,12 @@ impl SchemaBuilder {
 
     /// Sequential arc `from -> to`.
     pub fn seq(&mut self, from: StepId, to: StepId) -> &mut Self {
-        self.arcs.push(ControlArc { from, to, condition: None, loop_back: false });
+        self.arcs.push(ControlArc {
+            from,
+            to,
+            condition: None,
+            loop_back: false,
+        });
         self
     }
 
@@ -472,7 +489,12 @@ impl SchemaBuilder {
     pub fn and_split(&mut self, from: StepId, to: impl IntoIterator<Item = StepId>) -> &mut Self {
         self.splits.insert(from, SplitKind::And);
         for t in to {
-            self.arcs.push(ControlArc { from, to: t, condition: None, loop_back: false });
+            self.arcs.push(ControlArc {
+                from,
+                to: t,
+                condition: None,
+                loop_back: false,
+            });
         }
         self
     }
@@ -486,7 +508,12 @@ impl SchemaBuilder {
     ) -> &mut Self {
         self.splits.insert(from, SplitKind::Xor);
         for (to, condition) in branches {
-            self.arcs.push(ControlArc { from, to, condition, loop_back: false });
+            self.arcs.push(ControlArc {
+                from,
+                to,
+                condition,
+                loop_back: false,
+            });
         }
         self
     }
@@ -495,7 +522,12 @@ impl SchemaBuilder {
     pub fn and_join(&mut self, from: impl IntoIterator<Item = StepId>, to: StepId) -> &mut Self {
         self.joins.insert(to, JoinKind::And);
         for f in from {
-            self.arcs.push(ControlArc { from: f, to, condition: None, loop_back: false });
+            self.arcs.push(ControlArc {
+                from: f,
+                to,
+                condition: None,
+                loop_back: false,
+            });
         }
         self
     }
@@ -504,7 +536,12 @@ impl SchemaBuilder {
     pub fn xor_join(&mut self, from: impl IntoIterator<Item = StepId>, to: StepId) -> &mut Self {
         self.joins.insert(to, JoinKind::Xor);
         for f in from {
-            self.arcs.push(ControlArc { from: f, to, condition: None, loop_back: false });
+            self.arcs.push(ControlArc {
+                from: f,
+                to,
+                condition: None,
+                loop_back: false,
+            });
         }
         self
     }
@@ -523,13 +560,15 @@ impl SchemaBuilder {
     /// Declare a compensation dependent set.
     pub fn compensation_set(&mut self, members: impl IntoIterator<Item = StepId>) -> &mut Self {
         let id = self.compensation_sets.len() as u32;
-        self.compensation_sets.push(CompensationSet::new(id, members));
+        self.compensation_sets
+            .push(CompensationSet::new(id, members));
         self
     }
 
     /// Declare the rollback origin for failures of `failing_step`.
     pub fn on_failure_rollback_to(&mut self, failing_step: StepId, origin: StepId) -> &mut Self {
-        self.rollback_specs.push(RollbackSpec::new(failing_step, origin));
+        self.rollback_specs
+            .push(RollbackSpec::new(failing_step, origin));
         self
     }
 
@@ -594,8 +633,7 @@ impl SchemaBuilder {
         };
 
         // Topological order (Kahn) over forward arcs; leftover = cycle.
-        let mut indeg: BTreeMap<StepId, usize> =
-            self.steps.keys().map(|&s| (s, 0)).collect();
+        let mut indeg: BTreeMap<StepId, usize> = self.steps.keys().map(|&s| (s, 0)).collect();
         for arc in &forward {
             *indeg.get_mut(&arc.to).expect("checked") += 1;
         }
@@ -662,7 +700,10 @@ impl SchemaBuilder {
                             // No conditioned arc at all: every branch needs
                             // a way to be selected.
                             let a = out[0];
-                            return Err(SchemaError::MissingCondition { from: a.from, to: a.to });
+                            return Err(SchemaError::MissingCondition {
+                                from: a.from,
+                                to: a.to,
+                            });
                         }
                     }
                     Some(SplitKind::And) => {
@@ -676,7 +717,10 @@ impl SchemaBuilder {
                 }
             } else if let Some(a) = out.first() {
                 if a.condition.is_some() && self.splits.get(&s) != Some(&SplitKind::Xor) {
-                    return Err(SchemaError::UnexpectedCondition { from: a.from, to: a.to });
+                    return Err(SchemaError::UnexpectedCondition {
+                        from: a.from,
+                        to: a.to,
+                    });
                 }
             }
             let inc = forward.iter().filter(|a| a.to == s).count();
@@ -689,7 +733,10 @@ impl SchemaBuilder {
         for arc in self.arcs.iter().filter(|a| a.loop_back) {
             let ok = arc.to == arc.from || ancestors[&arc.from].contains(&arc.to);
             if !ok {
-                return Err(SchemaError::BadLoopBack { from: arc.from, to: arc.to });
+                return Err(SchemaError::BadLoopBack {
+                    from: arc.from,
+                    to: arc.to,
+                });
             }
         }
 
@@ -748,9 +795,7 @@ impl SchemaBuilder {
             if let Some(cond) = &arc.condition {
                 for item in cond.referenced_items() {
                     let ok = match item.scope {
-                        ItemScope::WorkflowInput => {
-                            item.slot >= 1 && item.slot <= self.input_slots
-                        }
+                        ItemScope::WorkflowInput => item.slot >= 1 && item.slot <= self.input_slots,
                         ItemScope::StepOutput(p) => {
                             p == arc.from || ancestors[&arc.from].contains(&p)
                         }
@@ -881,7 +926,10 @@ mod tests {
         b.xor_split(
             s2,
             [
-                (s3, Some(Expr::gt(Expr::item(ItemKey::output(s2, 1)), Expr::lit(10)))),
+                (
+                    s3,
+                    Some(Expr::gt(Expr::item(ItemKey::output(s2, 1)), Expr::lit(10))),
+                ),
                 (s5, None),
             ],
         );
@@ -919,7 +967,12 @@ mod tests {
             .map(|(i, &s)| (s, i))
             .collect();
         for arc in d.arcs() {
-            assert!(pos[&arc.from] < pos[&arc.to], "{} before {}", arc.from, arc.to);
+            assert!(
+                pos[&arc.from] < pos[&arc.to],
+                "{} before {}",
+                arc.from,
+                arc.to
+            );
         }
     }
 
@@ -975,8 +1028,16 @@ mod tests {
             condition: Some(Expr::lit(true)),
             loop_back: false,
         });
-        b.arcs.push(ControlArc { from: s1, to: s3, condition: None, loop_back: false });
-        assert!(matches!(b.build(), Err(SchemaError::UnexpectedCondition { .. })));
+        b.arcs.push(ControlArc {
+            from: s1,
+            to: s3,
+            condition: None,
+            loop_back: false,
+        });
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::UnexpectedCondition { .. })
+        ));
     }
 
     #[test]
@@ -1056,10 +1117,7 @@ mod tests {
         // C reads B's output although B is on the sibling branch.
         b.read(s3, ItemKey::output(s2, 1));
         let schema = b.build().unwrap();
-        assert_eq!(
-            schema.cross_branch_producers(s3),
-            BTreeSet::from([s2])
-        );
+        assert_eq!(schema.cross_branch_producers(s3), BTreeSet::from([s2]));
         // D reads B's output, but B is already upstream: no extra event.
         assert!(schema.cross_branch_producers(s4).is_empty());
     }
@@ -1074,11 +1132,17 @@ mod tests {
         b.xor_split(
             s1,
             [
-                (s2, Some(Expr::gt(Expr::item(ItemKey::output(s3, 1)), Expr::lit(0)))),
+                (
+                    s2,
+                    Some(Expr::gt(Expr::item(ItemKey::output(s3, 1)), Expr::lit(0))),
+                ),
                 (s3, None),
             ],
         );
-        assert!(matches!(b.build(), Err(SchemaError::BadConditionItem { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::BadConditionItem { .. })
+        ));
     }
 
     #[test]
@@ -1103,7 +1167,10 @@ mod tests {
         let s3 = b.add_step("C", "p");
         b.seq(s1, s2).seq(s2, s3);
         b.on_failure_rollback_to(s2, s3);
-        assert!(matches!(b.build(), Err(SchemaError::BadRollbackOrigin { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::BadRollbackOrigin { .. })
+        ));
     }
 
     #[test]
@@ -1111,8 +1178,14 @@ mod tests {
         let s = fig3_like();
         // split at S2, branches S3 and S5 (ids 3 and 4), confluence S4 (id 5)
         assert_eq!(s.confluence_of(StepId(2)), Some(StepId(5)));
-        assert_eq!(s.branch_steps(StepId(2), StepId(3)), BTreeSet::from([StepId(3)]));
-        assert_eq!(s.branch_steps(StepId(2), StepId(4)), BTreeSet::from([StepId(4)]));
+        assert_eq!(
+            s.branch_steps(StepId(2), StepId(3)),
+            BTreeSet::from([StepId(3)])
+        );
+        assert_eq!(
+            s.branch_steps(StepId(2), StepId(4)),
+            BTreeSet::from([StepId(4)])
+        );
     }
 
     #[test]
@@ -1152,7 +1225,10 @@ mod tests {
         let mut b = SchemaBuilder::new(SchemaId(5), "nest-bad");
         let s1 = b.add_step("Child", "real-program");
         b.nested.insert(s1, SchemaId(6));
-        assert!(matches!(b.build(), Err(SchemaError::NestedStepHasProgram(_))));
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::NestedStepHasProgram(_))
+        ));
     }
 
     #[test]

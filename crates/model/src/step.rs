@@ -150,7 +150,10 @@ mod tests {
         let mut s = StepDef::new(StepId(2), "Reserve", "inventory.reserve");
         s.output_slots = 2;
         let keys = s.output_keys();
-        assert_eq!(keys, vec![ItemKey::output(StepId(2), 1), ItemKey::output(StepId(2), 2)]);
+        assert_eq!(
+            keys,
+            vec![ItemKey::output(StepId(2), 1), ItemKey::output(StepId(2), 2)]
+        );
     }
 
     #[test]
@@ -174,8 +177,12 @@ mod tests {
     fn input_keys_in_declaration_order() {
         let mut s = StepDef::new(StepId(3), "X", "p");
         s.inputs = vec![
-            InputBinding { source: ItemKey::output(StepId(2), 1) },
-            InputBinding { source: ItemKey::input(1) },
+            InputBinding {
+                source: ItemKey::output(StepId(2), 1),
+            },
+            InputBinding {
+                source: ItemKey::input(1),
+            },
         ];
         assert_eq!(
             s.input_keys(),

@@ -30,12 +30,18 @@ pub struct ItemKey {
 impl ItemKey {
     /// Workflow input slot `n` (rendered `WF.I<n>`).
     pub fn input(slot: u16) -> Self {
-        ItemKey { scope: ItemScope::WorkflowInput, slot }
+        ItemKey {
+            scope: ItemScope::WorkflowInput,
+            slot,
+        }
     }
 
     /// Output slot `n` of `step` (rendered `S<k>.O<n>`).
     pub fn output(step: StepId, slot: u16) -> Self {
-        ItemKey { scope: ItemScope::StepOutput(step), slot }
+        ItemKey {
+            scope: ItemScope::StepOutput(step),
+            slot,
+        }
     }
 }
 
@@ -215,7 +221,9 @@ impl DataEnv {
 
 impl FromIterator<(ItemKey, Value)> for DataEnv {
     fn from_iter<T: IntoIterator<Item = (ItemKey, Value)>>(iter: T) -> Self {
-        DataEnv { items: iter.into_iter().collect() }
+        DataEnv {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -110,6 +110,42 @@ mod tests {
     }
 
     #[test]
+    fn cross_engine_mutex_survives_a_lossy_network() {
+        // Same contention as above, but the engine↔engine and engine↔agent
+        // links drop, duplicate and reorder frames: the reliable channels
+        // must deliver the mutex protocol exactly once and in order, so
+        // every contender still commits.
+        let mut deployment = Deployment::new([linear_schema(1, 3)]);
+        deployment.coordination = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "booth".into(),
+                members: vec![SchemaStep::new(SchemaId(1), StepId(2))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let mut run = ParallelRun::new(deployment, 2, 4);
+        run.sim
+            .enable_net_faults(crew_simnet::NetFaultPlan::probabilistic(
+                3, 0.06, 0.06, 0.10,
+            ));
+        let instances: Vec<_> = (0..6)
+            .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
+            .collect();
+        run.run();
+        let statuses = run.statuses();
+        for i in &instances {
+            assert_eq!(statuses.get(i), Some(&InstanceStatus::Committed), "{i}");
+        }
+        let t = run.sim.metrics.transport;
+        assert!(t.data_frames > 0, "traffic rode the reliable channel");
+        assert!(
+            t.drops_injected + t.dups_injected + t.reorders_injected > 0,
+            "faults were actually injected: {t:?}"
+        );
+    }
+
+    #[test]
     fn cross_engine_relative_order_commits_both() {
         // Two linked instances with relative ordering on (S2,S2) then
         // (S3,S3), owned by different engines: both must commit, and the

@@ -66,10 +66,8 @@ pub fn compile_schema(schema: &WorkflowSchema) -> Vec<TemplateRule> {
             next += 1;
             push(step, rule);
         } else {
-            let incoming: Vec<&crew_model::ControlArc> =
-                schema.forward_incoming(step).collect();
-            let is_xor_join =
-                incoming.len() > 1 && schema.join_kind(step) == Some(JoinKind::Xor);
+            let incoming: Vec<&crew_model::ControlArc> = schema.forward_incoming(step).collect();
+            let is_xor_join = incoming.len() > 1 && schema.join_kind(step) == Some(JoinKind::Xor);
             if is_xor_join {
                 // One rule per incoming arc: any single branch completing
                 // fires the confluence step.
@@ -145,10 +143,7 @@ fn arc_guard(schema: &WorkflowSchema, arc: &crew_model::ControlArc) -> Option<Ex
             .filter_map(|a| a.condition.clone())
             .collect();
         if !siblings.is_empty() {
-            let any = siblings
-                .into_iter()
-                .reduce(Expr::or)
-                .expect("non-empty");
+            let any = siblings.into_iter().reduce(Expr::or).expect("non-empty");
             return Some(Expr::not(any));
         }
     }
@@ -235,7 +230,10 @@ mod tests {
         b.xor_split(
             s1,
             [
-                (s2, Some(Expr::gt(Expr::item(ItemKey::input(1)), Expr::lit(10)))),
+                (
+                    s2,
+                    Some(Expr::gt(Expr::item(ItemKey::input(1)), Expr::lit(10))),
+                ),
                 (s3, None),
             ],
         );

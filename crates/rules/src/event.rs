@@ -81,7 +81,10 @@ pub struct EventState {
 impl EventState {
     /// An event that has occurred `generation` times and is valid.
     pub fn occurred(generation: u32) -> Self {
-        EventState { generation, valid: generation > 0 }
+        EventState {
+            generation,
+            valid: generation > 0,
+        }
     }
 
     /// True if the event is present for rule-triggering purposes.

@@ -71,7 +71,10 @@ impl RuleSet {
     /// workflow packet first reaches an agent and the instance's rules are
     /// instantiated from the workflow class table.
     pub fn add_rules<'a>(&mut self, rules: impl IntoIterator<Item = &'a Rule>) -> Vec<RuleId> {
-        rules.into_iter().map(|r| self.add_rule(r.clone())).collect()
+        rules
+            .into_iter()
+            .map(|r| self.add_rule(r.clone()))
+            .collect()
     }
 
     /// Remove a rule outright.
@@ -275,7 +278,9 @@ impl RuleSet {
         for id in candidates {
             // Re-check readiness: an earlier firing in this sweep cannot
             // invalidate events, but keep the invariant locally obvious.
-            let Some(rule) = self.rules.get(&id) else { continue };
+            let Some(rule) = self.rules.get(&id) else {
+                continue;
+            };
             if !self.rule_is_ready_ignoring_guard(rule) {
                 continue;
             }
@@ -355,10 +360,7 @@ impl RuleSet {
 
     /// Rules currently blocked on exactly one missing event of the given
     /// predicate — helper for the `StepStatus` polling protocol.
-    pub fn blocked_on_single(
-        &self,
-        pred: impl Fn(EventKind) -> bool,
-    ) -> Vec<(RuleId, EventKind)> {
+    pub fn blocked_on_single(&self, pred: impl Fn(EventKind) -> bool) -> Vec<(RuleId, EventKind)> {
         self.pending_rules()
             .into_iter()
             .filter_map(|(id, missing)| match missing.as_slice() {
@@ -406,7 +408,10 @@ mod tests {
         let mut rs = RuleSet::new();
         rs.add_rule(Rule::new(
             RuleId(0),
-            vec![EventKind::StepDone(StepId(1)), EventKind::StepDone(StepId(2))],
+            vec![
+                EventKind::StepDone(StepId(1)),
+                EventKind::StepDone(StepId(2)),
+            ],
             Action::StartStep(StepId(3)),
         ));
         rs.add_event(EventKind::StepDone(StepId(1)));
@@ -516,7 +521,10 @@ mod tests {
         let mut rs = RuleSet::new();
         let pending = rs.add_rule(Rule::new(
             RuleId(0),
-            vec![EventKind::StepDone(StepId(1)), EventKind::StepDone(StepId(9))],
+            vec![
+                EventKind::StepDone(StepId(1)),
+                EventKind::StepDone(StepId(9)),
+            ],
             Action::StartStep(StepId(3)),
         ));
         let satisfied = rs.add_rule(Rule::new(
@@ -540,7 +548,10 @@ mod tests {
         ));
         rs.add_rule(Rule::new(
             RuleId(0),
-            vec![EventKind::StepDone(StepId(3)), EventKind::StepDone(StepId(4))],
+            vec![
+                EventKind::StepDone(StepId(3)),
+                EventKind::StepDone(StepId(4)),
+            ],
             Action::StartStep(StepId(5)),
         ));
         let hits = rs.blocked_on_single(|k| matches!(k, EventKind::StepDone(_)));

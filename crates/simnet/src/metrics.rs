@@ -73,6 +73,64 @@ pub trait Classify {
     }
 }
 
+/// Physical-network accounting, kept apart from the logical §6 message
+/// counts: wire frames, injected faults, and the reliable channel's
+/// recovery work (see [`crate::netfault`] and [`crate::reliable`]). All
+/// zero when no fault plan is installed, except the two addressing
+/// counters which are live on every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// First transmissions of data frames (== logical messages staged on a
+    /// channel).
+    pub data_frames: u64,
+    /// Data frames re-sent by retransmission timers or crash recovery.
+    pub retransmissions: u64,
+    /// Ack frames sent.
+    pub acks: u64,
+    /// Frames dropped by the fault plan (probabilistic or scripted).
+    pub drops_injected: u64,
+    /// Frames duplicated by the fault plan.
+    pub dups_injected: u64,
+    /// Frames held back by injected reorder delay.
+    pub reorders_injected: u64,
+    /// Frames lost to a scripted link partition.
+    pub partition_drops: u64,
+    /// Frames lost because the destination node was crashed.
+    pub crash_drops: u64,
+    /// Duplicate data frames suppressed by the receiver's channel endpoint.
+    pub dup_suppressed: u64,
+    /// Messages addressed to a node outside the deployment — a deployment
+    /// bug, also traced (counted with or without a fault plan).
+    pub misaddressed: u64,
+    /// Messages addressed to [`NodeId::EXTERNAL`](crate::node::NodeId) —
+    /// benign replies to injected user traffic (counted with or without a
+    /// fault plan).
+    pub external_sink: u64,
+}
+
+impl TransportStats {
+    /// Total physical frames put on the wire (including injected
+    /// duplicates, excluding frames the plan swallowed before transit).
+    pub fn frames_sent(&self) -> u64 {
+        self.data_frames + self.retransmissions + self.acks + self.dups_injected
+    }
+
+    /// Fold another stats object into this one.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.data_frames += other.data_frames;
+        self.retransmissions += other.retransmissions;
+        self.acks += other.acks;
+        self.drops_injected += other.drops_injected;
+        self.dups_injected += other.dups_injected;
+        self.reorders_injected += other.reorders_injected;
+        self.partition_drops += other.partition_drops;
+        self.crash_drops += other.crash_drops;
+        self.dup_suppressed += other.dup_suppressed;
+        self.misaddressed += other.misaddressed;
+        self.external_sink += other.external_sink;
+    }
+}
+
 /// Aggregated counters for one run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -90,6 +148,8 @@ pub struct Metrics {
     pub total_messages: u64,
     /// Total payload bytes (approximate).
     pub total_bytes: u64,
+    /// Physical-network overhead, separate from the logical counts above.
+    pub transport: TransportStats,
 }
 
 impl Metrics {
@@ -172,6 +232,7 @@ impl Metrics {
         }
         self.total_messages += other.total_messages;
         self.total_bytes += other.total_bytes;
+        self.transport.merge(&other.transport);
     }
 }
 
@@ -186,7 +247,13 @@ mod tests {
         let inst = InstanceId::new(SchemaId(1), 1);
         m.record_message("StepExecute", Mechanism::Normal, Some(inst), 64, NodeId(2));
         m.record_message("StepExecute", Mechanism::Normal, Some(inst), 64, NodeId(3));
-        m.record_message("HaltThread", Mechanism::FailureHandling, Some(inst), 32, NodeId(2));
+        m.record_message(
+            "HaltThread",
+            Mechanism::FailureHandling,
+            Some(inst),
+            32,
+            NodeId(2),
+        );
         m.record_load(NodeId(2), 100);
         m.record_load(NodeId(3), 40);
         m.record_load(NodeId(3), 0); // no-op
@@ -219,7 +286,10 @@ mod tests {
     #[test]
     fn mechanism_display() {
         assert_eq!(Mechanism::Normal.to_string(), "normal");
-        assert_eq!(Mechanism::CoordinatedExecution.to_string(), "coordinated-execution");
+        assert_eq!(
+            Mechanism::CoordinatedExecution.to_string(),
+            "coordinated-execution"
+        );
         assert_eq!(Mechanism::ALL.len(), 6);
     }
 }

@@ -57,7 +57,14 @@ pub struct Ctx<M> {
 
 impl<M> Ctx<M> {
     pub(crate) fn new(now: u64, self_id: NodeId) -> Self {
-        Ctx { now, self_id, sends: Vec::new(), timers: Vec::new(), load: 0, halted: false }
+        Ctx {
+            now,
+            self_id,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            load: 0,
+            halted: false,
+        }
     }
 
     /// Send `msg` to `to`. Delivery is reliable and in-order per

@@ -1,28 +1,63 @@
 //! The deterministic discrete-event simulator.
 //!
-//! Drives a set of [`Node`]s with a virtual clock. Delivery is reliable and
-//! FIFO per (sender, receiver) pair — matching the paper's assumption of a
-//! persistent-message substrate ([AAE+95]) — with a deterministic latency
-//! drawn from the run seed. Nodes can be crashed (fail-stop) and recovered;
-//! messages addressed to a crashed node are buffered and delivered after
-//! recovery, never lost.
+//! Drives a set of [`Node`]s with a virtual clock. By default delivery is
+//! reliable and FIFO per (sender, receiver) pair — matching the paper's
+//! assumption of a persistent-message substrate ([AAE+95]) — with a
+//! deterministic latency drawn from the run seed. Nodes can be crashed
+//! (fail-stop) and recovered; messages addressed to a crashed node are
+//! buffered and delivered after recovery, never lost.
+//!
+//! Installing a [`NetFaultPlan`] (via [`Simulation::enable_net_faults`])
+//! withdraws that free reliability: every inter-node message then travels
+//! as wire frames through a lossy network that can drop, duplicate,
+//! reorder, or partition, and the per-node reliable channel endpoints
+//! ([`crate::reliable`]) win exactly-once in-order delivery back with
+//! sequence numbers, cumulative acks, WAL-backed retransmission, and
+//! duplicate suppression. Logical message metrics (the §6 counts) are
+//! recorded once per accepted message either way; the physical overhead is
+//! accounted separately in [`Metrics::transport`].
 //!
 //! All experiment harnesses run on this simulator, so every reported
 //! message count and load figure is exactly reproducible from the seed.
 
 use crate::metrics::{Classify, Metrics};
+use crate::netfault::NetFaultPlan;
 use crate::node::{Ctx, Node, NodeId, TimerId};
+use crate::reliable::{Endpoint, Frame, OutboxLog, RetransmitConfig, VolatileOutbox, WalOutbox};
 use crate::trace::{Trace, TraceEntry};
+use crew_storage::{Decode, Encode};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// One scheduled occurrence.
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId },
-    Crash { node: NodeId },
-    Recover { node: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
+    /// A physical wire frame of the reliable channel (only with a
+    /// transport installed).
+    Frame {
+        from: NodeId,
+        to: NodeId,
+        frame: Frame<M>,
+    },
+    /// Retransmission wake-up for `node`'s channel endpoint.
+    NetRetry {
+        node: NodeId,
+    },
 }
 
 struct Event<M> {
@@ -81,6 +116,32 @@ struct NodeSlot<M> {
     buffered: VecDeque<(NodeId, M)>,
 }
 
+/// The lossy-network + reliable-channel machinery, present only when a
+/// [`NetFaultPlan`] has been installed. Kept out of the default path so
+/// fault-free runs are byte-identical to the original simulator.
+struct Transport<M> {
+    plan: NetFaultPlan,
+    cfg: RetransmitConfig,
+    /// Channel endpoint per node, grown lazily (indexed like `nodes`).
+    endpoints: Vec<Endpoint<M>>,
+    /// Wire-frame counter per directed link, numbering physical
+    /// transmissions (data, retransmissions, and acks) from 1 — the key of
+    /// every fault draw.
+    wire: std::collections::BTreeMap<(NodeId, NodeId), u64>,
+    /// Factory for each endpoint's durability backend.
+    make: Box<dyn Fn() -> Box<dyn OutboxLog<M>> + Send>,
+}
+
+impl<M: Clone> Transport<M> {
+    fn endpoint_mut(&mut self, node: NodeId) -> &mut Endpoint<M> {
+        let i = node.index();
+        while self.endpoints.len() <= i {
+            self.endpoints.push(Endpoint::new((self.make)(), self.cfg));
+        }
+        &mut self.endpoints[i]
+    }
+}
+
 /// The simulator.
 pub struct Simulation<M> {
     nodes: Vec<NodeSlot<M>>,
@@ -103,6 +164,9 @@ pub struct Simulation<M> {
     /// the workload).
     pub max_events: u64,
     delivered: u64,
+    /// Lossy network + reliable channels; `None` = the default perfectly
+    /// reliable substrate.
+    transport: Option<Transport<M>>,
 }
 
 impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
@@ -122,6 +186,7 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             fifo: std::collections::BTreeMap::new(),
             max_events: 10_000_000,
             delivered: 0,
+            transport: None,
         }
     }
 
@@ -136,10 +201,58 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
         self.trace = Trace::enabled();
     }
 
+    /// Install the lossy network described by `plan` and route all
+    /// inter-node traffic through WAL-backed reliable channels
+    /// (exactly-once, in-order, surviving fail-stop crashes).
+    pub fn enable_net_faults(&mut self, plan: NetFaultPlan)
+    where
+        M: Encode + Decode,
+    {
+        self.install_transport(plan, RetransmitConfig::default(), || {
+            Box::new(WalOutbox::<M>::new()) as Box<dyn OutboxLog<M>>
+        });
+    }
+
+    /// Like [`Simulation::enable_net_faults`] but without durability: a
+    /// crashed node loses its channel state (outbox *and* dedup cursors),
+    /// so this is only sound for runs without crashes. Exists for message
+    /// types without a codec.
+    pub fn enable_net_faults_volatile(&mut self, plan: NetFaultPlan) {
+        self.install_transport(plan, RetransmitConfig::default(), || {
+            Box::new(VolatileOutbox) as Box<dyn OutboxLog<M>>
+        });
+    }
+
+    /// Install a transport with explicit retransmission tuning and
+    /// durability backend.
+    pub fn install_transport(
+        &mut self,
+        plan: NetFaultPlan,
+        cfg: RetransmitConfig,
+        make: impl Fn() -> Box<dyn OutboxLog<M>> + Send + 'static,
+    ) {
+        self.transport = Some(Transport {
+            plan,
+            cfg,
+            endpoints: Vec::new(),
+            wire: std::collections::BTreeMap::new(),
+            make: Box::new(make),
+        });
+    }
+
+    /// True when traffic is routed through the reliable channel layer.
+    pub fn transport_enabled(&self) -> bool {
+        self.transport.is_some()
+    }
+
     /// Register a node; ids are assigned densely from 0.
     pub fn add_node(&mut self, node: impl Node<M> + 'static) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeSlot { node: Box::new(node), crashed: false, buffered: VecDeque::new() });
+        self.nodes.push(NodeSlot {
+            node: Box::new(node),
+            crashed: false,
+            buffered: VecDeque::new(),
+        });
         id
     }
 
@@ -166,17 +279,32 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
     }
 
     /// Inject a message from the external world (e.g. a user request to the
-    /// front-end database).
+    /// front-end database). External traffic bypasses the lossy network:
+    /// the user's terminal is not part of the simulated fabric.
     pub fn send_external(&mut self, to: NodeId, msg: M) {
         let at = self.now + 1;
-        self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from: NodeId::EXTERNAL,
+                to,
+                msg,
+            },
+        );
     }
 
     /// Inject an external message at a specific virtual time — used to
     /// land user actions (aborts, input changes) mid-flight.
     pub fn send_external_at(&mut self, to: NodeId, msg: M, at: u64) {
         let at = at.max(self.now + 1);
-        self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from: NodeId::EXTERNAL,
+                to,
+                msg,
+            },
+        );
     }
 
     /// Schedule a fail-stop crash of `node` at `at`, recovering after
@@ -200,6 +328,28 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             self.halted = true;
         }
         for (to, msg) in ctx.sends {
+            self.route(from, to, msg);
+        }
+        for (at, id) in ctx.timers {
+            self.push(at.max(self.now + 1), EventKind::Timer { node: from, id });
+        }
+    }
+
+    /// Route one logical send: through the reliable channel when a
+    /// transport is installed and the destination is a real peer, otherwise
+    /// along the default reliable-FIFO path (kept bit-for-bit identical to
+    /// the pre-transport simulator so fault-free runs reproduce the seed
+    /// traces exactly).
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let channelled = self.transport.is_some()
+            && from != to
+            && to != NodeId::EXTERNAL
+            && to.index() < self.nodes.len();
+        if channelled {
+            let mut t = self.transport.take().expect("checked above");
+            self.channel_send(&mut t, from, to, msg);
+            self.transport = Some(t);
+        } else {
             let lat = self.latency.sample(self.seed, from, to, self.seq);
             let mut at = self.now + lat.max(1);
             // FIFO per (sender, receiver): never schedule an arrival before
@@ -209,9 +359,202 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             *last = at;
             self.push(at, EventKind::Deliver { from, to, msg });
         }
-        for (at, id) in ctx.timers {
-            self.push(at.max(self.now + 1), EventKind::Timer { node: from, id });
+    }
+
+    /// Stage a logical message on `from`'s channel to `to` and put its
+    /// first transmission on the wire.
+    fn channel_send(&mut self, t: &mut Transport<M>, from: NodeId, to: NodeId, msg: M) {
+        let seq = t.endpoint_mut(from).stage(to, msg.clone(), self.now);
+        self.metrics.transport.data_frames += 1;
+        self.transmit(
+            t,
+            from,
+            to,
+            Frame::Data {
+                seq,
+                resend: false,
+                payload: msg,
+            },
+        );
+        self.arm_retry(t, from);
+    }
+
+    /// Put one frame on the lossy wire: number it, apply the fault plan
+    /// (partition, drop, reorder, duplicate), schedule surviving copies.
+    fn transmit(&mut self, t: &mut Transport<M>, from: NodeId, to: NodeId, frame: Frame<M>) {
+        let wire = t.wire.entry((from, to)).or_insert(0);
+        *wire += 1;
+        let wf = *wire;
+        if t.plan.partitioned(from, to, self.now) {
+            self.metrics.transport.partition_drops += 1;
+            if self.trace.is_on() {
+                self.trace.record(TraceEntry {
+                    at: self.now,
+                    from,
+                    to,
+                    kind: crate::trace::NET_CUT,
+                    detail: format!("frame {wf} lost to partition"),
+                });
+            }
+            return;
         }
+        if t.plan.drops(from, to, wf) {
+            self.metrics.transport.drops_injected += 1;
+            if self.trace.is_on() {
+                self.trace.record(TraceEntry {
+                    at: self.now,
+                    from,
+                    to,
+                    kind: crate::trace::NET_DROP,
+                    detail: format!("frame {wf} dropped"),
+                });
+            }
+            return;
+        }
+        let extra = t.plan.reorder_delay(from, to, wf);
+        if extra > 0 {
+            self.metrics.transport.reorders_injected += 1;
+            if self.trace.is_on() {
+                self.trace.record(TraceEntry {
+                    at: self.now,
+                    from,
+                    to,
+                    kind: crate::trace::NET_REORDER,
+                    detail: format!("frame {wf} held back {extra}"),
+                });
+            }
+        }
+        let dup = t.plan.duplicates(from, to, wf);
+        let lat = self.latency.sample(self.seed, from, to, self.seq).max(1) + extra;
+        if dup {
+            self.metrics.transport.dups_injected += 1;
+            if self.trace.is_on() {
+                self.trace.record(TraceEntry {
+                    at: self.now,
+                    from,
+                    to,
+                    kind: crate::trace::NET_DUP,
+                    detail: format!("frame {wf} duplicated"),
+                });
+            }
+            self.push(
+                self.now + lat,
+                EventKind::Frame {
+                    from,
+                    to,
+                    frame: frame.clone(),
+                },
+            );
+            let lat2 = self.latency.sample(self.seed, from, to, self.seq).max(1);
+            self.push(self.now + lat2, EventKind::Frame { from, to, frame });
+        } else {
+            self.push(self.now + lat, EventKind::Frame { from, to, frame });
+        }
+    }
+
+    /// Make sure a [`EventKind::NetRetry`] wake-up is scheduled no later
+    /// than `node`'s earliest retransmission deadline.
+    fn arm_retry(&mut self, t: &mut Transport<M>, node: NodeId) {
+        let now = self.now;
+        let ep = t.endpoint_mut(node);
+        if let Some(w) = ep.next_wakeup() {
+            let at = w.max(now + 1);
+            if ep.armed.is_none_or(|a| a > at) {
+                ep.armed = Some(at);
+                self.push(at, EventKind::NetRetry { node });
+            }
+        }
+    }
+
+    /// A wire frame arrived at `to`.
+    fn on_frame(&mut self, from: NodeId, to: NodeId, frame: Frame<M>) {
+        let Some(slot) = self.nodes.get(to.index()) else {
+            return;
+        };
+        if slot.crashed {
+            // Unlike the default substrate there is no magic crash
+            // buffering: frames hitting a down node are lost, and only
+            // retransmission (driven by the durable outbox) recovers them.
+            self.metrics.transport.crash_drops += 1;
+            return;
+        }
+        let Some(mut t) = self.transport.take() else {
+            return;
+        };
+        match frame {
+            Frame::Ack { cum } => {
+                t.endpoint_mut(to).on_ack(from, cum, self.now);
+                self.arm_retry(&mut t, to);
+                self.transport = Some(t);
+            }
+            Frame::Data {
+                seq,
+                resend: _,
+                payload,
+            } => {
+                let outcome = t.endpoint_mut(to).on_data(from, seq, payload);
+                if outcome.duplicate {
+                    self.metrics.transport.dup_suppressed += 1;
+                    if self.trace.is_on() {
+                        self.trace.record(TraceEntry {
+                            at: self.now,
+                            from,
+                            to,
+                            kind: crate::trace::NET_DUP_SUPPRESSED,
+                            detail: format!("seq {seq} suppressed"),
+                        });
+                    }
+                }
+                // Every data frame (fresh or duplicate) is cumulatively
+                // acked so the sender can trim and stop retransmitting.
+                self.metrics.transport.acks += 1;
+                self.transmit(&mut t, to, from, Frame::Ack { cum: outcome.cum });
+                // Restore before accepting: the handler's own sends re-enter
+                // the channel.
+                self.transport = Some(t);
+                for m in outcome.deliver {
+                    self.accept(from, to, m);
+                }
+            }
+        }
+    }
+
+    /// `node`'s retransmission clock fired.
+    fn on_net_retry(&mut self, node: NodeId) {
+        let Some(mut t) = self.transport.take() else {
+            return;
+        };
+        t.endpoint_mut(node).armed = None;
+        if self.nodes[node.index()].crashed {
+            // Recovery replays the durable outbox and re-arms.
+            self.transport = Some(t);
+            return;
+        }
+        let due = t.endpoint_mut(node).due_retransmits(self.now);
+        for (peer, seq, msg) in due {
+            self.metrics.transport.retransmissions += 1;
+            if self.trace.is_on() {
+                self.trace.record(TraceEntry {
+                    at: self.now,
+                    from: node,
+                    to: peer,
+                    kind: crate::trace::NET_RETRANSMIT,
+                    detail: format!("seq {seq} retransmitted"),
+                });
+            }
+            self.transmit(
+                &mut t,
+                node,
+                peer,
+                Frame::Data {
+                    seq,
+                    resend: true,
+                    payload: msg,
+                },
+            );
+        }
+        self.arm_retry(&mut t, node);
+        self.transport = Some(t);
     }
 
     fn ensure_started(&mut self) {
@@ -248,6 +591,8 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             self.delivered += 1;
             match ev.kind {
                 EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
+                EventKind::Frame { from, to, frame } => self.on_frame(from, to, frame),
+                EventKind::NetRetry { node } => self.on_net_retry(node),
                 EventKind::Timer { node, id } => {
                     let slot = &mut self.nodes[node.index()];
                     if slot.crashed {
@@ -264,6 +609,11 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
                     if !slot.crashed {
                         slot.crashed = true;
                         slot.node.on_crash();
+                        if let Some(t) = self.transport.as_mut() {
+                            // Volatile channel state dies with the node;
+                            // the WAL (if any) survives for recovery.
+                            t.endpoint_mut(node).on_crash();
+                        }
                     }
                 }
                 EventKind::Recover { node } => {
@@ -280,6 +630,26 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
                         } {
                             self.deliver(from, node, msg);
                         }
+                        // Channel recovery: rebuild from the durable log
+                        // and immediately retransmit everything unacked.
+                        if let Some(mut t) = self.transport.take() {
+                            let resend = t.endpoint_mut(node).on_recover(self.now);
+                            for (peer, seq, msg) in resend {
+                                self.metrics.transport.retransmissions += 1;
+                                self.transmit(
+                                    &mut t,
+                                    node,
+                                    peer,
+                                    Frame::Data {
+                                        seq,
+                                        resend: true,
+                                        payload: msg,
+                                    },
+                                );
+                            }
+                            self.arm_retry(&mut t, node);
+                            self.transport = Some(t);
+                        }
                     }
                 }
             }
@@ -289,14 +659,38 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
 
     fn deliver(&mut self, from: NodeId, to: NodeId, msg: M) {
         let Some(slot) = self.nodes.get_mut(to.index()) else {
-            // Message to an unknown node: drop (deployment bug surfaced by
-            // the metrics staying short).
+            if to == NodeId::EXTERNAL {
+                // Replies addressed to the external world are a benign
+                // sink (e.g. acks to injected user traffic).
+                self.metrics.transport.external_sink += 1;
+            } else {
+                // A genuinely out-of-range destination is a deployment
+                // bug: count it and leave a trace instead of vanishing.
+                self.metrics.transport.misaddressed += 1;
+                if self.trace.is_on() {
+                    self.trace.record(TraceEntry {
+                        at: self.now,
+                        from,
+                        to,
+                        kind: crate::trace::NET_MISADDRESSED,
+                        detail: format!("{msg:?}"),
+                    });
+                }
+            }
             return;
         };
         if slot.crashed {
             slot.buffered.push_back((from, msg));
             return;
         }
+        self.accept(from, to, msg);
+    }
+
+    /// Final logical acceptance of a message at a live node: §6 metrics,
+    /// trace, handler dispatch. Both the default path and the reliable
+    /// channel funnel through here, so a logical message is counted exactly
+    /// once no matter how many wire frames carried it.
+    fn accept(&mut self, from: NodeId, to: NodeId, msg: M) {
         // Injected external traffic (user → front end) is not an
         // inter-node message; the §6 counts cover system messages only.
         if from != NodeId::EXTERNAL {
@@ -316,7 +710,7 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             detail: format!("{msg:?}"),
         });
         let mut ctx = Ctx::new(self.now, to);
-        slot.node.on_message(from, msg, &mut ctx);
+        self.nodes[to.index()].node.on_message(from, msg, &mut ctx);
         self.flush_ctx(to, ctx);
     }
 
@@ -335,9 +729,11 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
 mod tests {
     use super::*;
     use crate::metrics::Mechanism;
+    use bytes::{Bytes, BytesMut};
+    use crew_storage::CodecError;
     use std::any::Any;
 
-    #[derive(Debug, Clone)]
+    #[derive(Debug, Clone, PartialEq)]
     enum Ping {
         Ping(u32),
         Pong(u32),
@@ -355,6 +751,33 @@ mod tests {
         }
         fn instance(&self) -> Option<crew_model::InstanceId> {
             None
+        }
+    }
+
+    impl Encode for Ping {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                Ping::Ping(n) => {
+                    0u8.encode(buf);
+                    n.encode(buf);
+                }
+                Ping::Pong(n) => {
+                    1u8.encode(buf);
+                    n.encode(buf);
+                }
+            }
+        }
+    }
+    impl Decode for Ping {
+        fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+            match u8::decode(buf)? {
+                0 => Ok(Ping::Ping(u32::decode(buf)?)),
+                1 => Ok(Ping::Pong(u32::decode(buf)?)),
+                tag => Err(CodecError::BadTag {
+                    context: "Ping",
+                    tag,
+                }),
+            }
         }
     }
 
@@ -384,6 +807,26 @@ mod tests {
         }
     }
 
+    /// Opens a ping chain toward `peer` on start.
+    struct Starter {
+        peer: Option<NodeId>,
+    }
+    impl Node<Ping> for Starter {
+        fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
+            if let Some(p) = self.peer {
+                ctx.send(p, Ping::Ping(2));
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Ctx<Ping>) {
+            if let Ping::Pong(n) = msg {
+                ctx.send(from, Ping::Ping(n - 1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
     #[test]
     fn ping_pong_runs_to_quiescence() {
         let mut sim = Simulation::new(7);
@@ -398,30 +841,15 @@ mod tests {
         // Ping(3) produced Pong(3) to EXTERNAL (dropped: unknown node? no —
         // EXTERNAL has index u32::MAX, out of range, dropped). Seen = 1.
         assert_eq!(sim.node_as::<Ponger>(a).unwrap().seen, 1);
-        // The external injection itself is not counted as a system message.
+        // The external injection itself is not counted as a system message,
+        // and the reply into the external sink is benign (not a bug).
         assert_eq!(sim.metrics.total_messages, 0);
+        assert_eq!(sim.metrics.transport.external_sink, 1);
+        assert_eq!(sim.metrics.transport.misaddressed, 0);
     }
 
     #[test]
     fn chain_between_nodes_counts_messages() {
-        struct Starter {
-            peer: Option<NodeId>,
-        }
-        impl Node<Ping> for Starter {
-            fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
-                if let Some(p) = self.peer {
-                    ctx.send(p, Ping::Ping(2));
-                }
-            }
-            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Ctx<Ping>) {
-                if let Ping::Pong(n) = msg {
-                    ctx.send(from, Ping::Ping(n - 1));
-                }
-            }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-        }
         let mut sim = Simulation::new(7);
         let b = sim.add_node(Ponger { seen: 0 });
         let a = sim.add_node(Starter { peer: Some(b) });
@@ -458,7 +886,11 @@ mod tests {
             }
         }
         let mut sim = Simulation::new(1).with_latency(LatencyModel { base: 1, jitter: 0 });
-        let c = sim.add_node(Collector { got: vec![], crashes: 0, recoveries: 0 });
+        let c = sim.add_node(Collector {
+            got: vec![],
+            crashes: 0,
+            recoveries: 0,
+        });
         sim.schedule_crash(c, 1, Some(100));
         sim.send_external(c, Ping::Ping(1)); // arrives at t=1.. while down
         sim.send_external(c, Ping::Ping(2));
@@ -548,6 +980,167 @@ mod tests {
         let a = lm.sample(9, NodeId(1), NodeId(2), 3);
         let b = lm.sample(9, NodeId(1), NodeId(2), 3);
         assert_eq!(a, b);
-        assert!(a >= 2 && a <= 7);
+        assert!((2..=7).contains(&a));
+    }
+
+    #[test]
+    fn misaddressed_messages_are_counted_and_traced() {
+        struct Wild;
+        impl Node<Ping> for Wild {
+            fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
+                ctx.send(NodeId(99), Ping::Ping(1));
+            }
+            fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Ctx<Ping>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1);
+        sim.enable_trace();
+        sim.add_node(Wild);
+        sim.run();
+        assert_eq!(sim.metrics.transport.misaddressed, 1);
+        assert_eq!(sim.metrics.transport.external_sink, 0);
+        assert_eq!(sim.metrics.total_messages, 0);
+        assert_eq!(sim.trace.of_kind(crate::trace::NET_MISADDRESSED).count(), 1);
+    }
+
+    #[test]
+    fn reliable_channel_is_transparent_when_quiet() {
+        let mut sim = Simulation::new(7);
+        let b = sim.add_node(Ponger { seen: 0 });
+        let _a = sim.add_node(Starter { peer: Some(b) });
+        sim.enable_net_faults(NetFaultPlan::none());
+        sim.run();
+        assert!(sim.is_quiescent());
+        // Same logical counts as the unchannelled chain test.
+        assert_eq!(sim.metrics.total_messages, 5);
+        assert_eq!(sim.node_as::<Ponger>(b).unwrap().seen, 3);
+        // Physical overhead accounted separately.
+        assert_eq!(sim.metrics.transport.data_frames, 5);
+        assert_eq!(sim.metrics.transport.acks, 5);
+        assert_eq!(sim.metrics.transport.retransmissions, 0);
+        assert_eq!(sim.metrics.transport.dup_suppressed, 0);
+    }
+
+    #[test]
+    fn scripted_drop_is_recovered_by_retransmission() {
+        let mut sim = Simulation::new(7);
+        let b = sim.add_node(Ponger { seen: 0 });
+        let a = sim.add_node(Starter { peer: Some(b) });
+        // Kill the very first wire frame a -> b; the retransmission (a
+        // fresh wire frame) must get through.
+        sim.enable_net_faults(NetFaultPlan::none().drop_frame(a, b, 1));
+        sim.run();
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.metrics.total_messages, 5, "logical counts unchanged");
+        assert_eq!(sim.metrics.transport.drops_injected, 1);
+        assert!(sim.metrics.transport.retransmissions >= 1);
+        assert_eq!(sim.node_as::<Ponger>(b).unwrap().seen, 3);
+    }
+
+    #[test]
+    fn duplicated_frames_are_suppressed_exactly_once() {
+        let mut sim = Simulation::new(7);
+        let b = sim.add_node(Ponger { seen: 0 });
+        let _a = sim.add_node(Starter { peer: Some(b) });
+        // Every single frame is duplicated on the wire.
+        sim.enable_net_faults(NetFaultPlan::probabilistic(5, 0.0, 1.0, 0.0));
+        sim.run();
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.metrics.total_messages, 5, "no double deliveries");
+        assert_eq!(sim.node_as::<Ponger>(b).unwrap().seen, 3);
+        assert!(
+            sim.metrics.transport.dups_injected >= 10,
+            "data + acks duplicated"
+        );
+        assert_eq!(
+            sim.metrics.transport.dup_suppressed, 5,
+            "each data dup suppressed"
+        );
+    }
+
+    #[test]
+    fn partition_heals_and_traffic_resumes() {
+        let mut sim = Simulation::new(7);
+        let b = sim.add_node(Ponger { seen: 0 });
+        let a = sim.add_node(Starter { peer: Some(b) });
+        sim.enable_net_faults(NetFaultPlan::none().cut(a, b, 0, 40));
+        sim.run();
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.metrics.total_messages, 5);
+        assert_eq!(sim.node_as::<Ponger>(b).unwrap().seen, 3);
+        assert!(sim.metrics.transport.partition_drops >= 1);
+        assert!(sim.now() >= 40, "traffic waited out the outage");
+    }
+
+    #[test]
+    fn receiver_crash_loses_frames_then_retransmission_delivers_exactly_once() {
+        struct Burst {
+            peer: NodeId,
+        }
+        impl Node<Ping> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
+                ctx.send(self.peer, Ping::Ping(1));
+                ctx.send(self.peer, Ping::Ping(2));
+            }
+            fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Ctx<Ping>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct Collector {
+            got: Vec<u32>,
+        }
+        impl Node<Ping> for Collector {
+            fn on_message(&mut self, _from: NodeId, msg: Ping, _ctx: &mut Ctx<Ping>) {
+                if let Ping::Ping(n) = msg {
+                    self.got.push(n);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1).with_latency(LatencyModel { base: 1, jitter: 0 });
+        let c = sim.add_node(Collector { got: vec![] });
+        let _s = sim.add_node(Burst { peer: c });
+        sim.enable_net_faults(NetFaultPlan::none());
+        sim.schedule_crash(c, 1, Some(100));
+        sim.run();
+        assert!(sim.is_quiescent());
+        let node = sim.node_as::<Collector>(c).unwrap();
+        assert_eq!(
+            node.got,
+            vec![1, 2],
+            "exactly once, in order, after recovery"
+        );
+        assert!(
+            sim.metrics.transport.crash_drops >= 2,
+            "frames hit the downed node"
+        );
+        assert!(sim.metrics.transport.retransmissions >= 2);
+        assert_eq!(sim.metrics.total_messages, 2);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed);
+            let b = sim.add_node(Ponger { seen: 0 });
+            let _a = sim.add_node(Starter { peer: Some(b) });
+            sim.enable_net_faults(NetFaultPlan::probabilistic(seed, 0.2, 0.2, 0.2));
+            sim.run();
+            (
+                sim.metrics.total_messages,
+                sim.metrics.transport,
+                sim.now(),
+                sim.node_as::<Ponger>(b).unwrap().seen,
+            )
+        };
+        assert_eq!(run(3), run(3), "identical seed, identical run");
+        assert_eq!(run(3).0, 5, "faults never change the logical count");
+        assert_eq!(run(3).3, 3);
+        assert_eq!(run(9).0, 5);
     }
 }

@@ -113,8 +113,7 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> ThreadedRuntime<M> 
                                     id,
                                 );
                             }
-                            let mut ctx =
-                                Ctx::new(start.elapsed().as_millis() as u64, id);
+                            let mut ctx = Ctx::new(start.elapsed().as_millis() as u64, id);
                             node.on_message(from, msg, &mut ctx);
                             flush(id, ctx, &send_to, &metrics, &halted, start);
                             in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -136,8 +135,10 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> ThreadedRuntime<M> 
         for tx in &senders {
             let _ = tx.send(Envelope::Shutdown);
         }
-        let nodes: Vec<Box<dyn Node<M>>> =
-            handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect();
+        let nodes: Vec<Box<dyn Node<M>>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
         let metrics = Arc::try_unwrap(metrics)
             .map(|m| m.into_inner())
             .unwrap_or_else(|arc| arc.lock().clone());
@@ -210,7 +211,10 @@ mod tests {
         let n = 4u32;
         let hops = 20u32;
         for i in 0..n {
-            rt.add_node(RingNode { next: NodeId((i + 1) % n), seen: 0 });
+            rt.add_node(RingNode {
+                next: NodeId((i + 1) % n),
+                seen: 0,
+            });
         }
         let (metrics, nodes) = rt.run(vec![(NodeId(0), Token(hops))]);
         assert_eq!(metrics.total_messages as u32, hops + 1);
@@ -226,7 +230,10 @@ mod tests {
     #[test]
     fn empty_initial_terminates() {
         let mut rt = ThreadedRuntime::new();
-        rt.add_node(RingNode { next: NodeId(0), seen: 0 });
+        rt.add_node(RingNode {
+            next: NodeId(0),
+            seen: 0,
+        });
         let (metrics, _) = rt.run(vec![]);
         assert_eq!(metrics.total_messages, 0);
     }

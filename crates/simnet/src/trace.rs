@@ -7,6 +7,21 @@
 use crate::node::NodeId;
 use std::fmt;
 
+/// Trace kind: a frame was dropped by the fault plan.
+pub const NET_DROP: &str = "!net-drop";
+/// Trace kind: a frame was duplicated by the fault plan.
+pub const NET_DUP: &str = "!net-dup";
+/// Trace kind: a frame was held back (reordered) by the fault plan.
+pub const NET_REORDER: &str = "!net-reorder";
+/// Trace kind: a frame was lost to a scripted link partition.
+pub const NET_CUT: &str = "!net-cut";
+/// Trace kind: the reliable channel retransmitted a data frame.
+pub const NET_RETRANSMIT: &str = "!net-retransmit";
+/// Trace kind: the receiver suppressed a duplicate data frame.
+pub const NET_DUP_SUPPRESSED: &str = "!net-dup-suppressed";
+/// Trace kind: a message was addressed to a node outside the deployment.
+pub const NET_MISADDRESSED: &str = "!misaddressed";
+
 /// One delivered message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -24,7 +39,11 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[t={:>5}] {} -> {}: {}", self.at, self.from, self.to, self.kind)
+        write!(
+            f,
+            "[t={:>5}] {} -> {}: {}",
+            self.at, self.from, self.to, self.kind
+        )
     }
 }
 
@@ -38,12 +57,21 @@ pub struct Trace {
 impl Trace {
     /// Enabled.
     pub fn enabled() -> Self {
-        Trace { enabled: true, entries: Vec::new() }
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+        }
     }
 
     /// Disabled.
     pub fn disabled() -> Self {
         Trace::default()
+    }
+
+    /// `true` when recording — lets callers skip building detail strings
+    /// for traces that would be discarded.
+    pub fn is_on(&self) -> bool {
+        self.enabled
     }
 
     /// The recorded execution of `step`, if any.
@@ -79,7 +107,13 @@ mod tests {
     use super::*;
 
     fn entry(kind: &'static str) -> TraceEntry {
-        TraceEntry { at: 3, from: NodeId(1), to: NodeId(2), kind, detail: String::new() }
+        TraceEntry {
+            at: 3,
+            from: NodeId(1),
+            to: NodeId(2),
+            kind,
+            detail: String::new(),
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! corrupt log tails are handled gracefully by recovery.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use crew_model::{InstanceId, ItemKey, ItemScope, SchemaId, StepId, Value};
+use crew_model::{AgentId, InstanceId, ItemKey, ItemScope, SchemaId, StepId, Value};
 use std::fmt;
 
 /// Decoding failures.
@@ -159,7 +159,10 @@ impl Decode for bool {
         match u8::decode(buf)? {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(CodecError::BadTag { context: "bool", tag }),
+            tag => Err(CodecError::BadTag {
+                context: "bool",
+                tag,
+            }),
         }
     }
 }
@@ -204,6 +207,18 @@ impl<T: Decode> Decode for Vec<T> {
     }
 }
 
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
 impl<T: Encode> Encode for Option<T> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
@@ -220,7 +235,10 @@ impl<T: Decode> Decode for Option<T> {
         match u8::decode(buf)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            tag => Err(CodecError::BadTag { context: "Option", tag }),
+            tag => Err(CodecError::BadTag {
+                context: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -235,6 +253,17 @@ impl Encode for StepId {
 impl Decode for StepId {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(StepId(u32::decode(buf)?))
+    }
+}
+
+impl Encode for AgentId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+}
+impl Decode for AgentId {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(AgentId(u32::decode(buf)?))
     }
 }
 
@@ -257,7 +286,10 @@ impl Encode for InstanceId {
 }
 impl Decode for InstanceId {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
-        Ok(InstanceId { schema: SchemaId::decode(buf)?, serial: u32::decode(buf)? })
+        Ok(InstanceId {
+            schema: SchemaId::decode(buf)?,
+            serial: u32::decode(buf)?,
+        })
     }
 }
 
@@ -278,9 +310,17 @@ impl Decode for ItemKey {
         let scope = match u8::decode(buf)? {
             0 => ItemScope::WorkflowInput,
             1 => ItemScope::StepOutput(StepId::decode(buf)?),
-            tag => return Err(CodecError::BadTag { context: "ItemScope", tag }),
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "ItemScope",
+                    tag,
+                })
+            }
         };
-        Ok(ItemKey { scope, slot: u16::decode(buf)? })
+        Ok(ItemKey {
+            scope,
+            slot: u16::decode(buf)?,
+        })
     }
 }
 
@@ -313,7 +353,10 @@ impl Decode for Value {
             1 => Ok(Value::Float(f64::decode(buf)?)),
             2 => Ok(Value::Str(String::decode(buf)?)),
             3 => Ok(Value::Bool(bool::decode(buf)?)),
-            tag => Err(CodecError::BadTag { context: "Value", tag }),
+            tag => Err(CodecError::BadTag {
+                context: "Value",
+                tag,
+            }),
         }
     }
 }
@@ -349,9 +392,17 @@ mod tests {
     }
 
     #[test]
+    fn tuples_round_trip() {
+        round_trip((7u32, 9u64));
+        round_trip(vec![(ItemKey::input(0), Value::Int(4))]);
+        round_trip((StepId(1), (AgentId(2), true)));
+    }
+
+    #[test]
     fn model_types_round_trip() {
         round_trip(StepId(5));
         round_trip(SchemaId(2));
+        round_trip(AgentId(8));
         round_trip(InstanceId::new(SchemaId(2), 4));
         round_trip(ItemKey::input(1));
         round_trip(ItemKey::output(StepId(3), 2));
@@ -380,12 +431,18 @@ mod tests {
         let mut buf = Bytes::from_static(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(matches!(
             Value::decode(&mut buf),
-            Err(CodecError::BadTag { context: "Value", tag: 9 })
+            Err(CodecError::BadTag {
+                context: "Value",
+                tag: 9
+            })
         ));
         let mut buf = Bytes::from_static(&[2u8]);
         assert!(matches!(
             bool::decode(&mut buf),
-            Err(CodecError::BadTag { context: "bool", .. })
+            Err(CodecError::BadTag {
+                context: "bool",
+                ..
+            })
         ));
     }
 

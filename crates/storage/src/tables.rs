@@ -41,7 +41,10 @@ impl InstanceStatus {
             0 => Ok(InstanceStatus::Executing),
             1 => Ok(InstanceStatus::Committed),
             2 => Ok(InstanceStatus::Aborted),
-            tag => Err(CodecError::BadTag { context: "InstanceStatus", tag }),
+            tag => Err(CodecError::BadTag {
+                context: "InstanceStatus",
+                tag,
+            }),
         }
     }
 }
@@ -76,7 +79,10 @@ impl StoredStepState {
             1 => Ok(StoredStepState::Done),
             2 => Ok(StoredStepState::Failed),
             3 => Ok(StoredStepState::Compensated),
-            tag => Err(CodecError::BadTag { context: "StoredStepState", tag }),
+            tag => Err(CodecError::BadTag {
+                context: "StoredStepState",
+                tag,
+            }),
         }
     }
 }
@@ -91,7 +97,11 @@ pub enum DbOp {
     InstanceCreated { instance: InstanceId },
     /// Write one data item of an instance.
     /// Datawritten.
-    DataWritten { instance: InstanceId, key: ItemKey, value: Value },
+    DataWritten {
+        instance: InstanceId,
+        key: ItemKey,
+        value: Value,
+    },
     /// Remove the outputs of a step from an instance's data table
     /// (compensation).
     /// Stepoutputscleared.
@@ -117,7 +127,10 @@ pub enum DbOp {
     },
     /// Update the coordination instance summary table.
     /// Statuschanged.
-    StatusChanged { instance: InstanceId, status: InstanceStatus },
+    StatusChanged {
+        instance: InstanceId,
+        status: InstanceStatus,
+    },
     /// Drop all state of a committed instance (purge broadcast).
     /// Instancepurged.
     InstancePurged { instance: InstanceId },
@@ -130,7 +143,11 @@ impl Encode for DbOp {
                 0u8.encode(buf);
                 instance.encode(buf);
             }
-            DbOp::DataWritten { instance, key, value } => {
+            DbOp::DataWritten {
+                instance,
+                key,
+                value,
+            } => {
                 1u8.encode(buf);
                 instance.encode(buf);
                 key.encode(buf);
@@ -151,7 +168,13 @@ impl Encode for DbOp {
                 instance.encode(buf);
                 code.encode(buf);
             }
-            DbOp::StepRecorded { instance, step, state, attempt, outputs } => {
+            DbOp::StepRecorded {
+                instance,
+                step,
+                state,
+                attempt,
+                outputs,
+            } => {
                 5u8.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
@@ -175,7 +198,9 @@ impl Encode for DbOp {
 impl Decode for DbOp {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         match u8::decode(buf)? {
-            0 => Ok(DbOp::InstanceCreated { instance: InstanceId::decode(buf)? }),
+            0 => Ok(DbOp::InstanceCreated {
+                instance: InstanceId::decode(buf)?,
+            }),
             1 => Ok(DbOp::DataWritten {
                 instance: InstanceId::decode(buf)?,
                 key: ItemKey::decode(buf)?,
@@ -204,8 +229,13 @@ impl Decode for DbOp {
                 instance: InstanceId::decode(buf)?,
                 status: InstanceStatus::from_tag(u8::decode(buf)?)?,
             }),
-            7 => Ok(DbOp::InstancePurged { instance: InstanceId::decode(buf)? }),
-            tag => Err(CodecError::BadTag { context: "DbOp", tag }),
+            7 => Ok(DbOp::InstancePurged {
+                instance: InstanceId::decode(buf)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                context: "DbOp",
+                tag,
+            }),
         }
     }
 }
@@ -244,7 +274,11 @@ impl AgentDb {
             DbOp::InstanceCreated { instance } => {
                 self.instances.entry(*instance).or_default();
             }
-            DbOp::DataWritten { instance, key, value } => {
+            DbOp::DataWritten {
+                instance,
+                key,
+                value,
+            } => {
                 self.instances
                     .entry(*instance)
                     .or_default()
@@ -270,7 +304,13 @@ impl AgentDb {
                     t.events.remove(code);
                 }
             }
-            DbOp::StepRecorded { instance, step, state, attempt, outputs } => {
+            DbOp::StepRecorded {
+                instance,
+                step,
+                state,
+                attempt,
+                outputs,
+            } => {
                 self.instances
                     .entry(*instance)
                     .or_default()
@@ -338,9 +378,18 @@ mod tests {
                 key: ItemKey::output(StepId(2), 1),
                 value: Value::Int(45),
             },
-            DbOp::StepOutputsCleared { instance: inst(1), step: StepId(2) },
-            DbOp::EventPosted { instance: inst(1), code: "S2.D".into() },
-            DbOp::EventInvalidated { instance: inst(1), code: "S2.D".into() },
+            DbOp::StepOutputsCleared {
+                instance: inst(1),
+                step: StepId(2),
+            },
+            DbOp::EventPosted {
+                instance: inst(1),
+                code: "S2.D".into(),
+            },
+            DbOp::EventInvalidated {
+                instance: inst(1),
+                code: "S2.D".into(),
+            },
             DbOp::StepRecorded {
                 instance: inst(1),
                 step: StepId(2),
@@ -348,7 +397,10 @@ mod tests {
                 attempt: 2,
                 outputs: vec![Value::Str("Gasket".into())],
             },
-            DbOp::StatusChanged { instance: inst(1), status: InstanceStatus::Committed },
+            DbOp::StatusChanged {
+                instance: inst(1),
+                status: InstanceStatus::Committed,
+            },
             DbOp::InstancePurged { instance: inst(1) },
         ];
         for op in &ops {
@@ -366,7 +418,10 @@ mod tests {
             key: ItemKey::input(1),
             value: Value::Int(90),
         });
-        db.apply(&DbOp::EventPosted { instance: inst(1), code: "WF.S".into() });
+        db.apply(&DbOp::EventPosted {
+            instance: inst(1),
+            code: "WF.S".into(),
+        });
         db.apply(&DbOp::StepRecorded {
             instance: inst(1),
             step: StepId(1),
@@ -374,7 +429,10 @@ mod tests {
             attempt: 1,
             outputs: vec![Value::Int(20)],
         });
-        db.apply(&DbOp::StatusChanged { instance: inst(1), status: InstanceStatus::Executing });
+        db.apply(&DbOp::StatusChanged {
+            instance: inst(1),
+            status: InstanceStatus::Executing,
+        });
 
         let t = db.instance(inst(1)).unwrap();
         assert_eq!(t.data.get(&ItemKey::input(1)), Some(&Value::Int(90)));
@@ -394,8 +452,14 @@ mod tests {
                 key: ItemKey::input(1),
                 value: Value::Int(7),
             },
-            DbOp::EventPosted { instance: inst(1), code: "S1.D".into() },
-            DbOp::EventPosted { instance: inst(1), code: "S1.D".into() },
+            DbOp::EventPosted {
+                instance: inst(1),
+                code: "S1.D".into(),
+            },
+            DbOp::EventPosted {
+                instance: inst(1),
+                code: "S1.D".into(),
+            },
         ];
         let mut direct = AgentDb::new();
         for op in &ops {
@@ -419,7 +483,10 @@ mod tests {
                 key: ItemKey::output(StepId(1), 2),
                 value: Value::Str("Gasket".into()),
             },
-            DbOp::EventPosted { instance: inst(4), code: "S1.D".into() },
+            DbOp::EventPosted {
+                instance: inst(4),
+                code: "S1.D".into(),
+            },
         ];
         for op in &ops {
             wal.append(op).unwrap();
@@ -444,8 +511,14 @@ mod tests {
     #[test]
     fn invalidation_removes_event() {
         let mut db = AgentDb::new();
-        db.apply(&DbOp::EventPosted { instance: inst(1), code: "S3.D".into() });
-        db.apply(&DbOp::EventInvalidated { instance: inst(1), code: "S3.D".into() });
+        db.apply(&DbOp::EventPosted {
+            instance: inst(1),
+            code: "S3.D".into(),
+        });
+        db.apply(&DbOp::EventInvalidated {
+            instance: inst(1),
+            code: "S3.D".into(),
+        });
         assert!(db.instance(inst(1)).unwrap().events.is_empty());
     }
 }

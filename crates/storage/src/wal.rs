@@ -104,7 +104,11 @@ impl<R: Encode + Decode> Wal<R, MemStore> {
 impl<R: Encode + Decode, S: LogStore> Wal<R, S> {
     /// Build over a specific backing store.
     pub fn with_store(store: S) -> Self {
-        Wal { store, appended: 0, _marker: std::marker::PhantomData }
+        Wal {
+            store,
+            appended: 0,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Append one record durably.
@@ -203,7 +207,10 @@ pub fn recover_with_report<R: Encode + Decode, S: LogStore>(
         }
     }
     wal.appended = records.len() as u64;
-    Ok(RecoveryReport { records, truncated: consumed != total_len })
+    Ok(RecoveryReport {
+        records,
+        truncated: consumed != total_len,
+    })
 }
 
 /// A decoded-or-not error for callers that treat codec failures as I/O.
@@ -317,8 +324,7 @@ mod tests {
         let path = dir.join("agent.wal");
         let _ = std::fs::remove_file(&path);
         {
-            let mut wal: Wal<Rec, FileStore> =
-                Wal::with_store(FileStore::open(&path).unwrap());
+            let mut wal: Wal<Rec, FileStore> = Wal::with_store(FileStore::open(&path).unwrap());
             wal.append(&rec(7)).unwrap();
             wal.append(&rec(8)).unwrap();
         }

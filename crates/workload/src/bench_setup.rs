@@ -9,8 +9,8 @@
 use crate::gen::{generate, GenConfig};
 use crew_exec::{Deployment, FailurePlan};
 use crew_model::{
-    AgentId, CoordinationSpec, InstanceId, MutualExclusion, RelativeOrder,
-    RollbackDependency, SchemaId, SchemaStep, StepId, WorkflowSchema,
+    AgentId, CoordinationSpec, InstanceId, MutualExclusion, RelativeOrder, RollbackDependency,
+    SchemaId, SchemaStep, StepId, WorkflowSchema,
 };
 
 /// Experiment-facing parameter point (integer view of the Table 3 space).
@@ -211,7 +211,13 @@ mod tests {
 
     #[test]
     fn builds_c_schemas_with_s_steps() {
-        let p = SetupParams { s: 8, c: 4, z: 10, a: 2, ..SetupParams::small() };
+        let p = SetupParams {
+            s: 8,
+            c: 4,
+            z: 10,
+            a: 2,
+            ..SetupParams::small()
+        };
         let d = build_deployment(&p, false);
         assert_eq!(d.schemas.len(), 4);
         for s in d.schemas.values() {
@@ -228,7 +234,13 @@ mod tests {
 
     #[test]
     fn coordination_injected_per_pair() {
-        let p = SetupParams { me: 2, ro: 2, rd: 1, c: 4, ..SetupParams::default() };
+        let p = SetupParams {
+            me: 2,
+            ro: 2,
+            rd: 1,
+            c: 4,
+            ..SetupParams::default()
+        };
         let d = build_deployment(&p, false);
         // 2 schema pairs × (2 mutex + 1 relative order + 1 rbdep).
         assert_eq!(d.coordination.mutual_exclusions.len(), 4);
@@ -244,7 +256,10 @@ mod tests {
 
     #[test]
     fn linking_pairs_instances() {
-        let p = SetupParams { c: 2, ..SetupParams::small() };
+        let p = SetupParams {
+            c: 2,
+            ..SetupParams::small()
+        };
         let mut d = build_deployment(&p, false);
         let a = InstanceId::new(SchemaId(1), 1);
         let b = InstanceId::new(SchemaId(2), 2);

@@ -7,9 +7,7 @@
 //! deterministic.
 
 use crew_exec::hash;
-use crew_model::{
-    CmpOp, Expr, ItemKey, SchemaBuilder, SchemaId, StepId, StepKind, WorkflowSchema,
-};
+use crew_model::{CmpOp, Expr, ItemKey, SchemaBuilder, SchemaId, StepId, StepKind, WorkflowSchema};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -73,8 +71,7 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
         let want_diamond = remaining >= 4
             && (draw(block * 2, cfg.parallel_prob) || draw(block * 2 + 1, cfg.xor_prob));
         if want_diamond {
-            let is_xor = draw(block * 2 + 1, cfg.xor_prob)
-                && !draw(block * 2, cfg.parallel_prob);
+            let is_xor = draw(block * 2 + 1, cfg.xor_prob) && !draw(block * 2, cfg.parallel_prob);
             let head = b.add_step(format!("B{block}h"), "stamp");
             let left = b.add_step(format!("B{block}l"), "stamp");
             let right = b.add_step(format!("B{block}r"), "stamp");
@@ -83,11 +80,7 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
                 b.seq(t, head);
             }
             if is_xor {
-                let cond = Expr::cmp(
-                    CmpOp::Gt,
-                    Expr::item(ItemKey::input(1)),
-                    Expr::lit(10),
-                );
+                let cond = Expr::cmp(CmpOp::Gt, Expr::item(ItemKey::input(1)), Expr::lit(10));
                 b.xor_split(head, [(left, Some(cond)), (right, None)]);
                 b.xor_join([left, right], join);
             } else {
@@ -117,12 +110,20 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
 
     // Compensation programs + kinds.
     for (i, &s) in all_steps.iter().enumerate() {
-        let comp = hash::draw(cfg.seed, &[id.0 as u64, 0xC0, i as u64], cfg.compensatable_frac);
+        let comp = hash::draw(
+            cfg.seed,
+            &[id.0 as u64, 0xC0, i as u64],
+            cfg.compensatable_frac,
+        );
         b.configure(s, |d| {
             if comp {
                 d.compensation_program = Some("passthrough".into());
             }
-            d.kind = if i % 3 == 0 { StepKind::Query } else { StepKind::Update };
+            d.kind = if i % 3 == 0 {
+                StepKind::Query
+            } else {
+                StepKind::Update
+            };
             d.cost = 50 + (i as u64 % 5) * 25;
         });
     }
@@ -176,7 +177,10 @@ mod tests {
     #[test]
     fn generates_exact_step_counts() {
         for steps in [5u32, 10, 15, 25] {
-            let cfg = GenConfig { steps, ..GenConfig::default() };
+            let cfg = GenConfig {
+                steps,
+                ..GenConfig::default()
+            };
             let s = generate(SchemaId(1), &cfg);
             assert_eq!(s.step_count() as u32, steps, "steps={steps}");
         }

@@ -14,8 +14,8 @@
 
 use crew_exec::{FnProgram, ProgramCtx, ProgramRegistry, StepFailure};
 use crew_model::{
-    CmpOp, CompensationKind, Expr, InputBinding, ItemKey, ReexecPolicy, SchemaBuilder,
-    SchemaId, StepKind, Value, WorkflowSchema,
+    CmpOp, CompensationKind, Expr, InputBinding, ItemKey, ReexecPolicy, SchemaBuilder, SchemaId,
+    StepKind, Value, WorkflowSchema,
 };
 
 /// Schema id conventions for the scenario suite.
@@ -48,10 +48,7 @@ pub fn register_programs(registry: &mut ProgramRegistry) {
             ])
         }),
     );
-    registry.register(
-        "inv.release",
-        FnProgram(|_: &ProgramCtx| Ok(vec![])),
-    );
+    registry.register("inv.release", FnProgram(|_: &ProgramCtx| Ok(vec![])));
     // Payment: fails when the amount (input 0) is negative.
     registry.register(
         "pay.charge",
@@ -60,19 +57,24 @@ pub fn register_programs(registry: &mut ProgramRegistry) {
             if amount < 0 {
                 return Err(StepFailure::new("negative amount"));
             }
-            Ok(vec![Value::Str(format!("chg-{}", ctx.instance.serial)), Value::Int(amount)])
+            Ok(vec![
+                Value::Str(format!("chg-{}", ctx.instance.serial)),
+                Value::Int(amount),
+            ])
         }),
     );
     registry.register("pay.refund", FnProgram(|_: &ProgramCtx| Ok(vec![])));
     // Shipping.
     registry.register(
         "ship.dispatch",
-        FnProgram(|ctx: &ProgramCtx| {
-            Ok(vec![Value::Str(format!("shp-{}", ctx.instance.serial))])
-        }),
+        FnProgram(|ctx: &ProgramCtx| Ok(vec![Value::Str(format!("shp-{}", ctx.instance.serial))])),
     );
     // Bookings: each emits a confirmation code; price returned as output 2.
-    for (name, base) in [("book.flight", 400i64), ("book.hotel", 150), ("book.car", 60)] {
+    for (name, base) in [
+        ("book.flight", 400i64),
+        ("book.hotel", 150),
+        ("book.car", 60),
+    ] {
         registry.register(
             name,
             FnProgram(move |ctx: &ProgramCtx| {
@@ -108,7 +110,10 @@ pub fn register_programs(registry: &mut ProgramRegistry) {
         FnProgram(|ctx: &ProgramCtx| {
             let amount = ctx.int_input(0, 0);
             // Documents complete after the second visit.
-            Ok(vec![Value::Bool(ctx.attempt >= 1), Value::Int(amount * 9 / 10)])
+            Ok(vec![
+                Value::Bool(ctx.attempt >= 1),
+                Value::Int(amount * 9 / 10),
+            ])
         }),
     );
     registry.register(
@@ -140,7 +145,9 @@ pub fn order_processing() -> WorkflowSchema {
     let reserve = b.add_step("ReserveParts", "inv.reserve");
     let charge = b.add_step("ChargePayment", "pay.charge");
     let dispatch = b.add_step("Dispatch", "ship.dispatch");
-    b.seq(check, reserve).seq(reserve, charge).seq(charge, dispatch);
+    b.seq(check, reserve)
+        .seq(reserve, charge)
+        .seq(charge, dispatch);
     b.read(check, ItemKey::input(1));
     b.read(reserve, ItemKey::input(1));
     b.read(charge, ItemKey::input(2));
@@ -181,8 +188,12 @@ pub fn travel_booking() -> WorkflowSchema {
         b.read(s, ItemKey::input(1));
         b.configure(s, |d| d.output_slots = 2);
     }
-    b.configure(flight, |d| d.compensation_program = Some("cancel.flight".into()));
-    b.configure(hotel, |d| d.compensation_program = Some("cancel.hotel".into()));
+    b.configure(flight, |d| {
+        d.compensation_program = Some("cancel.flight".into())
+    });
+    b.configure(hotel, |d| {
+        d.compensation_program = Some("cancel.hotel".into())
+    });
     b.configure(car, |d| d.compensation_program = Some("cancel.car".into()));
     b.and_join([flight, hotel, car], total);
     for (s, slot) in [(flight, 2), (hotel, 2), (car, 2)] {
@@ -221,7 +232,9 @@ pub fn claim_processing() -> WorkflowSchema {
     b.read(intake, ItemKey::input(1));
     b.configure(intake, |d| d.output_slots = 2);
     b.configure(fraud, |d| {
-        d.inputs = vec![InputBinding { source: ItemKey::output(intake, 1) }];
+        d.inputs = vec![InputBinding {
+            source: ItemKey::output(intake, 1),
+        }];
         d.output_slots = 1;
     });
     b.read(assess, ItemKey::output(intake, 1));
@@ -232,10 +245,7 @@ pub fn claim_processing() -> WorkflowSchema {
     });
     b.seq(intake, fraud).seq(fraud, assess).seq(assess, payout);
     // Loop: re-assess while documents are incomplete (output 1 false).
-    let docs_incomplete = Expr::eq(
-        Expr::item(ItemKey::output(assess, 1)),
-        Expr::lit(false),
-    );
+    let docs_incomplete = Expr::eq(Expr::item(ItemKey::output(assess, 1)), Expr::lit(false));
     b.loop_back(assess, assess, docs_incomplete);
     b.build().expect("claim schema is valid")
 }
@@ -268,8 +278,12 @@ mod tests {
     fn programs_cover_every_step() {
         let mut reg = ProgramRegistry::with_builtins();
         register_programs(&mut reg);
-        for schema in [order_processing(), travel_booking(), claim_processing(), fraud_check()]
-        {
+        for schema in [
+            order_processing(),
+            travel_booking(),
+            claim_processing(),
+            fraud_check(),
+        ] {
             for def in schema.steps() {
                 if def.program != crew_model::NESTED_PROGRAM {
                     assert!(

@@ -6,7 +6,7 @@
 //! cargo run -p crew-examples --bin live_agents
 //! ```
 
-use crew_distributed::{DistAgent, DistConfig, DistMsg, Directory, FrontEnd, SharedCtx};
+use crew_distributed::{Directory, DistAgent, DistConfig, DistMsg, FrontEnd, SharedCtx};
 use crew_exec::Deployment;
 use crew_model::{AgentId, ItemKey, SchemaBuilder, SchemaId, Value};
 use crew_simnet::{NodeId, ThreadedRuntime};

@@ -39,7 +39,13 @@ fn main() {
     );
     for (label, arch) in [
         ("central", Architecture::Central { agents: 4 }),
-        ("parallel", Architecture::Parallel { agents: 4, engines: 2 }),
+        (
+            "parallel",
+            Architecture::Parallel {
+                agents: 4,
+                engines: 2,
+            },
+        ),
         ("distributed", Architecture::Distributed { agents: 4 }),
     ] {
         let system = WorkflowSystem::new([schema.clone()], arch);

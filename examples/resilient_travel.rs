@@ -19,7 +19,9 @@ fn main() {
     for (i, s) in ids.iter().enumerate() {
         schema.set_eligible_agents(*s, vec![crew_model::AgentId(i as u32 % 4)]);
     }
-    println!("TravelBooking: Quote → AND(Flight, Hotel, Car) → Total → XOR(Premium|Basic) → Confirm");
+    println!(
+        "TravelBooking: Quote → AND(Flight, Hotel, Car) → Total → XOR(Premium|Basic) → Confirm"
+    );
 
     let mut deployment = Deployment::new([schema]);
     register_programs(&mut deployment.registry);
@@ -27,11 +29,8 @@ fn main() {
     // instance 1 — the workflow rolls back to Quote and re-executes; the
     // bookings are *reused* (their inputs did not change) instead of being
     // cancelled and rebooked — the OCR saving the paper leads with.
-    deployment.plan = FailurePlan::none().fail_step(
-        InstanceId::new(TRAVEL_SCHEMA, 1),
-        StepId(5),
-        1,
-    );
+    deployment.plan =
+        FailurePlan::none().fail_step(InstanceId::new(TRAVEL_SCHEMA, 1), StepId(5), 1);
 
     let system =
         WorkflowSystem::with_deployment(deployment, Architecture::Distributed { agents: 4 });

@@ -92,7 +92,10 @@ impl ExecLog {
         let pb = self
             .position(ib, sb)
             .unwrap_or_else(|| panic!("{ib}.{sb} never executed"));
-        assert!(pa < pb, "{ia}.{sa} (#{pa}) should precede {ib}.{sb} (#{pb})");
+        assert!(
+            pa < pb,
+            "{ia}.{sa} (#{pa}) should precede {ib}.{sb} (#{pb})"
+        );
     }
 }
 

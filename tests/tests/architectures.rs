@@ -97,7 +97,14 @@ fn load_shape_distributed_least_loaded() {
     };
     let instances = 12;
     let dist = run_arch(Architecture::Distributed { agents: p.z }, &p, instances);
-    let par = run_arch(Architecture::Parallel { agents: p.z, engines: 4 }, &p, instances);
+    let par = run_arch(
+        Architecture::Parallel {
+            agents: p.z,
+            engines: 4,
+        },
+        &p,
+        instances,
+    );
     let cent = run_arch(Architecture::Central { agents: p.z }, &p, instances);
 
     let dist_max = dist.max_scheduler_load_per_instance();
@@ -149,11 +156,20 @@ fn coordination_message_shape() {
     };
 
     let cent = build(Architecture::Central { agents: p.z });
-    let par = build(Architecture::Parallel { agents: p.z, engines: 4 });
+    let par = build(Architecture::Parallel {
+        agents: p.z,
+        engines: 4,
+    });
     let dist = build(Architecture::Distributed { agents: p.z });
     assert_eq!(cent, 0.0, "centralized coordination is message-free");
-    assert!(par > 0.0, "parallel coordination needs engine↔engine traffic");
-    assert!(dist > 0.0, "distributed coordination needs agent↔agent traffic");
+    assert!(
+        par > 0.0,
+        "parallel coordination needs engine↔engine traffic"
+    );
+    assert!(
+        dist > 0.0,
+        "distributed coordination needs agent↔agent traffic"
+    );
 }
 
 /// Failure handling traffic: with pf > 0, distributed control exchanges
@@ -210,7 +226,10 @@ fn outcome_equivalence_under_failures() {
     let mut counts = Vec::new();
     for arch in [
         Architecture::Central { agents: p.z },
-        Architecture::Parallel { agents: p.z, engines: 2 },
+        Architecture::Parallel {
+            agents: p.z,
+            engines: 2,
+        },
         Architecture::Distributed { agents: p.z },
     ] {
         let report = run_arch(arch, &p, 8);
@@ -266,5 +285,8 @@ fn coordination_density_shapes() {
     // Density grows the distributed coordination bill monotonically.
     let low = at_density(Architecture::Distributed { agents: 8 }, 1);
     let high = at_density(Architecture::Distributed { agents: 8 }, 3);
-    assert!(high > low, "coordination messages grow with density: {high} vs {low}");
+    assert!(
+        high > low,
+        "coordination messages grow with density: {high} vs {low}"
+    );
 }

@@ -5,14 +5,17 @@
 use crew_core::{Architecture, Scenario, WorkflowSystem};
 use crew_integration_tests::ExecLog;
 use crew_model::{
-    AgentId, CmpOp, CoordinationSpec, Expr, ItemKey, MutualExclusion, SchemaBuilder,
-    SchemaId, SchemaStep, StepId, Value,
+    AgentId, CmpOp, CoordinationSpec, Expr, ItemKey, MutualExclusion, SchemaBuilder, SchemaId,
+    SchemaStep, StepId, Value,
 };
 use crew_workload::{build_deployment, SetupParams};
 
 const ALL_ARCHS: [Architecture; 3] = [
     Architecture::Central { agents: 6 },
-    Architecture::Parallel { agents: 6, engines: 2 },
+    Architecture::Parallel {
+        agents: 6,
+        engines: 2,
+    },
     Architecture::Distributed { agents: 6 },
 ];
 

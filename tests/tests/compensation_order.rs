@@ -31,7 +31,10 @@ impl CompLog {
 
 const ALL_ARCHS: [Architecture; 3] = [
     Architecture::Central { agents: 5 },
-    Architecture::Parallel { agents: 5, engines: 2 },
+    Architecture::Parallel {
+        agents: 5,
+        engines: 2,
+    },
     Architecture::Distributed { agents: 5 },
 ];
 
@@ -116,10 +119,10 @@ fn abort_compensates_in_reverse_order_central() {
     let schema = b.build().unwrap();
     let mut system = WorkflowSystem::new([schema], Architecture::Central { agents: 3 });
     comp.register(&mut system.deployment.registry, "undo");
-    system.deployment.registry.register(
-        "slow",
-        FnProgram(|_: &ProgramCtx| Ok(vec![Value::Int(1)])),
-    );
+    system
+        .deployment
+        .registry
+        .register("slow", FnProgram(|_: &ProgramCtx| Ok(vec![Value::Int(1)])));
     let mut scenario = Scenario::new();
     let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
     scenario.abort_at(idx, 8); // after a couple of steps completed

@@ -4,14 +4,17 @@
 use crew_core::{Architecture, Scenario, WorkflowSystem};
 use crew_integration_tests::ExecLog;
 use crew_model::{
-    AgentId, CoordinationSpec, MutualExclusion, RelativeOrder, RollbackDependency,
-    SchemaBuilder, SchemaId, SchemaStep, StepId, Value,
+    AgentId, CoordinationSpec, MutualExclusion, RelativeOrder, RollbackDependency, SchemaBuilder,
+    SchemaId, SchemaStep, StepId, Value,
 };
 use crew_simnet::Mechanism;
 
 const ALL_ARCHS: [Architecture; 3] = [
     Architecture::Central { agents: 6 },
-    Architecture::Parallel { agents: 6, engines: 3 },
+    Architecture::Parallel {
+        agents: 6,
+        engines: 3,
+    },
     Architecture::Distributed { agents: 6 },
 ];
 

@@ -6,7 +6,7 @@
 
 use crew_core::{Architecture, CrashWindow, Scenario, WorkflowSystem};
 use crew_integration_tests::ExecLog;
-use crew_model::{AgentId, SchemaBuilder, SchemaId, StepId, StepKind, Value};
+use crew_model::{AgentId, SchemaBuilder, SchemaId, StepKind, Value};
 use crew_storage::{AgentDb, DbOp, InstanceStatus, Wal};
 
 /// A successor agent is down when the packet arrives: the persistent
@@ -30,7 +30,11 @@ fn crashed_successor_buffers_until_recovery() {
     let mut scenario = Scenario::new();
     let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(5))]);
     // Agent 1 (B's executor) is down from the start, recovering later.
-    scenario.crash(CrashWindow { agent: 1, at: 1, down_for: Some(200) });
+    scenario.crash(CrashWindow {
+        agent: 1,
+        at: 1,
+        down_for: Some(200),
+    });
     let inst = scenario.instance_id(idx);
     let report = system.run(scenario);
 
@@ -69,13 +73,14 @@ fn crashed_predecessor_query_step_rerouted() {
     let mut scenario = Scenario::new();
     let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(5))]);
     let inst = scenario.instance_id(idx);
-    let designated = crew_distributed::designated_agent(
-        system.deployment.seed,
-        inst,
-        schema.expect_step(s2),
-    );
+    let designated =
+        crew_distributed::designated_agent(system.deployment.seed, inst, schema.expect_step(s2));
     // Crash the designated executor of S2 forever.
-    scenario.crash(CrashWindow { agent: designated.0, at: 1, down_for: None });
+    scenario.crash(CrashWindow {
+        agent: designated.0,
+        at: 1,
+        down_for: None,
+    });
     let report = system.run(scenario);
 
     assert_eq!(report.committed(), 1, "query step taken over by alternate");
@@ -119,7 +124,11 @@ fn crashed_predecessor_update_step_waits() {
             inst,
             schema.expect_step(s2),
         );
-        scenario.crash(CrashWindow { agent: designated.0, at: 1, down_for });
+        scenario.crash(CrashWindow {
+            agent: designated.0,
+            at: 1,
+            down_for,
+        });
         system.run(scenario)
     };
 
@@ -146,11 +155,8 @@ fn agent_recovers_state_from_wal() {
 
     let mut deployment = crew_exec::Deployment::new([schema]);
     log.register(&mut deployment.registry, "log");
-    let mut run = crew_distributed::DistRun::new(
-        deployment,
-        2,
-        crew_distributed::DistConfig::default(),
-    );
+    let mut run =
+        crew_distributed::DistRun::new(deployment, 2, crew_distributed::DistConfig::default());
     let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
     // Let the run commit, then crash/recover agent 0 (the coordinator).
     run.run();
@@ -159,7 +165,8 @@ fn agent_recovers_state_from_wal() {
         Some(InstanceStatus::Committed)
     );
     let t = run.sim.now();
-    run.sim.schedule_crash(crew_simnet::NodeId(0), t + 1, Some(5));
+    run.sim
+        .schedule_crash(crew_simnet::NodeId(0), t + 1, Some(5));
     run.run();
     // After recovery the status is still known (rebuilt from the WAL).
     assert_eq!(
@@ -167,7 +174,10 @@ fn agent_recovers_state_from_wal() {
         Some(InstanceStatus::Committed),
         "status survived the crash via WAL replay"
     );
-    let history = run.agent(AgentId(0)).history_of(inst).expect("instance state rebuilt");
+    let history = run
+        .agent(AgentId(0))
+        .history_of(inst)
+        .expect("instance state rebuilt");
     assert_eq!(history.state(s1), crew_exec::StepState::Done);
 }
 
@@ -184,7 +194,10 @@ fn wal_projection_round_trip() {
             key: crew_model::ItemKey::input(1),
             value: Value::Int(5),
         },
-        DbOp::StatusChanged { instance: inst, status: InstanceStatus::Committed },
+        DbOp::StatusChanged {
+            instance: inst,
+            status: InstanceStatus::Committed,
+        },
     ];
     for op in &ops {
         wal.append(op).unwrap();
@@ -216,14 +229,21 @@ fn crash_isolates_to_dependent_instances() {
     b.configure(t2, |d| d.eligible_agents = vec![AgentId(3)]);
     let wf2 = b.build().unwrap();
 
-    let mut system =
-        WorkflowSystem::new([wf1, wf2], Architecture::Distributed { agents: 4 });
+    let mut system = WorkflowSystem::new([wf1, wf2], Architecture::Distributed { agents: 4 });
     log.register(&mut system.deployment.registry, "log");
 
     let mut scenario = Scenario::new();
     scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
     scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
-    scenario.crash(CrashWindow { agent: 1, at: 1, down_for: Some(100) });
+    scenario.crash(CrashWindow {
+        agent: 1,
+        at: 1,
+        down_for: Some(100),
+    });
     let report = system.run(scenario);
-    assert_eq!(report.committed(), 2, "both commit; WF2 unaffected by the crash");
+    assert_eq!(
+        report.committed(),
+        2,
+        "both commit; WF2 unaffected by the crash"
+    );
 }

@@ -15,7 +15,9 @@ fn ro_deployment(log: &ExecLog) -> Deployment {
     let wf1 = linear_logged_schema(1, 5, 6, "log");
     let wf2 = {
         let mut b = crew_model::SchemaBuilder::new(SchemaId(2), "wf2").inputs(1);
-        let ids: Vec<StepId> = (0..5).map(|i| b.add_step(format!("S{}", i + 1), "log")).collect();
+        let ids: Vec<StepId> = (0..5)
+            .map(|i| b.add_step(format!("S{}", i + 1), "log"))
+            .collect();
         for w in ids.windows(2) {
             b.seq(w[0], w[1]);
         }
@@ -45,9 +47,10 @@ fn ro_deployment(log: &ExecLog) -> Deployment {
         }],
         ..CoordinationSpec::default()
     };
-    deployment
-        .ro_links
-        .link(InstanceId::new(SchemaId(1), 1), InstanceId::new(SchemaId(2), 2));
+    deployment.ro_links.link(
+        InstanceId::new(SchemaId(1), 1),
+        InstanceId::new(SchemaId(2), 2),
+    );
     deployment
 }
 
@@ -96,7 +99,10 @@ fn purge_broadcast_drops_committed_state() {
     let log = ExecLog::new();
     let mut deployment = Deployment::new([schema]);
     log.register(&mut deployment.registry, "log");
-    let config = DistConfig { purge_period: Some(50), ..DistConfig::default() };
+    let config = DistConfig {
+        purge_period: Some(50),
+        ..DistConfig::default()
+    };
     let mut run = DistRun::new(deployment, 4, config);
     let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
     run.run();
@@ -122,7 +128,10 @@ fn purge_broadcast_drops_committed_state() {
             dropped += 1;
         }
     }
-    assert!(dropped >= 1, "at least one execution agent purged the instance");
+    assert!(
+        dropped >= 1,
+        "at least one execution agent purged the instance"
+    );
 }
 
 /// `WorkflowStatus` round trip: the front end asks the coordination agent

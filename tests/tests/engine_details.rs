@@ -22,7 +22,9 @@ fn parallel_nested_cross_engine() {
     let p1 = b.add_step("P1", "log");
     let call = b.add_nested("Call", SchemaId(2));
     b.configure(call, |d| {
-        d.inputs = vec![InputBinding { source: ItemKey::output(p1, 1) }];
+        d.inputs = vec![InputBinding {
+            source: ItemKey::output(p1, 1),
+        }];
     });
     let p2 = b.add_step("P2", "log");
     b.seq(p1, call).seq(call, p2);
@@ -33,7 +35,10 @@ fn parallel_nested_cross_engine() {
 
     let mut system = WorkflowSystem::new(
         [parent, child],
-        Architecture::Parallel { agents: 3, engines: 4 },
+        Architecture::Parallel {
+            agents: 3,
+            engines: 4,
+        },
     );
     log.register(&mut system.deployment.registry, "log");
     let mut scenario = Scenario::new();

@@ -4,14 +4,16 @@
 use crew_core::{Architecture, Scenario, WorkflowSystem};
 use crew_integration_tests::{linear_logged_schema, ExecLog};
 use crew_model::{
-    AgentId, CmpOp, Expr, InstanceId, ItemKey, ReexecPolicy, SchemaBuilder, SchemaId, StepId,
-    Value,
+    AgentId, CmpOp, Expr, InstanceId, ItemKey, ReexecPolicy, SchemaBuilder, SchemaId, StepId, Value,
 };
 use crew_simnet::Mechanism;
 
 const ALL_ARCHS: [Architecture; 3] = [
     Architecture::Central { agents: 4 },
-    Architecture::Parallel { agents: 4, engines: 2 },
+    Architecture::Parallel {
+        agents: 4,
+        engines: 2,
+    },
     Architecture::Distributed { agents: 4 },
 ];
 
@@ -42,7 +44,11 @@ fn flaky_step_retries_and_commits_everywhere() {
         let report = system.run(scenario);
 
         assert_eq!(report.committed(), 1, "{arch:?}");
-        assert_eq!(log.count(inst, s2), 2, "{arch:?}: failed once, retried once");
+        assert_eq!(
+            log.count(inst, s2),
+            2,
+            "{arch:?}: failed once, retried once"
+        );
         assert_eq!(log.count(inst, s3), 1, "{arch:?}: downstream ran once");
         // The distributed architecture reports the rollback via
         // WorkflowRollback/HaltThread traffic; a single-node retry at the
@@ -147,11 +153,7 @@ fn branch_switch_compensates_abandoned_branch() {
         // First execution: S2 outputs attempt 1 → top branch (== 1).
         // After S4 fails and rolls back to S2, S2 re-executes (attempt 2)
         // → bottom branch.
-        let top_cond = Expr::cmp(
-            CmpOp::Eq,
-            Expr::item(ItemKey::output(s2, 1)),
-            Expr::lit(1),
-        );
+        let top_cond = Expr::cmp(CmpOp::Eq, Expr::item(ItemKey::output(s2, 1)), Expr::lit(1));
         b.xor_split(s2, [(s3, Some(top_cond)), (s5, None)]);
         b.xor_join([s3, s5], s4);
         b.on_failure_rollback_to(s4, s2);
@@ -177,8 +179,16 @@ fn branch_switch_compensates_abandoned_branch() {
 
         assert_eq!(report.committed(), 1, "{arch:?}");
         assert_eq!(log.count(inst, s2), 2, "{arch:?}: S2 re-executed");
-        assert_eq!(log.count(inst, s3), 1, "{arch:?}: top branch ran first time");
-        assert_eq!(log.count(inst, s5), 1, "{arch:?}: bottom branch ran on retry");
+        assert_eq!(
+            log.count(inst, s3),
+            1,
+            "{arch:?}: top branch ran first time"
+        );
+        assert_eq!(
+            log.count(inst, s5),
+            1,
+            "{arch:?}: bottom branch ran on retry"
+        );
         assert_eq!(log.count(inst, s4), 2, "{arch:?}: S4 failed then succeeded");
         // The new branch's execution comes after the old branch's.
         log.assert_before(inst, s3, inst, s5);
@@ -279,10 +289,7 @@ fn input_change_rolls_back_to_consumer() {
         // input; A (upstream of the consumer) must never re-execute.
         assert_eq!(log.count(inst, s1), 1, "{arch:?}: A untouched");
         let b_runs = log.count(inst, s2);
-        assert!(
-            (1..=2).contains(&b_runs),
-            "{arch:?}: B ran {b_runs} times"
-        );
+        assert!((1..=2).contains(&b_runs), "{arch:?}: B ran {b_runs} times");
         if b_runs == 2 {
             // Under central/parallel control the engine handles the change
             // internally; only distributed control needs InputsChanged
@@ -366,7 +373,11 @@ fn rollback_is_instance_scoped() {
         let report = system.run(scenario);
         assert_eq!(report.committed(), 2, "{arch:?}");
         assert_eq!(log.count(a, s1), 1);
-        assert_eq!(log.count(bb, s1), 1, "{arch:?}: instance 2 untouched by 1's rollback");
+        assert_eq!(
+            log.count(bb, s1),
+            1,
+            "{arch:?}: instance 2 untouched by 1's rollback"
+        );
     }
 }
 

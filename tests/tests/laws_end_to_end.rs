@@ -66,7 +66,10 @@ fn build_system(arch: Architecture) -> WorkflowSystem {
 fn laws_spec_runs_under_all_architectures() {
     for arch in [
         Architecture::Central { agents: 4 },
-        Architecture::Parallel { agents: 4, engines: 2 },
+        Architecture::Parallel {
+            agents: 4,
+            engines: 2,
+        },
         Architecture::Distributed { agents: 4 },
     ] {
         let system = build_system(arch);
@@ -85,11 +88,8 @@ fn laws_spec_handles_failures() {
     // default rollback (retry in place) must still commit.
     let mut system = build_system(Architecture::Distributed { agents: 4 });
     let inst = crew_model::InstanceId::new(SchemaId(1), 1);
-    system.deployment.plan = crew_exec::FailurePlan::none().fail_step(
-        inst,
-        crew_model::StepId(5),
-        1,
-    );
+    system.deployment.plan =
+        crew_exec::FailurePlan::none().fail_step(inst, crew_model::StepId(5), 1);
     let mut scenario = Scenario::new();
     scenario.start(SchemaId(1), vec![(1, Value::Int(3)), (2, Value::Int(9))]);
     let report = system.run(scenario);

@@ -1,0 +1,215 @@
+//! Network chaos: every architecture must reach the *same* terminal
+//! outcomes on a lossy, duplicating, reordering, partitioning network as
+//! it does on a perfect one — the reliable exactly-once channels underneath
+//! are the paper's "persistent messaging" assumption made executable.
+//!
+//! Assertions are restricted to timing-invariant properties (all-commit
+//! fleets, retry-exhaustion aborts, execution counts): faults shift
+//! virtual time, so races the paper itself calls user-visible (abort vs
+//! commit) are exercised elsewhere.
+
+use crew_core::{Architecture, CrashWindow, NetFaultPlan, RunReport, Scenario, WorkflowSystem};
+use crew_exec::{FnProgram, StepFailure};
+use crew_integration_tests::{linear_logged_schema, ExecLog};
+use crew_model::{AgentId, SchemaBuilder, SchemaId, Value, WorkflowSchema};
+use crew_simnet::NodeId;
+use proptest::prelude::*;
+
+const ALL_ARCHS: [Architecture; 3] = [
+    Architecture::Central { agents: 6 },
+    Architecture::Parallel {
+        agents: 6,
+        engines: 2,
+    },
+    Architecture::Distributed { agents: 6 },
+];
+
+/// Two steps; the second always fails, exhausting the retry budget and
+/// aborting — a deterministic, timing-invariant abort path.
+fn doom_schema() -> WorkflowSchema {
+    let mut b = SchemaBuilder::new(SchemaId(2), "doom").inputs(1);
+    let s1 = b.add_step("A", "log");
+    let s2 = b.add_step("B", "doom");
+    b.seq(s1, s2);
+    for (i, s) in [s1, s2].iter().enumerate() {
+        b.configure(*s, |d| {
+            d.eligible_agents = vec![AgentId(4 + i as u32)];
+            d.compensation_program = Some("passthrough".into());
+        });
+    }
+    b.build().unwrap()
+}
+
+/// Mixed fleet: four 4-step instances that commit, two that abort by
+/// retry exhaustion.
+fn run_mixed(arch: Architecture, net: Option<NetFaultPlan>) -> (RunReport, ExecLog) {
+    let log = ExecLog::new();
+    let mut system =
+        WorkflowSystem::new([linear_logged_schema(1, 4, 4, "log"), doom_schema()], arch);
+    log.register(&mut system.deployment.registry, "log");
+    system.deployment.registry.register(
+        "doom",
+        FnProgram(|_ctx: &crew_exec::ProgramCtx| Err(StepFailure::new("doomed"))),
+    );
+    if let Some(plan) = net {
+        system = system.with_net_faults(plan);
+    }
+    let mut scenario = Scenario::new();
+    for k in 0..4 {
+        scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+    }
+    for _ in 0..2 {
+        scenario.start(SchemaId(2), vec![(1, Value::Int(9))]);
+    }
+    (system.run(scenario), log)
+}
+
+/// 5% drop + 5% dup + 10% reorder: terminal outcomes are identical to the
+/// fault-free run, per instance, under every architecture.
+#[test]
+fn faulty_fleet_matches_fault_free_outcomes() {
+    for arch in ALL_ARCHS {
+        let (baseline, _) = run_mixed(arch, None);
+        assert!(baseline.all_terminal(), "{arch:?} baseline");
+        assert_eq!(baseline.committed(), 4, "{arch:?} baseline");
+        assert_eq!(baseline.aborted(), 2, "{arch:?} baseline");
+        assert_eq!(
+            baseline.transport().data_frames,
+            0,
+            "{arch:?}: fault-free runs must not touch the reliable channel"
+        );
+
+        let plan = NetFaultPlan::probabilistic(7, 0.05, 0.05, 0.10);
+        let (faulty, _) = run_mixed(arch, Some(plan));
+        assert_eq!(
+            faulty.outcomes, baseline.outcomes,
+            "{arch:?}: outcomes diverged under faults"
+        );
+        let t = faulty.transport();
+        assert!(t.data_frames > 0, "{arch:?}: traffic rode the channel");
+        assert!(
+            t.drops_injected + t.dups_injected + t.reorders_injected > 0,
+            "{arch:?}: the plan actually injected faults"
+        );
+        assert!(
+            t.retransmissions >= t.drops_injected.min(1),
+            "{arch:?}: drops were recovered by retransmission"
+        );
+        assert!(faulty.frame_overhead() >= 1.0, "{arch:?}");
+    }
+}
+
+/// Exactly-once: under drop/dup/reorder every step of every committed
+/// instance executes precisely once (`pf = 0`, no crashes — any count > 1
+/// is duplicate delivery leaking through the channel).
+#[test]
+fn no_duplicate_step_executions_under_faults() {
+    for arch in ALL_ARCHS {
+        let log = ExecLog::new();
+        let mut system = WorkflowSystem::new([linear_logged_schema(1, 5, 5, "log")], arch)
+            .with_net_faults(NetFaultPlan::probabilistic(13, 0.08, 0.10, 0.15));
+        log.register(&mut system.deployment.registry, "log");
+        let mut scenario = Scenario::new();
+        for k in 0..5 {
+            scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+        }
+        let insts: Vec<_> = (0..5).map(|i| scenario.instance_id(i)).collect();
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 5, "{arch:?}");
+        assert!(
+            report.transport().dups_injected > 0,
+            "{arch:?}: plan injected dups"
+        );
+        for inst in insts {
+            for step in 1..=5u32 {
+                assert_eq!(
+                    log.count(inst, crew_model::StepId(step)),
+                    1,
+                    "{arch:?}: {inst} step {step} must execute exactly once"
+                );
+            }
+        }
+    }
+}
+
+/// A healing partition plus a recovering agent crash on top of the lossy
+/// network: the WAL-backed outboxes retransmit across both outages and the
+/// whole fleet still commits.
+#[test]
+fn partition_and_crash_heal_without_losing_workflows() {
+    for arch in ALL_ARCHS {
+        // Cut the busiest link: engine↔agent under central control (the
+        // engine sits above the agent pool), agent↔agent under distributed.
+        let (a, b) = match arch {
+            Architecture::Central { agents } | Architecture::Parallel { agents, .. } => {
+                (NodeId(0), NodeId(agents))
+            }
+            Architecture::Distributed { .. } => (NodeId(0), NodeId(1)),
+        };
+        let plan = NetFaultPlan::probabilistic(21, 0.03, 0.03, 0.05).cut(a, b, 0, 80);
+        let log = ExecLog::new();
+        let mut system =
+            WorkflowSystem::new([linear_logged_schema(1, 4, 4, "log")], arch).with_net_faults(plan);
+        log.register(&mut system.deployment.registry, "log");
+        let mut scenario = Scenario::new();
+        for k in 0..4 {
+            scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+        }
+        scenario.crash(CrashWindow {
+            agent: 1,
+            at: 6,
+            down_for: Some(60),
+        });
+        let report = system.run(scenario);
+        assert!(report.all_terminal(), "{arch:?}");
+        assert_eq!(
+            report.committed(),
+            4,
+            "{arch:?}: fleet survived partition + crash"
+        );
+        assert!(
+            report.virtual_time >= 80,
+            "{arch:?}: ran past the partition window"
+        );
+    }
+}
+
+/// Same seed ⇒ bit-identical run: outcomes, virtual time, message totals,
+/// and every transport counter.
+#[test]
+fn faulty_runs_are_deterministic_per_seed() {
+    for arch in ALL_ARCHS {
+        let plan = NetFaultPlan::probabilistic(42, 0.06, 0.06, 0.12);
+        let (r1, _) = run_mixed(arch, Some(plan.clone()));
+        let (r2, _) = run_mixed(arch, Some(plan));
+        assert_eq!(r1.outcomes, r2.outcomes, "{arch:?}");
+        assert_eq!(r1.virtual_time, r2.virtual_time, "{arch:?}");
+        assert_eq!(r1.events, r2.events, "{arch:?}");
+        assert_eq!(
+            r1.metrics.total_messages, r2.metrics.total_messages,
+            "{arch:?}"
+        );
+        assert_eq!(*r1.transport(), *r2.transport(), "{arch:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any fault seed: the mixed fleet always reaches the fault-free
+    /// terminal outcomes (4 commits, 2 retry-exhaustion aborts) under both
+    /// the centralized and the distributed architecture.
+    #[test]
+    fn any_seed_reaches_fault_free_outcomes(seed in 0u64..1_000_000) {
+        for arch in [
+            Architecture::Central { agents: 6 },
+            Architecture::Distributed { agents: 6 },
+        ] {
+            let plan = NetFaultPlan::probabilistic(seed, 0.08, 0.05, 0.12);
+            let (report, _) = run_mixed(arch, Some(plan));
+            prop_assert!(report.all_terminal(), "{arch:?} seed={seed}");
+            prop_assert_eq!(report.committed(), 4, "{arch:?} seed={seed}");
+            prop_assert_eq!(report.aborted(), 2, "{arch:?} seed={seed}");
+        }
+    }
+}

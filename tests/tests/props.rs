@@ -156,7 +156,11 @@ fn fleet_determinism() {
     for id in 1..=3u32 {
         let mut s = generate(
             SchemaId(id),
-            &GenConfig { steps: 8, seed: id as u64, ..GenConfig::default() },
+            &GenConfig {
+                steps: 8,
+                seed: id as u64,
+                ..GenConfig::default()
+            },
         );
         let ids: Vec<StepId> = s.steps().map(|d| d.id).collect();
         for (i, sid) in ids.iter().enumerate() {
@@ -165,10 +169,7 @@ fn fleet_determinism() {
         schemas.push(s);
     }
     let run = || {
-        let system = WorkflowSystem::new(
-            schemas.clone(),
-            Architecture::Distributed { agents: 6 },
-        );
+        let system = WorkflowSystem::new(schemas.clone(), Architecture::Distributed { agents: 6 });
         let mut scenario = Scenario::new();
         for id in 1..=3u32 {
             for _ in 0..5 {

@@ -2,7 +2,7 @@
 //! parsing of arbitrary input, and the threaded runtime driving the real
 //! distributed agents.
 
-use crew_distributed::{DistAgent, DistConfig, DistMsg, Directory, FrontEnd, SharedCtx};
+use crew_distributed::{Directory, DistAgent, DistConfig, DistMsg, FrontEnd, SharedCtx};
 use crew_exec::Deployment;
 use crew_model::{AgentId, InstanceId, ItemKey, SchemaId, Value};
 use crew_simnet::{NodeId, ThreadedRuntime};

@@ -12,7 +12,10 @@ use crew_workload::{
 
 const ALL_ARCHS: [Architecture; 3] = [
     Architecture::Central { agents: 5 },
-    Architecture::Parallel { agents: 5, engines: 2 },
+    Architecture::Parallel {
+        agents: 5,
+        engines: 2,
+    },
     Architecture::Distributed { agents: 5 },
 ];
 
@@ -42,8 +45,7 @@ fn scenario_deployment(agents: u32) -> Deployment {
 #[test]
 fn order_processing_commits() {
     for arch in ALL_ARCHS {
-        let system =
-            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let system = WorkflowSystem::with_deployment(scenario_deployment(5), arch);
         let mut scenario = Scenario::new();
         let idx = scenario.start(
             ORDER_SCHEMA,
@@ -64,8 +66,7 @@ fn order_processing_commits() {
 #[test]
 fn travel_booking_parallel_and_xor() {
     for arch in ALL_ARCHS {
-        let system =
-            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let system = WorkflowSystem::with_deployment(scenario_deployment(5), arch);
         let mut scenario = Scenario::new();
         // 2 days: total = 400·2 + 150·2 + 60·2 = 1220 > 800 → premium.
         scenario.start(TRAVEL_SCHEMA, vec![(1, Value::Int(2))]);
@@ -81,8 +82,7 @@ fn travel_booking_parallel_and_xor() {
 #[test]
 fn claim_processing_nested_and_loop() {
     for arch in ALL_ARCHS {
-        let system =
-            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let system = WorkflowSystem::with_deployment(scenario_deployment(5), arch);
         let mut scenario = Scenario::new();
         let idx = scenario.start(CLAIM_SCHEMA, vec![(1, Value::Int(1200))]);
         let inst = scenario.instance_id(idx);
@@ -99,8 +99,7 @@ fn claim_processing_nested_and_loop() {
 #[test]
 fn mixed_fleet_commits() {
     for arch in ALL_ARCHS {
-        let system =
-            WorkflowSystem::with_deployment(scenario_deployment(5), arch);
+        let system = WorkflowSystem::with_deployment(scenario_deployment(5), arch);
         let mut scenario = Scenario::new();
         for k in 0..4 {
             scenario.start(
@@ -126,7 +125,10 @@ fn runs_are_deterministic() {
             Architecture::Distributed { agents: 5 },
         );
         let mut scenario = Scenario::new();
-        scenario.start(ORDER_SCHEMA, vec![(1, Value::Int(40)), (2, Value::Int(250))]);
+        scenario.start(
+            ORDER_SCHEMA,
+            vec![(1, Value::Int(40)), (2, Value::Int(250))],
+        );
         scenario.start(TRAVEL_SCHEMA, vec![(1, Value::Int(2))]);
         let report = system.run(scenario);
         (
@@ -143,10 +145,8 @@ fn runs_are_deterministic() {
 #[test]
 fn data_flow_is_correct_distributed() {
     let deployment = scenario_deployment(5);
-    let system = WorkflowSystem::with_deployment(
-        deployment,
-        Architecture::Distributed { agents: 5 },
-    );
+    let system =
+        WorkflowSystem::with_deployment(deployment, Architecture::Distributed { agents: 5 });
     let mut scenario = Scenario::new();
     let idx = scenario.start(
         ORDER_SCHEMA,
@@ -156,12 +156,11 @@ fn data_flow_is_correct_distributed() {
     // Run manually through DistRun to inspect agent state.
     let mut dep2 = scenario_deployment(5);
     dep2.seed = 0;
-    let mut run = crew_distributed::DistRun::new(
-        dep2,
-        5,
-        crew_distributed::DistConfig::default(),
+    let mut run = crew_distributed::DistRun::new(dep2, 5, crew_distributed::DistConfig::default());
+    let inst2 = run.start_instance(
+        ORDER_SCHEMA,
+        vec![(1, Value::Int(40)), (2, Value::Int(250))],
     );
-    let inst2 = run.start_instance(ORDER_SCHEMA, vec![(1, Value::Int(40)), (2, Value::Int(250))]);
     run.run();
     assert_eq!(inst2, inst);
     // Find the agent that executed ChargePayment (S3) and check outputs.

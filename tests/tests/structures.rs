@@ -10,7 +10,10 @@ use crew_model::{
 
 const ALL_ARCHS: [Architecture; 3] = [
     Architecture::Central { agents: 6 },
-    Architecture::Parallel { agents: 6, engines: 2 },
+    Architecture::Parallel {
+        agents: 6,
+        engines: 2,
+    },
     Architecture::Distributed { agents: 6 },
 ];
 
@@ -75,7 +78,9 @@ fn doubly_nested_workflows_commit() {
         let pre = b.add_step("Pre", "log");
         let call_leaf = b.add_nested("CallLeaf", SchemaId(3));
         b.configure(call_leaf, |d| {
-            d.inputs = vec![InputBinding { source: ItemKey::output(pre, 1) }];
+            d.inputs = vec![InputBinding {
+                source: ItemKey::output(pre, 1),
+            }];
         });
         b.seq(pre, call_leaf);
         assign(&mut b, &[pre, call_leaf]);
@@ -85,7 +90,9 @@ fn doubly_nested_workflows_commit() {
         let intro = b.add_step("Intro", "log");
         let call_mid = b.add_nested("CallMid", SchemaId(2));
         b.configure(call_mid, |d| {
-            d.inputs = vec![InputBinding { source: ItemKey::output(intro, 1) }];
+            d.inputs = vec![InputBinding {
+                source: ItemKey::output(intro, 1),
+            }];
         });
         let outro = b.add_step("Outro", "log");
         b.seq(intro, call_mid).seq(call_mid, outro);
@@ -129,7 +136,11 @@ fn loop_around_parallel_block() {
         b.and_join([left, right], join);
         b.seq(join, done);
         // Loop back to Split while the join's attempt counter < 3.
-        let cont = Expr::cmp(CmpOp::Lt, Expr::item(ItemKey::output(join, 1)), Expr::lit(3));
+        let cont = Expr::cmp(
+            CmpOp::Lt,
+            Expr::item(ItemKey::output(join, 1)),
+            Expr::lit(3),
+        );
         b.loop_back(join, split, cont);
         assign(&mut b, &[init, split, left, right, join, done]);
         let schema = b.build().unwrap();
@@ -143,7 +154,11 @@ fn loop_around_parallel_block() {
         let report = system.run(scenario);
         assert_eq!(report.committed(), 1, "{arch:?}");
         assert_eq!(log.count(inst, join), 3, "{arch:?}: three loop iterations");
-        assert_eq!(log.count(inst, left), 3, "{arch:?}: branch re-ran per iteration");
+        assert_eq!(
+            log.count(inst, left),
+            3,
+            "{arch:?}: branch re-ran per iteration"
+        );
         assert_eq!(log.count(inst, done), 1, "{arch:?}: exit once");
     }
 }

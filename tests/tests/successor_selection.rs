@@ -17,7 +17,9 @@ fn multi_eligible_schema() -> crew_model::WorkflowSchema {
     b.configure(s1, |d| d.eligible_agents = vec![AgentId(0)]);
     // Every later step can run on any of three agents.
     for s in [s2, s3, s4] {
-        b.configure(s, |d| d.eligible_agents = vec![AgentId(1), AgentId(2), AgentId(3)]);
+        b.configure(s, |d| {
+            d.eligible_agents = vec![AgentId(1), AgentId(2), AgentId(3)]
+        });
     }
     b.build().unwrap()
 }
