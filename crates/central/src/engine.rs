@@ -15,13 +15,16 @@
 
 use crate::msg::{CentralMsg, CoordMsg};
 use crate::topology::Topology;
+use bytes::Bytes;
 use crew_exec::{ocr_decide, Deployment, InstanceHistory, OcrDecision, StepState, Weight};
 use crew_model::{
     DataEnv, InstanceId, ItemKey, SchemaStep, SplitKind, StepId, Value, WorkflowSchema,
 };
 use crew_rules::{compile_schema, Action, EventKind, RuleId, RuleSet};
 use crew_simnet::{Ctx, Node, NodeId};
-use crew_storage::InstanceStatus;
+use crew_storage::{
+    recover_for_node, AgentDb, DbOp, Decode, Encode, InstanceStatus, MemStore, StoredStepState, Wal,
+};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -109,6 +112,24 @@ pub struct Engine {
     mutex_held: BTreeSet<(u32, InstanceId, StepId)>,
     probe_token: u64,
     load: u64,
+    // ---- WFDB (persistence) ----
+    /// The WFDB write-ahead log. Every delivered message is journaled as a
+    /// [`DbOp::EngineInput`] command *before* it is handled, alongside the
+    /// table mutations it causes: the engine is a deterministic state
+    /// machine over its input stream (it never reads the clock and all its
+    /// hashing is seeded), so re-driving the commands with outputs
+    /// discarded rebuilds every volatile structure — rule firing state,
+    /// flow weights, pending dispatches, compensation queues, OCR
+    /// bookkeeping, and in-flight coordination state.
+    wal: Wal<DbOp, MemStore>,
+    /// WFDB table projection, kept in lockstep with the log.
+    db: AgentDb,
+    /// True while `on_recover` re-drives journaled commands (suppresses
+    /// appends; the replay context's outputs are discarded by the caller).
+    replaying: bool,
+    /// Set when WAL recovery fails: the node goes silent (fail-stop
+    /// becomes fail-silent) instead of taking down the run.
+    halted: bool,
 }
 
 impl Engine {
@@ -127,6 +148,10 @@ impl Engine {
             mutex_held: BTreeSet::new(),
             probe_token: 0,
             load: 0,
+            wal: Wal::in_memory(),
+            db: AgentDb::new(),
+            replaying: false,
+            halted: false,
         }
     }
 
@@ -142,6 +167,24 @@ impl Engine {
 
     fn inst(&mut self, instance: InstanceId) -> &mut EngineInst {
         self.instances.entry(instance).or_default()
+    }
+
+    /// Write-ahead: journal one WFDB table mutation and apply it to the
+    /// projection. During replay the record is regenerated from the
+    /// command stream, so only the projection is updated.
+    fn log(&mut self, op: DbOp) {
+        if !self.replaying {
+            self.wal
+                .append(&op)
+                .expect("in-memory WAL append cannot fail");
+        }
+        self.db.apply(&op);
+    }
+
+    /// Update the instance summary table, journaling the change.
+    fn set_status(&mut self, instance: InstanceId, status: InstanceStatus) {
+        self.statuses.insert(instance, status);
+        self.log(DbOp::StatusChanged { instance, status });
     }
 
     /// Total navigation load charged so far.
@@ -165,6 +208,16 @@ impl Engine {
         self.instances.get(&instance).map(|s| &s.history)
     }
 
+    /// The persistent WFDB table projection (test introspection).
+    pub fn db(&self) -> &AgentDb {
+        &self.db
+    }
+
+    /// Whether WAL recovery failed and this engine went silent.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
     // ---- instantiation -----------------------------------------------------
 
     fn start_instance(
@@ -181,6 +234,7 @@ impl Engine {
             .or_insert_with(|| Arc::new(compile_schema(&schema)))
             .clone();
         self.nav_load(ctx);
+        self.log(DbOp::InstanceCreated { instance });
         {
             let st = self.inst(instance);
             st.parent = parent;
@@ -188,16 +242,28 @@ impl Engine {
                 let id = st.rules.add_rule(t.rule.clone());
                 st.rule_ids.entry(t.step).or_default().push(id);
             }
-            for (k, v) in inputs {
-                st.data.set(k, v);
-            }
+        }
+        for (k, v) in inputs {
+            self.log(DbOp::DataWritten {
+                instance,
+                key: k,
+                value: v.clone(),
+            });
+            self.inst(instance).data.set(k, v);
+        }
+        {
+            let st = self.inst(instance);
             st.rules.add_event(EventKind::WorkflowStart);
             st.weight_in
                 .entry(schema.start_step())
                 .or_default()
                 .insert(StepId(0), Weight::ONE);
         }
-        self.statuses.insert(instance, InstanceStatus::Executing);
+        self.log(DbOp::EventPosted {
+            instance,
+            code: EventKind::WorkflowStart.code(),
+        });
+        self.set_status(instance, InstanceStatus::Executing);
         self.fire_rules(instance, ctx);
     }
 
@@ -626,6 +692,12 @@ impl Engine {
         ctx: &mut Ctx<CentralMsg>,
     ) {
         let schema = self.schema(instance);
+        let attempt = self
+            .instances
+            .get(&instance)
+            .and_then(|st| st.history.record(step))
+            .map(|r| r.attempt)
+            .unwrap_or(0);
         {
             let st = self.inst(instance);
             st.data.clear_step_outputs(step);
@@ -645,6 +717,22 @@ impl Engine {
                 st.terminal_weights.insert(step, Weight::ZERO);
             }
         }
+        self.log(DbOp::StepOutputsCleared { instance, step });
+        self.log(DbOp::StepRecorded {
+            instance,
+            step,
+            state: StoredStepState::Compensated,
+            attempt,
+            outputs: vec![],
+        });
+        self.log(DbOp::EventPosted {
+            instance,
+            code: EventKind::StepCompensated(step).code(),
+        });
+        self.log(DbOp::EventInvalidated {
+            instance,
+            code: EventKind::StepDone(step).code(),
+        });
         let _ = ctx;
     }
 
@@ -664,6 +752,13 @@ impl Engine {
             st.pending_exec.insert(def.id, attempt);
             (attempt, st.data.project(&def.input_keys()))
         };
+        self.log(DbOp::StepRecorded {
+            instance,
+            step: def.id,
+            state: StoredStepState::Executing,
+            attempt,
+            outputs: vec![],
+        });
         let chosen_idx = crew_exec::hash::combine(
             self.deployment.seed,
             &[
@@ -719,6 +814,23 @@ impl Engine {
         match outputs {
             Some(outputs) => {
                 let def = schema.expect_step(step);
+                self.log(DbOp::StepRecorded {
+                    instance,
+                    step,
+                    state: StoredStepState::Done,
+                    attempt,
+                    outputs: outputs.clone(),
+                });
+                for (i, v) in outputs.iter().enumerate() {
+                    let slot = (i + 1) as u16;
+                    if slot <= def.output_slots {
+                        self.log(DbOp::DataWritten {
+                            instance,
+                            key: ItemKey::output(step, slot),
+                            value: v.clone(),
+                        });
+                    }
+                }
                 {
                     let st = self.inst(instance);
                     let inputs = st.data.project(&def.input_keys());
@@ -738,6 +850,17 @@ impl Engine {
                     st.history.record_failed(step);
                     st.rules.add_event(EventKind::StepFail(step));
                 }
+                self.log(DbOp::StepRecorded {
+                    instance,
+                    step,
+                    state: StoredStepState::Failed,
+                    attempt,
+                    outputs: vec![],
+                });
+                self.log(DbOp::EventPosted {
+                    instance,
+                    code: EventKind::StepFail(step).code(),
+                });
                 self.handle_failure(instance, step, ctx);
             }
         }
@@ -749,6 +872,10 @@ impl Engine {
             let st = self.inst(instance);
             st.rules.add_event(EventKind::StepDone(step));
         }
+        self.log(DbOp::EventPosted {
+            instance,
+            code: EventKind::StepDone(step).code(),
+        });
         self.ro_after_done(instance, step, ctx);
         // Mutex release.
         let dep = self.deployment.clone();
@@ -804,7 +931,7 @@ impl Engine {
                 }
             };
             if committed {
-                self.statuses.insert(instance, InstanceStatus::Committed);
+                self.set_status(instance, InstanceStatus::Committed);
                 let parent = self.inst(instance).parent;
                 if let Some((p, pstep)) = parent {
                     let outputs = self.nested_outputs(instance);
@@ -1021,6 +1148,12 @@ impl Engine {
             st.revisit_pending.insert(origin);
             st.revisit_pending.extend(invalidated.iter().copied());
         }
+        for &s in &invalidated {
+            self.log(DbOp::EventInvalidated {
+                instance,
+                code: EventKind::StepDone(s).code(),
+            });
+        }
         // Rollback dependencies (one level, like distributed control).
         if !from_dependency {
             let dep = self.deployment.clone();
@@ -1062,7 +1195,7 @@ impl Engine {
         }
         self.nav_load(ctx);
         self.inst(instance).aborted = true;
-        self.statuses.insert(instance, InstanceStatus::Aborted);
+        self.set_status(instance, InstanceStatus::Aborted);
         // Hand back (or de-queue) every mutex this instance may be holding
         // or waiting on — a wedged resource would deadlock the contenders.
         let dep = self.deployment.clone();
@@ -1420,8 +1553,11 @@ fn ro_side(
     }
 }
 
-impl Node<CentralMsg> for Engine {
-    fn on_message(&mut self, _from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
+impl Engine {
+    /// The actual message handler. [`Node::on_message`] journals the input
+    /// and delegates here; [`Node::on_recover`] replays journalled inputs
+    /// through here with a detached context.
+    fn handle(&mut self, _from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
         match msg {
             CentralMsg::WorkflowStart { instance, inputs } => {
                 self.start_instance(instance, inputs, None, ctx)
@@ -1473,8 +1609,155 @@ impl Node<CentralMsg> for Engine {
             }
         }
     }
+}
+
+impl Node<CentralMsg> for Engine {
+    fn on_message(&mut self, from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
+        if self.halted {
+            // Fail-silent: a node whose log could not be recovered serves
+            // nothing rather than serving from wrong (empty) state.
+            return;
+        }
+        // Write-ahead command logging: journal the input *before* handling
+        // it, so every volatile structure the handler mutates can be
+        // re-derived by replaying the journal after a fail-stop crash.
+        self.wal
+            .append(&DbOp::EngineInput {
+                from: from.0,
+                payload: msg.to_bytes().to_vec(),
+            })
+            .expect("in-memory WAL append cannot fail");
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        // Fail-stop: everything not on the WAL is gone.
+        self.instances.clear();
+        self.templates.clear();
+        self.statuses.clear();
+        self.ro_decisions.clear();
+        self.ro_released.clear();
+        self.mutex_holders.clear();
+        self.mutex_queues.clear();
+        self.mutex_held.clear();
+        self.probe_token = 0;
+        self.load = 0;
+        self.db = AgentDb::new();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<CentralMsg>) {
+        let Some(records) = recover_for_node(&mut self.wal) else {
+            self.halted = true;
+            return;
+        };
+        self.replaying = true;
+        for record in records {
+            let DbOp::EngineInput { from, payload } = record else {
+                // Table ops are regenerated by the commands themselves
+                // (through `log`, which applies without appending).
+                continue;
+            };
+            let mut buf = Bytes::from(payload);
+            match CentralMsg::decode(&mut buf) {
+                Ok(msg) => {
+                    // Sends, timers and load were already emitted before the
+                    // crash; replay must rebuild state without repeating them.
+                    let mut sink = Ctx::detached(ctx.now, ctx.self_id);
+                    self.handle(NodeId(from), msg, &mut sink);
+                }
+                Err(_) => {
+                    self.halted = true;
+                    break;
+                }
+            }
+        }
+        self.replaying = false;
+    }
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::{AgentId, ItemKey, SchemaBuilder, SchemaId, Value};
+
+    fn engine() -> Engine {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf1").inputs(1);
+        let s = b.add_step("S1", "passthrough");
+        b.configure(s, |d| d.eligible_agents = vec![AgentId(0)]);
+        let deployment = Deployment::new([b.build().unwrap()]);
+        Engine::new(0, Arc::new(deployment), Topology::new(1, 1))
+    }
+
+    fn start(e: &mut Engine, serial: u32) -> InstanceId {
+        let instance = InstanceId::new(SchemaId(1), serial);
+        let mut ctx = Ctx::detached(0, NodeId(1));
+        e.on_message(
+            NodeId::EXTERNAL,
+            CentralMsg::WorkflowStart {
+                instance,
+                inputs: vec![(ItemKey::input(1), Value::Int(5))],
+            },
+            &mut ctx,
+        );
+        instance
+    }
+
+    #[test]
+    fn replay_rebuilds_projection_and_state() {
+        let mut e = engine();
+        let inst = start(&mut e, 1);
+        assert!(e.instances[&inst].pending_exec.contains_key(&StepId(1)));
+        assert_eq!(e.status_of(inst), Some(InstanceStatus::Executing));
+
+        e.on_crash();
+        assert!(e.instances.is_empty());
+        assert!(e.status_of(inst).is_none());
+        assert!(e.db().instance(inst).is_none());
+
+        let mut ctx = Ctx::detached(10, NodeId(1));
+        e.on_recover(&mut ctx);
+        assert!(!e.is_halted());
+        // Volatile dispatch state is back, so the in-flight ExecResult the
+        // simulator re-delivers after recovery will be accepted (not
+        // re-dispatched, not dropped).
+        assert!(e.instances[&inst].pending_exec.contains_key(&StepId(1)));
+        assert_eq!(e.status_of(inst), Some(InstanceStatus::Executing));
+        assert!(e.db().instance(inst).is_some());
+        assert_eq!(e.db().status(inst), Some(InstanceStatus::Executing));
+    }
+
+    #[test]
+    fn unreadable_wal_halts_recovery() {
+        let mut e = engine();
+        start(&mut e, 1);
+        e.wal.store_mut().fail_reads();
+        e.on_crash();
+        let mut ctx = Ctx::detached(10, NodeId(1));
+        e.on_recover(&mut ctx);
+        assert!(e.is_halted());
+        // A halted engine ignores everything that follows.
+        let inst2 = start(&mut e, 2);
+        assert!(e.status_of(inst2).is_none());
+    }
+
+    #[test]
+    fn corrupt_command_record_halts_recovery() {
+        let mut e = engine();
+        start(&mut e, 1);
+        // A record that frames fine but does not decode as a CentralMsg.
+        e.wal
+            .append(&DbOp::EngineInput {
+                from: 0,
+                payload: vec![250, 1, 2],
+            })
+            .unwrap();
+        e.on_crash();
+        let mut ctx = Ctx::detached(10, NodeId(1));
+        e.on_recover(&mut ctx);
+        assert!(e.is_halted());
     }
 }

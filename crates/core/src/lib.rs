@@ -26,7 +26,7 @@ pub mod report;
 pub mod system;
 
 pub use report::{InstanceOutcome, RunReport};
-pub use system::{Architecture, CrashWindow, Scenario, WorkflowSystem};
+pub use system::{Architecture, CrashTarget, CrashWindow, Scenario, WorkflowSystem};
 
 pub use crew_simnet::{LinkCut, NetFaultPlan, RetransmitConfig, TransportStats};
 

@@ -65,18 +65,59 @@ enum UserAction {
     },
 }
 
-/// A crash window for an application-agent node (agents occupy node ids
-/// `0..z` under every architecture; the central engine itself is the
-/// single point of failure the paper's reliability argument is about, and
-/// crashing it ends the run by construction).
+/// Which node a [`CrashWindow`] takes down.
+///
+/// Node layout: application agents occupy node ids `0..z` under every
+/// architecture. Under `Central`/`Parallel` control the engines are
+/// separate nodes at `z..z+e` (so `Engine(n)` maps to node `z + n`);
+/// under `Distributed` control every agent embeds its own engine slice,
+/// so `Engine(n)` and `Agent(n)` are the same physical node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTarget {
+    /// Application agent `n`.
+    Agent(u32),
+    /// Workflow engine `n`.
+    Engine(u32),
+}
+
+/// A fail-stop crash window for one node of the deployment.
+///
+/// The crashed node loses all volatile state; whatever it wrote to its
+/// WAL-backed WFDB survives. On recovery (`down_for` ticks later) the node
+/// replays its log — engines rebuild their control state and re-arm
+/// pending dispatches, agents replay their journal — and the reliable
+/// channel layer retransmits everything unacked across the outage.
+/// `down_for: None` means the node never comes back: runs that depend on
+/// it end [`Stalled`](InstanceOutcome::Stalled) at the bounded horizon
+/// rather than hanging.
 #[derive(Debug, Clone, Copy)]
 pub struct CrashWindow {
-    /// Agent index to crash.
-    pub agent: u32,
+    /// The node to crash.
+    pub target: CrashTarget,
     /// Virtual time of the crash.
     pub at: u64,
     /// Recovery delay; `None` = never recovers.
     pub down_for: Option<u64>,
+}
+
+impl CrashWindow {
+    /// Crash application agent `n` at `at`, recovering after `down_for`.
+    pub fn agent(n: u32, at: u64, down_for: Option<u64>) -> Self {
+        CrashWindow {
+            target: CrashTarget::Agent(n),
+            at,
+            down_for,
+        }
+    }
+
+    /// Crash engine `n` at `at`, recovering after `down_for`.
+    pub fn engine(n: u32, at: u64, down_for: Option<u64>) -> Self {
+        CrashWindow {
+            target: CrashTarget::Engine(n),
+            at,
+            down_for,
+        }
+    }
 }
 
 /// A declarative run scenario: which instances start (in order — instance
@@ -122,7 +163,7 @@ impl Scenario {
         });
     }
 
-    /// Crash an agent (distributed runs only).
+    /// Schedule a fail-stop crash (any architecture; see [`CrashWindow`]).
     pub fn crash(&mut self, window: CrashWindow) {
         self.crashes.push(window);
     }
@@ -210,8 +251,18 @@ impl WorkflowSystem {
         let deployment = self.linked_deployment(&scenario);
         let mut run = DistRun::new(deployment, agents, self.dist_config.clone());
         for w in &scenario.crashes {
-            run.sim
-                .schedule_crash(crew_simnet::NodeId(w.agent), w.at, w.down_for);
+            // Distributed agents embed their engine slice: either target
+            // names the same node.
+            let node = match w.target {
+                CrashTarget::Agent(n) | CrashTarget::Engine(n) => {
+                    assert!(
+                        n < agents,
+                        "CrashWindow targets node {n} but Distributed has {agents} agents"
+                    );
+                    crew_simnet::NodeId(n)
+                }
+            };
+            run.sim.schedule_crash(node, w.at, w.down_for);
         }
         if let Some(plan) = &self.net_faults {
             run.sim.enable_net_faults(plan.clone());
@@ -261,8 +312,23 @@ impl WorkflowSystem {
         let deployment = self.linked_deployment(&scenario);
         let mut run = CentralRun::new(deployment, agents, engines);
         for w in &scenario.crashes {
-            run.sim
-                .schedule_crash(crew_simnet::NodeId(w.agent), w.at, w.down_for);
+            let node = match w.target {
+                CrashTarget::Agent(n) => {
+                    assert!(
+                        n < agents,
+                        "CrashWindow targets agent {n} but this architecture has {agents} agents"
+                    );
+                    crew_simnet::NodeId(n)
+                }
+                CrashTarget::Engine(n) => {
+                    assert!(
+                        n < engines,
+                        "CrashWindow targets engine {n} but this architecture has {engines} engine(s)"
+                    );
+                    run.topo.engine_node(n)
+                }
+            };
+            run.sim.schedule_crash(node, w.at, w.down_for);
         }
         if let Some(plan) = &self.net_faults {
             run.sim.enable_net_faults(plan.clone());
@@ -281,7 +347,12 @@ impl WorkflowSystem {
                 } => run.change_inputs_at(ids[*index], new_inputs.clone(), *at),
             }
         }
-        let events = run.run();
+        // Bounded horizon, mirroring `run_distributed`: an engine or agent
+        // that never recovers leaves retransmission timers alive forever;
+        // the cap turns "waits for the failed node" into a terminating run
+        // reported as Stalled instead of an unbounded loop.
+        run.sim.max_events = 50_000_000;
+        let events = run.sim.run_until(1_000_000);
         let statuses = run.statuses();
         let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
             .iter()

@@ -43,7 +43,9 @@ use crew_model::{
 };
 use crew_rules::{compile_schema, Action, EventKind, RuleId, RuleSet};
 use crew_simnet::{Ctx, Node, NodeId, TimerId};
-use crew_storage::{AgentDb, DbOp, InstanceStatus, MemStore, StoredStepState, Wal};
+use crew_storage::{
+    recover_for_node, AgentDb, DbOp, InstanceStatus, MemStore, StoredStepState, Wal,
+};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -165,6 +167,11 @@ pub struct DistAgent {
     /// Outstanding load-balanced forwards: token → deferred packet fan-out.
     pending_forwards: BTreeMap<u64, PendingForward>,
     next_token: u64,
+    /// Set when AGDB recovery failed: the node degrades to fail-silent
+    /// (ignores every message and timer) instead of serving from a state
+    /// that contradicts its own log. Shared failure mode with the central
+    /// engine's WFDB recovery.
+    halted: bool,
 }
 
 /// A packet whose executor choice awaits `StateInformationReply`s.
@@ -197,7 +204,13 @@ impl DistAgent {
             poll_armed: false,
             pending_forwards: BTreeMap::new(),
             next_token: 0,
+            halted: false,
         }
+    }
+
+    /// True when AGDB recovery failed and the node went fail-silent.
+    pub fn is_halted(&self) -> bool {
+        self.halted
     }
 
     // ---- small helpers ----------------------------------------------------
@@ -2716,6 +2729,10 @@ fn ro_canonical(mine: InstanceId, partner: InstanceId, my_side: u8) -> (Instance
 
 impl Node<DistMsg> for DistAgent {
     fn on_message(&mut self, from: NodeId, msg: DistMsg, ctx: &mut Ctx<DistMsg>) {
+        if self.halted {
+            // Fail-silent after unrecoverable AGDB loss.
+            return;
+        }
         match msg {
             DistMsg::WorkflowStart {
                 instance,
@@ -2817,6 +2834,9 @@ impl Node<DistMsg> for DistAgent {
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Ctx<DistMsg>) {
+        if self.halted {
+            return;
+        }
         match timer {
             TIMER_POLL => self.on_poll_timer(ctx),
             TIMER_PURGE => self.on_purge_timer(ctx),
@@ -2838,7 +2858,13 @@ impl Node<DistMsg> for DistAgent {
         // Volatile navigation state (rule sets, histories) is rebuilt from
         // the projection lazily as packets arrive; completed-step facts are
         // restored here so StepStatus polls answer correctly.
-        let ops = self.wal.recover().expect("in-memory WAL recovery");
+        let Some(ops) = recover_for_node(&mut self.wal) else {
+            // Unreadable AGDB: degrade to a halted node rather than serving
+            // from amnesia — peers observe a silent agent and route around
+            // it, exactly as for a node that never came back.
+            self.halted = true;
+            return;
+        };
         self.db = AgentDb::replay(ops.iter());
         for (&instance, table) in self
             .db
@@ -2881,5 +2907,88 @@ impl Node<DistMsg> for DistAgent {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Directory, SharedCtx};
+    use crate::DistConfig;
+    use crew_exec::Deployment;
+    use crew_model::{AgentId, ItemKey, SchemaBuilder, SchemaId, Value};
+
+    fn agent() -> DistAgent {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf1").inputs(1);
+        let s = b.add_step("S1", "passthrough");
+        b.configure(s, |d| d.eligible_agents = vec![AgentId(0)]);
+        let shared = SharedCtx {
+            deployment: Arc::new(Deployment::new([b.build().unwrap()])),
+            directory: Directory::new(1),
+            config: DistConfig::default(),
+        };
+        DistAgent::new(AgentId(0), shared)
+    }
+
+    #[test]
+    fn unreadable_wal_halts_recovery_and_silences_the_node() {
+        let mut a = agent();
+        let instance = InstanceId::new(SchemaId(1), 1);
+        let mut ctx = Ctx::detached(0, NodeId(0));
+        a.on_message(
+            NodeId::EXTERNAL,
+            DistMsg::WorkflowStart {
+                instance,
+                inputs: vec![(ItemKey::input(1), Value::Int(5))],
+                parent: None,
+            },
+            &mut ctx,
+        );
+        assert!(!a.instances.is_empty());
+        assert!(!a.is_halted());
+
+        a.on_crash();
+        a.wal.store_mut().fail_reads();
+        let mut ctx = Ctx::detached(10, NodeId(0));
+        a.on_recover(&mut ctx);
+        assert!(a.is_halted(), "unreadable AGDB degrades to a halted node");
+
+        // Fail-silent: new work is ignored, no sends, no timers.
+        let instance2 = InstanceId::new(SchemaId(1), 2);
+        let mut ctx = Ctx::detached(20, NodeId(0));
+        a.on_message(
+            NodeId::EXTERNAL,
+            DistMsg::WorkflowStart {
+                instance: instance2,
+                inputs: vec![(ItemKey::input(1), Value::Int(6))],
+                parent: None,
+            },
+            &mut ctx,
+        );
+        assert!(a.instances.is_empty());
+        assert!(a.db.status(instance2).is_none());
+        a.on_timer(TIMER_POLL, &mut ctx);
+    }
+
+    #[test]
+    fn readable_wal_recovers_projection() {
+        let mut a = agent();
+        let instance = InstanceId::new(SchemaId(1), 1);
+        let mut ctx = Ctx::detached(0, NodeId(0));
+        a.on_message(
+            NodeId::EXTERNAL,
+            DistMsg::WorkflowStart {
+                instance,
+                inputs: vec![(ItemKey::input(1), Value::Int(5))],
+                parent: None,
+            },
+            &mut ctx,
+        );
+        a.on_crash();
+        assert!(a.instances.is_empty());
+        let mut ctx = Ctx::detached(10, NodeId(0));
+        a.on_recover(&mut ctx);
+        assert!(!a.is_halted());
+        assert!(a.db.instance(instance).is_some());
     }
 }

@@ -89,6 +89,11 @@ pub struct TransportStats {
     pub acks: u64,
     /// Frames dropped by the fault plan (probabilistic or scripted).
     pub drops_injected: u64,
+    /// The subset of [`drops_injected`](Self::drops_injected) that hit data
+    /// frames. A dropped data frame can only be recovered by retransmission;
+    /// a dropped ack may be covered by a later cumulative ack without one —
+    /// chaos assertions should therefore key on this counter, not the total.
+    pub data_drops_injected: u64,
     /// Frames duplicated by the fault plan.
     pub dups_injected: u64,
     /// Frames held back by injected reorder delay.
@@ -121,6 +126,7 @@ impl TransportStats {
         self.retransmissions += other.retransmissions;
         self.acks += other.acks;
         self.drops_injected += other.drops_injected;
+        self.data_drops_injected += other.data_drops_injected;
         self.dups_injected += other.dups_injected;
         self.reorders_injected += other.reorders_injected;
         self.partition_drops += other.partition_drops;

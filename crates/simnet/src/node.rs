@@ -67,6 +67,14 @@ impl<M> Ctx<M> {
         }
     }
 
+    /// A free-standing context whose outputs the caller discards. Used for
+    /// WAL replay during recovery — a replaying node must rebuild state
+    /// without re-issuing sends, timers, or load — and by unit tests that
+    /// drive node callbacks directly, outside a runtime.
+    pub fn detached(now: u64, self_id: NodeId) -> Self {
+        Ctx::new(now, self_id)
+    }
+
     /// Send `msg` to `to`. Delivery is reliable and in-order per
     /// (sender, receiver) pair — the paper assumes persistent messaging à la
     /// Exotica/FMQM.

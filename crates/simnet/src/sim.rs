@@ -400,6 +400,9 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
         }
         if t.plan.drops(from, to, wf) {
             self.metrics.transport.drops_injected += 1;
+            if matches!(frame, Frame::Data { .. }) {
+                self.metrics.transport.data_drops_injected += 1;
+            }
             if self.trace.is_on() {
                 self.trace.record(TraceEntry {
                     at: self.now,

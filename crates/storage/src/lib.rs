@@ -18,4 +18,4 @@ pub mod wal;
 pub use codec::{CodecError, Decode, Encode};
 pub use crc::crc32;
 pub use tables::{AgentDb, DbOp, InstanceStatus, InstanceTable, StoredStepState};
-pub use wal::{FileStore, LogStore, MemStore, RecoveryReport, Wal, WalError};
+pub use wal::{recover_for_node, FileStore, LogStore, MemStore, RecoveryReport, Wal, WalError};

@@ -134,6 +134,19 @@ pub enum DbOp {
     /// Drop all state of a committed instance (purge broadcast).
     /// Instancepurged.
     InstancePurged { instance: InstanceId },
+    /// A logical *command* record: one input message delivered to an
+    /// engine, stored verbatim (codec-encoded) before it is handled.
+    /// Engines are deterministic state machines over their delivered
+    /// message stream, so replaying the commands with outputs discarded
+    /// rebuilds every volatile structure the table ops cannot capture
+    /// (rule-set firing state, flow weights, OCR bookkeeping, in-flight
+    /// coordination). Not a table mutation — [`AgentDb::apply`] ignores it.
+    EngineInput {
+        /// Sending node id (`u32::MAX` = external).
+        from: u32,
+        /// Codec-encoded message payload.
+        payload: Vec<u8>,
+    },
 }
 
 impl Encode for DbOp {
@@ -191,6 +204,11 @@ impl Encode for DbOp {
                 7u8.encode(buf);
                 instance.encode(buf);
             }
+            DbOp::EngineInput { from, payload } => {
+                8u8.encode(buf);
+                from.encode(buf);
+                payload.encode(buf);
+            }
         }
     }
 }
@@ -231,6 +249,10 @@ impl Decode for DbOp {
             }),
             7 => Ok(DbOp::InstancePurged {
                 instance: InstanceId::decode(buf)?,
+            }),
+            8 => Ok(DbOp::EngineInput {
+                from: u32::decode(buf)?,
+                payload: Vec::<u8>::decode(buf)?,
             }),
             tag => Err(CodecError::BadTag {
                 context: "DbOp",
@@ -323,6 +345,9 @@ impl AgentDb {
             DbOp::InstancePurged { instance } => {
                 self.instances.remove(instance);
             }
+            DbOp::EngineInput { .. } => {
+                // Command record: consumed by engine replay, not a table op.
+            }
         }
     }
 
@@ -402,6 +427,10 @@ mod tests {
                 status: InstanceStatus::Committed,
             },
             DbOp::InstancePurged { instance: inst(1) },
+            DbOp::EngineInput {
+                from: u32::MAX,
+                payload: vec![0, 1, 2, 255],
+            },
         ];
         for op in &ops {
             let mut bytes = op.to_bytes();
@@ -498,6 +527,16 @@ mod tests {
             t.data.get(&ItemKey::output(StepId(1), 2)),
             Some(&Value::Str("Gasket".into()))
         );
+    }
+
+    #[test]
+    fn engine_input_is_not_a_table_op() {
+        let mut db = AgentDb::new();
+        db.apply(&DbOp::EngineInput {
+            from: 3,
+            payload: vec![1, 2, 3],
+        });
+        assert_eq!(db.instances().count(), 0);
     }
 
     #[test]

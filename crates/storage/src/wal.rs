@@ -32,6 +32,16 @@ pub trait LogStore: Send {
 #[derive(Debug, Default, Clone)]
 pub struct MemStore {
     data: Vec<u8>,
+    fail_reads: bool,
+}
+
+impl MemStore {
+    /// Fault injection: make every subsequent `read_all` fail, modelling a
+    /// log device that is unreadable at recovery time. Tests use this to
+    /// exercise the halted-node path of [`recover_for_node`].
+    pub fn fail_reads(&mut self) {
+        self.fail_reads = true;
+    }
 }
 
 impl LogStore for MemStore {
@@ -40,6 +50,9 @@ impl LogStore for MemStore {
         Ok(())
     }
     fn read_all(&self) -> std::io::Result<Vec<u8>> {
+        if self.fail_reads {
+            return Err(std::io::Error::other("injected log read failure"));
+        }
         Ok(self.data.clone())
     }
 }
@@ -213,6 +226,17 @@ pub fn recover_with_report<R: Encode + Decode, S: LogStore>(
     })
 }
 
+/// Node-side recovery that degrades instead of panicking: `None` means the
+/// log could not be read, in which case the node should go *silent*
+/// (fail-stop becomes fail-silent) rather than take down the whole run.
+/// Both the distributed agents and the central/parallel engines recover
+/// through this path, so a broken log surfaces as a halted-node outcome —
+/// dependants stall, the harness's bounded horizon ends the run, and
+/// unaffected instances still commit.
+pub fn recover_for_node<R: Encode + Decode, S: LogStore>(wal: &mut Wal<R, S>) -> Option<Vec<R>> {
+    wal.recover().ok()
+}
+
 /// A decoded-or-not error for callers that treat codec failures as I/O.
 #[derive(Debug)]
 pub enum WalError {
@@ -315,6 +339,15 @@ mod tests {
         let mut wal: Wal<Rec> = Wal::in_memory();
         assert!(wal.recover().unwrap().is_empty());
         assert_eq!(wal.appended(), 0);
+    }
+
+    #[test]
+    fn unreadable_log_recovers_none() {
+        let mut wal: Wal<Rec> = Wal::in_memory();
+        wal.append(&rec(1)).unwrap();
+        wal.store_mut().fail_reads();
+        assert!(wal.recover().is_err());
+        assert!(recover_for_node(&mut wal).is_none());
     }
 
     #[test]

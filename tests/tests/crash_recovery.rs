@@ -1,11 +1,13 @@
-//! Agent-failure handling in distributed control (§5.2): crashed
-//! successor agents (messages buffered by the reliable substrate), crashed
-//! predecessors (pending-rule timeout → `StepStatus` poll → query-step
-//! takeover at an alternate eligible agent), and WAL-based forward
-//! recovery of agent state.
+//! Fail-stop crash handling: crashed *agents* under distributed control
+//! (§5.2 — messages buffered by the reliable substrate, pending-rule
+//! timeout → `StepStatus` poll → query-step takeover, WAL-based forward
+//! recovery of agent state) and crashed *engines* under central/parallel
+//! control (WFDB command-log replay rebuilds the scheduler's projection
+//! and in-flight coordination state, with exactly-once step execution
+//! across the outage).
 
 use crew_core::{Architecture, CrashWindow, Scenario, WorkflowSystem};
-use crew_integration_tests::ExecLog;
+use crew_integration_tests::{linear_logged_schema, ExecLog};
 use crew_model::{AgentId, SchemaBuilder, SchemaId, StepKind, Value};
 use crew_storage::{AgentDb, DbOp, InstanceStatus, Wal};
 
@@ -30,11 +32,7 @@ fn crashed_successor_buffers_until_recovery() {
     let mut scenario = Scenario::new();
     let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(5))]);
     // Agent 1 (B's executor) is down from the start, recovering later.
-    scenario.crash(CrashWindow {
-        agent: 1,
-        at: 1,
-        down_for: Some(200),
-    });
+    scenario.crash(CrashWindow::agent(1, 1, Some(200)));
     let inst = scenario.instance_id(idx);
     let report = system.run(scenario);
 
@@ -76,11 +74,7 @@ fn crashed_predecessor_query_step_rerouted() {
     let designated =
         crew_distributed::designated_agent(system.deployment.seed, inst, schema.expect_step(s2));
     // Crash the designated executor of S2 forever.
-    scenario.crash(CrashWindow {
-        agent: designated.0,
-        at: 1,
-        down_for: None,
-    });
+    scenario.crash(CrashWindow::agent(designated.0, 1, None));
     let report = system.run(scenario);
 
     assert_eq!(report.committed(), 1, "query step taken over by alternate");
@@ -124,11 +118,7 @@ fn crashed_predecessor_update_step_waits() {
             inst,
             schema.expect_step(s2),
         );
-        scenario.crash(CrashWindow {
-            agent: designated.0,
-            at: 1,
-            down_for,
-        });
+        scenario.crash(CrashWindow::agent(designated.0, 1, down_for));
         system.run(scenario)
     };
 
@@ -235,15 +225,233 @@ fn crash_isolates_to_dependent_instances() {
     let mut scenario = Scenario::new();
     scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
     scenario.start(SchemaId(2), vec![(1, Value::Int(2))]);
-    scenario.crash(CrashWindow {
-        agent: 1,
-        at: 1,
-        down_for: Some(100),
-    });
+    scenario.crash(CrashWindow::agent(1, 1, Some(100)));
     let report = system.run(scenario);
     assert_eq!(
         report.committed(),
         2,
         "both commit; WF2 unaffected by the crash"
     );
+}
+
+// ---- engine crashes under central / parallel control -----------------------
+
+/// Both engine-holding architectures, for the engine-crash matrix below.
+const ENGINE_ARCHS: [Architecture; 2] = [
+    Architecture::Central { agents: 2 },
+    Architecture::Parallel {
+        agents: 2,
+        engines: 2,
+    },
+];
+
+/// Run a 3-step / 2-instance fleet with one engine crash window; return the
+/// report plus the per-step execution log.
+fn run_with_engine_crash(
+    arch: Architecture,
+    crash: CrashWindow,
+) -> (crew_core::RunReport, ExecLog, Vec<crew_model::InstanceId>) {
+    let log = ExecLog::new();
+    let mut system = WorkflowSystem::new([linear_logged_schema(1, 3, 2, "log")], arch);
+    log.register(&mut system.deployment.registry, "log");
+    let mut scenario = Scenario::new();
+    let mut insts = Vec::new();
+    for k in 0..2 {
+        let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+        insts.push(scenario.instance_id(idx));
+    }
+    scenario.crash(crash);
+    (system.run(scenario), log, insts)
+}
+
+fn assert_committed_exactly_once(
+    arch: Architecture,
+    report: &crew_core::RunReport,
+    log: &ExecLog,
+    insts: &[crew_model::InstanceId],
+) {
+    assert_eq!(report.committed(), insts.len(), "{arch:?}");
+    assert!(report.all_terminal(), "{arch:?}");
+    for &inst in insts {
+        for step in 1..=3u32 {
+            assert_eq!(
+                log.count(inst, crew_model::StepId(step)),
+                1,
+                "{arch:?}: {inst} step {step} executed exactly once across the engine outage"
+            );
+        }
+    }
+}
+
+/// The engine is down before it dispatches anything: `WorkflowStart`s are
+/// buffered by the substrate, WAL replay on recovery finds an empty log,
+/// and the fleet runs to commit with exactly-once execution.
+#[test]
+fn engine_down_before_dispatch_recovers() {
+    for arch in ENGINE_ARCHS {
+        let (report, log, insts) = run_with_engine_crash(arch, CrashWindow::engine(0, 1, Some(40)));
+        assert_committed_exactly_once(arch, &report, &log, &insts);
+        assert!(report.virtual_time >= 40, "{arch:?}: waited out the outage");
+    }
+}
+
+/// The engine crashes mid-run — after `StepCompleted`s have arrived but
+/// with navigation still in flight. Replaying the command log rebuilds the
+/// projection and the pending-dispatch bookkeeping; buffered messages then
+/// drive the fleet to commit without re-executing finished steps.
+#[test]
+fn engine_crash_mid_run_recovers_via_wal_replay() {
+    for arch in ENGINE_ARCHS {
+        for at in [4, 8, 12] {
+            let (report, log, insts) =
+                run_with_engine_crash(arch, CrashWindow::engine(0, at, Some(40)));
+            assert_committed_exactly_once(arch, &report, &log, &insts);
+        }
+    }
+}
+
+/// Engine crash while a doomed instance is rolling back: compensation
+/// resumes after WAL replay and the instance still aborts exactly as it
+/// does crash-free; the healthy instance commits.
+#[test]
+fn engine_crash_mid_compensation_recovers() {
+    for arch in ENGINE_ARCHS {
+        let baseline = {
+            let log = ExecLog::new();
+            let mut system =
+                WorkflowSystem::new([linear_logged_schema(1, 2, 2, "log"), doom_schema()], arch);
+            log.register(&mut system.deployment.registry, "log");
+            system.deployment.registry.register(
+                "doom",
+                crew_exec::FnProgram(|_ctx: &crew_exec::ProgramCtx| {
+                    Err(crew_exec::StepFailure::new("doomed"))
+                }),
+            );
+            let mut scenario = Scenario::new();
+            scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+            scenario.start(SchemaId(2), vec![(1, Value::Int(9))]);
+            system.run(scenario)
+        };
+        assert_eq!(baseline.committed(), 1, "{arch:?} baseline");
+        assert_eq!(baseline.aborted(), 1, "{arch:?} baseline");
+
+        for at in [6, 10, 14] {
+            let log = ExecLog::new();
+            let mut system =
+                WorkflowSystem::new([linear_logged_schema(1, 2, 2, "log"), doom_schema()], arch);
+            log.register(&mut system.deployment.registry, "log");
+            system.deployment.registry.register(
+                "doom",
+                crew_exec::FnProgram(|_ctx: &crew_exec::ProgramCtx| {
+                    Err(crew_exec::StepFailure::new("doomed"))
+                }),
+            );
+            let mut scenario = Scenario::new();
+            let i1 = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+            let i2 = scenario.start(SchemaId(2), vec![(1, Value::Int(9))]);
+            let (lin, doomed) = (scenario.instance_id(i1), scenario.instance_id(i2));
+            scenario.crash(CrashWindow::engine(0, at, Some(40)));
+            let report = system.run(scenario);
+            assert_eq!(
+                report.outcomes, baseline.outcomes,
+                "{arch:?} at={at}: crash+recovery reaches the crash-free outcomes"
+            );
+            assert_eq!(log.count(lin, crew_model::StepId(1)), 1, "{arch:?} at={at}");
+            assert_eq!(
+                log.count(doomed, crew_model::StepId(1)),
+                1,
+                "{arch:?} at={at}: doomed A ran once"
+            );
+        }
+    }
+}
+
+/// Two-step schema whose second step always fails, exhausting the retry
+/// budget (3 attempts) and aborting with compensation of step A.
+fn doom_schema() -> crew_model::WorkflowSchema {
+    let mut b = SchemaBuilder::new(SchemaId(2), "doom").inputs(1);
+    let s1 = b.add_step("A", "log");
+    let s2 = b.add_step("B", "doom");
+    b.seq(s1, s2);
+    for (i, s) in [s1, s2].iter().enumerate() {
+        b.configure(*s, |d| {
+            d.eligible_agents = vec![AgentId(i as u32)];
+            d.compensation_program = Some("passthrough".into());
+        });
+    }
+    b.build().unwrap()
+}
+
+/// An engine that never recovers: the run must terminate (bounded horizon)
+/// with the dependent instances reported `Stalled`, not hang.
+#[test]
+fn unrecoverable_engine_crash_stalls_boundedly() {
+    for arch in ENGINE_ARCHS {
+        let (report, _, insts) = run_with_engine_crash(arch, CrashWindow::engine(0, 1, None));
+        let stalled = insts
+            .iter()
+            .filter(|i| report.outcomes.get(i) == Some(&crew_core::InstanceOutcome::Stalled))
+            .count();
+        // Central: everything depends on the lone engine. Parallel: only
+        // the dead engine's shard stalls; the sibling's instances commit.
+        assert!(stalled >= 1, "{arch:?}: dependent instances stall");
+        assert_eq!(
+            report.committed() + stalled,
+            insts.len(),
+            "{arch:?}: every instance is either committed or stalled"
+        );
+        if matches!(arch, Architecture::Central { .. }) {
+            assert_eq!(report.committed(), 0, "{arch:?}: nothing commits");
+        }
+    }
+}
+
+/// Under Parallel control only one engine crashes: its instances recover
+/// via WAL replay while the sibling engine's instances are untouched.
+#[test]
+fn parallel_sibling_engine_unaffected_by_crash() {
+    let arch = Architecture::Parallel {
+        agents: 2,
+        engines: 2,
+    };
+    let log = ExecLog::new();
+    let mut system = WorkflowSystem::new([linear_logged_schema(1, 3, 2, "log")], arch);
+    log.register(&mut system.deployment.registry, "log");
+    let mut scenario = Scenario::new();
+    let mut insts = Vec::new();
+    for k in 0..4 {
+        let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(k))]);
+        insts.push(scenario.instance_id(idx));
+    }
+    scenario.crash(CrashWindow::engine(1, 5, Some(40)));
+    let report = system.run(scenario);
+    assert_committed_exactly_once(arch, &report, &log, &insts);
+}
+
+/// Direct engine-state inspection: run to commit, crash/recover engine 0,
+/// and check the WFDB projection and statuses were rebuilt by WAL replay.
+#[test]
+fn engine_recovers_state_from_wal() {
+    let log = ExecLog::new();
+    let mut deployment = crew_exec::Deployment::new([linear_logged_schema(1, 2, 2, "log")]);
+    log.register(&mut deployment.registry, "log");
+    let mut run = crew_central::CentralRun::new(deployment, 2, 1);
+    let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
+    run.run();
+    assert_eq!(run.statuses().get(&inst), Some(&InstanceStatus::Committed));
+
+    let t = run.sim.now();
+    let engine_node = run.topo.engine_node(0);
+    run.sim.schedule_crash(engine_node, t + 1, Some(5));
+    run.run();
+    assert_eq!(
+        run.statuses().get(&inst),
+        Some(&InstanceStatus::Committed),
+        "engine status survived the crash via WFDB replay"
+    );
+    assert!(
+        run.engine(0).db().instance(inst).is_some(),
+        "projection rebuilt from the WAL"
+    );
+    assert!(!run.engine(0).is_halted());
 }

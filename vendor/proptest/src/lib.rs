@@ -1,0 +1,599 @@
+//! Offline stand-in for `proptest`: the strategy/runner subset this
+//! workspace uses, with deterministic per-test generation and **no
+//! shrinking** — a failing case panics with the case number, and the fixed
+//! per-test seed makes every run reproduce it exactly. Supported surface:
+//! integer/float range strategies, `any::<T>()`, `Just`, tuples,
+//! `prop_map`, `prop_oneof!`, `collection::vec`, simple `[class]{lo,hi}`
+//! string patterns, and the `proptest!`/`prop_assert*` macros.
+
+// Vendored stand-in: keep the upstream-shaped API even where clippy
+// would restructure it.
+#![allow(clippy::all)]
+
+/// Config, RNG and failure types for the runner.
+pub mod test_runner {
+    /// Per-block configuration (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator state (SplitMix64), seeded from the test
+    /// name so every run of a test replays the same case sequence.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test's name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`. Panics when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty range");
+            self.next_u64() % n
+        }
+
+        /// Uniform draw in `[0, n)` for spans wider than 64 bits.
+        pub fn below_u128(&mut self, n: u128) -> u128 {
+            assert!(n > 0, "empty range");
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            wide % n
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A failed property (carried out of the test body by `prop_assert*`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an associated type from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapped strategy (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union with no options yet.
+        pub fn empty() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Add one alternative.
+        pub fn add<S>(&mut self, s: S)
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.options.push(Box::new(move |rng| s.generate(rng)));
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.options.is_empty(), "prop_oneof! needs options");
+            let i = rng.below(self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range");
+                    let span = (hi - lo) as u128;
+                    (lo + rng.below_u128(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi - lo) as u128 + 1;
+                    (lo + rng.below_u128(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident/$idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategies! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    /// `&str` patterns: either a literal, or one `[class]{lo,hi}`
+    /// character-class repetition (the only regex shapes this workspace
+    /// uses). Classes support ranges (`a-z`, ` -~`) and `\n`/`\t`/`\r`
+    /// escapes.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn read_char(b: &[char], i: usize) -> (char, usize) {
+        if b[i] == '\\' && i + 1 < b.len() {
+            let c = match b[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                c => c,
+            };
+            (c, i + 2)
+        } else {
+            (b[i], i + 1)
+        }
+    }
+
+    fn generate_pattern(pat: &str, rng: &mut TestRng) -> String {
+        if !pat.starts_with('[') {
+            return pat.to_string();
+        }
+        let b: Vec<char> = pat.chars().collect();
+        let mut set: Vec<char> = Vec::new();
+        let mut i = 1;
+        while i < b.len() && b[i] != ']' {
+            if b[i] == '-' && !set.is_empty() && i + 1 < b.len() && b[i + 1] != ']' {
+                let (hi, ni) = read_char(&b, i + 1);
+                i = ni;
+                let lo = set.pop().expect("range start");
+                for cp in (lo as u32)..=(hi as u32) {
+                    if let Some(c) = char::from_u32(cp) {
+                        set.push(c);
+                    }
+                }
+            } else {
+                let (c, ni) = read_char(&b, i);
+                i = ni;
+                set.push(c);
+            }
+        }
+        assert!(
+            i < b.len() && b[i] == ']',
+            "unsupported pattern (unterminated class): {pat}"
+        );
+        i += 1;
+        let (lo, hi) = if i < b.len() && b[i] == '{' {
+            let close = b[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unsupported pattern (unterminated repeat): {pat}"));
+            let body: String = b[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((l, h)) => (l.parse().expect("repeat lo"), h.parse().expect("repeat hi")),
+                None => {
+                    let n: usize = body.parse().expect("repeat count");
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1usize, 1usize)
+        };
+        assert!(i == b.len(), "unsupported pattern (trailing syntax): {pat}");
+        assert!(!set.is_empty(), "empty character class: {pat}");
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..n)
+            .map(|_| set[rng.below(set.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// `any::<T>()` — full-domain strategies per type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain generator.
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    ::core::panic!(
+                        "proptest `{}` failed at case {}: {}",
+                        stringify!($name),
+                        __case,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property body, failing the case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__l == *__r, "assertion failed: `{:?} == {:?}`", __l, __r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?} != {:?}`", __l, __r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut __u = $crate::strategy::Union::empty();
+        $(__u.add($s);)+
+        __u
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..2000 {
+            let v = Strategy::generate(&(3u8..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&w));
+            let x = Strategy::generate(&(1u32..=3), &mut rng);
+            assert!((1..=3).contains(&x));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = TestRng::from_name("pattern");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-c1]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '1')));
+            let t = Strategy::generate(&"[ -~\\n]{0,20}", &mut rng);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let gen = || {
+            let mut rng = TestRng::from_name("same");
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_up(
+            v in crate::collection::vec(0u8..10, 0..6),
+            b in any::<bool>(),
+            choice in prop_oneof![Just("x"), Just("y")],
+            mapped in (0u32..5).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(b as u8 <= 1, true);
+            prop_assert!(choice == "x" || choice == "y");
+            prop_assert_ne!(mapped, 9, "even numbers only, got {}", mapped);
+        }
+    }
+}

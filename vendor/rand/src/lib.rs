@@ -1,0 +1,4 @@
+//! Offline placeholder for `rand`. The workspace declares the dependency
+//! but has no call sites; every stochastic component draws from its own
+//! seeded deterministic generators instead. This stub exists so the
+//! workspace resolves without a registry.
