@@ -8,6 +8,7 @@
 
 use crate::ast::*;
 use crate::token::Pos;
+use crew_lint::{CoordKind, Span, SpanTable};
 use crew_model::{
     CompensationKind, CoordinationSpec, Expr, InputBinding, ItemKey, MutualExclusion, ReexecPolicy,
     RelativeOrder, RollbackDependency, SchemaBuilder, SchemaError, SchemaId, SchemaStep, StepId,
@@ -49,6 +50,23 @@ pub struct CompiledSpec {
     pub schemas: Vec<WorkflowSchema>,
     /// Coordination requirements resolved across the schemas.
     pub coordination: CoordinationSpec,
+    /// Source positions of compiled entities, for lint diagnostics.
+    pub spans: SpanTable,
+}
+
+impl CompiledSpec {
+    /// Run the `crew-lint` analyzer over this spec, with diagnostics
+    /// carrying LAWS source positions.
+    pub fn lint(&self) -> Vec<crew_lint::Diagnostic> {
+        crew_lint::lint_with_spans(&self.schemas, &self.coordination, &self.spans)
+    }
+}
+
+fn span(pos: Pos) -> Span {
+    Span {
+        line: pos.line,
+        col: pos.col,
+    }
 }
 
 /// Compile a parsed [`Spec`].
@@ -77,19 +95,25 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, CompileError> {
     }
 
     let mut schemas = Vec::new();
+    let mut spans = SpanTable::default();
     // (workflow name → (step name → id)) for coordination resolution.
     let mut step_maps: BTreeMap<&str, BTreeMap<&str, StepId>> = BTreeMap::new();
 
     for wf in &spec.workflows {
         let (schema, steps) = compile_workflow(wf, &wf_ids)?;
+        spans.record_workflow(schema.id, span(wf.pos));
+        for step in &wf.steps {
+            spans.record_step(schema.id, steps[step.name.as_str()], span(step.pos));
+        }
         step_maps.insert(&wf.name, steps);
         schemas.push(schema);
     }
 
-    let coordination = compile_coordination(&spec.coordination, &wf_ids, &step_maps)?;
+    let coordination = compile_coordination(&spec.coordination, &wf_ids, &step_maps, &mut spans)?;
     Ok(CompiledSpec {
         schemas,
         coordination,
+        spans,
     })
 }
 
@@ -345,6 +369,7 @@ fn compile_coordination(
     items: &[CoordItem],
     wf_ids: &BTreeMap<&str, SchemaId>,
     step_maps: &BTreeMap<&str, BTreeMap<&str, StepId>>,
+    spans: &mut SpanTable,
 ) -> Result<CoordinationSpec, CompileError> {
     let resolve = |q: &QualRef| -> Result<SchemaStep, CompileError> {
         let Some(&schema) = wf_ids.get(q.workflow.as_str()) else {
@@ -367,17 +392,22 @@ fn compile_coordination(
     for item in items {
         match item {
             CoordItem::Mutex {
-                resource, members, ..
+                resource,
+                members,
+                pos,
             } => {
                 spec.mutual_exclusions.push(MutualExclusion {
                     id: next_id,
                     resource: resource.clone(),
                     members: members.iter().map(&resolve).collect::<Result<_, _>>()?,
                 });
+                spans.record_coord(CoordKind::Mutex, next_id, span(*pos));
                 next_id += 1;
             }
             CoordItem::Order {
-                conflict, pairs, ..
+                conflict,
+                pairs,
+                pos,
             } => {
                 spec.relative_orders.push(RelativeOrder {
                     id: next_id,
@@ -387,6 +417,7 @@ fn compile_coordination(
                         .map(|(a, b)| Ok((resolve(a)?, resolve(b)?)))
                         .collect::<Result<_, CompileError>>()?,
                 });
+                spans.record_coord(CoordKind::Order, next_id, span(*pos));
                 next_id += 1;
             }
             CoordItem::Rollback {
@@ -414,6 +445,7 @@ fn compile_coordination(
                     dependent_schema: dep_schema,
                     dependent_origin: dep_origin,
                 });
+                spans.record_coord(CoordKind::RollbackDep, next_id, span(*pos));
                 next_id += 1;
             }
         }
@@ -535,6 +567,57 @@ mod tests {
         assert_eq!(out.coordination.relative_orders.len(), 1);
         assert_eq!(out.coordination.relative_orders[0].pairs.len(), 2);
         assert_eq!(out.coordination.rollback_dependencies.len(), 1);
+    }
+
+    #[test]
+    fn strict_mode_accepts_clean_spec() {
+        crate::parse_and_compile_strict(ORDER_SRC).expect("order spec lints clean");
+    }
+
+    #[test]
+    fn strict_mode_rejects_error_findings_with_spans() {
+        // `while true` never lets the loop exit: LoopNeverExits (Error).
+        let err = crate::parse_and_compile_strict(
+            "workflow W (id 1) {
+                inputs 1;
+                step A { program \"p\"; }
+                step B { program \"p\"; }
+                flow A -> B;
+                loop B -> A while true;
+            }",
+        )
+        .unwrap_err();
+        let crate::LawsError::Lint(diags) = err else {
+            panic!("expected lint failure, got {err}");
+        };
+        let d = diags
+            .iter()
+            .find(|d| d.id == crew_lint::LintId::LoopNeverExits)
+            .expect("loop-never-exits diagnostic");
+        // The diagnostic lands on the loop head step `A`, declared line 3.
+        assert_eq!(d.span.map(|s| s.line), Some(3), "{d}");
+    }
+
+    #[test]
+    fn lint_report_keeps_warns_without_failing_strict() {
+        // Two parallel branches run the same update program: a Warn, not
+        // an Error, so strict mode still accepts the spec.
+        let spec = crate::parse_and_compile_strict(
+            "workflow W (id 1) {
+                inputs 1;
+                step A { program \"p\"; }
+                step L { program \"stamp\"; }
+                step R { program \"stamp\"; }
+                step J { program \"p\"; }
+                parallel A -> { L, R } -> J;
+            }",
+        )
+        .expect("warns do not fail strict mode");
+        let diags = spec.lint();
+        assert!(diags
+            .iter()
+            .any(|d| d.id == crew_lint::LintId::ConcurrentWriteConflict));
+        assert!(crew_lint::is_clean(&diags));
     }
 
     #[test]

@@ -52,6 +52,21 @@ pub fn parse_and_compile(source: &str) -> Result<CompiledSpec, LawsError> {
     compile(&spec).map_err(LawsError::Compile)
 }
 
+/// [`parse_and_compile`] plus the `crew-lint` analyzer: fails with
+/// [`LawsError::Lint`] when the spec carries Error-level findings
+/// (compensation unsoundness, coordination deadlock, non-terminating
+/// rule templates, data hazards). Warn-level diagnostics are kept on the
+/// returned spec's lint report but do not fail compilation.
+pub fn parse_and_compile_strict(source: &str) -> Result<CompiledSpec, LawsError> {
+    let spec = parse_and_compile(source)?;
+    let diags = spec.lint();
+    if crew_lint::is_clean(&diags) {
+        Ok(spec)
+    } else {
+        Err(LawsError::Lint(diags))
+    }
+}
+
 /// Either phase's error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LawsError {
@@ -59,6 +74,9 @@ pub enum LawsError {
     Parse(ParseError),
     /// Name resolution / structural validation failed.
     Compile(CompileError),
+    /// Strict mode: the spec compiled but the analyzer found Error-level
+    /// problems. All diagnostics (including Warns) are carried along.
+    Lint(Vec<crew_lint::Diagnostic>),
 }
 
 impl std::fmt::Display for LawsError {
@@ -66,6 +84,14 @@ impl std::fmt::Display for LawsError {
         match self {
             LawsError::Parse(e) => write!(f, "{e}"),
             LawsError::Compile(e) => write!(f, "{e}"),
+            LawsError::Lint(diags) => {
+                let n = crew_lint::errors(diags).count();
+                write!(f, "spec failed lint with {n} error(s):")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

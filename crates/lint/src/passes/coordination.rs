@@ -1,0 +1,643 @@
+//! Pass 2: cross-workflow deadlock over the coordination spec (§3 [KR98]).
+//!
+//! Coordination requirements make steps of linked concurrent instances
+//! wait for each other: a mutex member waits for the current holder, the
+//! lagging side of a relative order waits for the leader's matching pair
+//! step. Those waits compose with each schema's own control order into a
+//! static *may-wait-for* graph; a cycle means a reachable interleaving
+//! wedges both instances until the simulation horizon expires
+//! (`Stalled`).
+//!
+//! Relative-order leadership is decided dynamically (whichever instance
+//! reaches the first conflicting step leads), so the pass enumerates
+//! leadership assignments — every assignment is reachable under some
+//! message timing — and reports the first cyclic one. Mutexes are
+//! step-scoped (released when the member completes), so a *single* mutex
+//! never deadlocks; but a step belonging to two mutexes acquires them
+//! concurrently and holds partial grants while waiting, which is
+//! hold-and-wait: two such steps (or two linked instances of one) can be
+//! granted the locks in opposite orders and wedge.
+
+use super::find_cycle;
+use crate::{CoordKind, Diagnostic, LintId};
+use crew_model::{CoordinationSpec, SchemaId, SchemaStep, WorkflowSchema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Beyond this many relative orders, assignment enumeration (2^n) is
+/// skipped; each requirement is still checked individually.
+const MAX_ENUMERATED_ORDERS: usize = 10;
+
+/// Run the pass over the full spec.
+pub fn run(schemas: &[WorkflowSchema], spec: &CoordinationSpec, out: &mut Vec<Diagnostic>) {
+    let by_id: BTreeMap<SchemaId, &WorkflowSchema> = schemas.iter().map(|s| (s.id, s)).collect();
+
+    let known = |ss: &SchemaStep, kind: CoordKind, id: u32, out: &mut Vec<Diagnostic>| -> bool {
+        let ok = by_id
+            .get(&ss.schema)
+            .is_some_and(|s| s.step(ss.step).is_some());
+        if !ok {
+            out.push(
+                Diagnostic::new(
+                    LintId::CoordUnknownStep,
+                    format!(
+                        "coordination requirement {id} references {}/{} which does \
+                         not exist in the spec",
+                        ss.schema, ss.step
+                    ),
+                )
+                .at_coord(kind, id),
+            );
+        }
+        ok
+    };
+
+    // --- Mutexes: duplicates and hold-and-wait. -------------------------
+    let mut mutexes_of: BTreeMap<SchemaStep, Vec<u32>> = BTreeMap::new();
+    for m in &spec.mutual_exclusions {
+        let mut seen: BTreeSet<SchemaStep> = BTreeSet::new();
+        for member in &m.members {
+            if !known(member, CoordKind::Mutex, m.id, out) {
+                continue;
+            }
+            if !seen.insert(*member) {
+                out.push(
+                    Diagnostic::new(
+                        LintId::MutexDuplicateMember,
+                        format!(
+                            "mutex {} (`{}`) lists {}/{} more than once",
+                            m.id, m.resource, member.schema, member.step
+                        ),
+                    )
+                    .at_coord(CoordKind::Mutex, m.id)
+                    .at_step(member.schema, member.step),
+                );
+                continue;
+            }
+            mutexes_of.entry(*member).or_default().push(m.id);
+        }
+    }
+    for (ss, mutexes) in &mutexes_of {
+        if mutexes.len() < 2 {
+            continue;
+        }
+        let names: Vec<String> = spec
+            .mutual_exclusions
+            .iter()
+            .filter(|m| mutexes.contains(&m.id))
+            .map(|m| format!("`{}`", m.resource))
+            .collect();
+        out.push(
+            Diagnostic::new(
+                LintId::MutexHoldAndWait,
+                format!(
+                    "step {}/{} belongs to {} mutexes ({}): members acquire all \
+                     their mutexes concurrently and hold partial grants while \
+                     waiting, so linked instances can be granted them in opposite \
+                     orders and deadlock",
+                    ss.schema,
+                    ss.step,
+                    mutexes.len(),
+                    names.join(", ")
+                ),
+            )
+            .at_coord(CoordKind::Mutex, mutexes[0])
+            .at_step(ss.schema, ss.step),
+        );
+    }
+
+    // --- Relative orders: shape checks. ---------------------------------
+    let mut sane_orders = Vec::new();
+    for r in &spec.relative_orders {
+        let mut ok = true;
+        for (a, b) in &r.pairs {
+            ok &= known(a, CoordKind::Order, r.id, out);
+            ok &= known(b, CoordKind::Order, r.id, out);
+        }
+        if !ok {
+            continue;
+        }
+        for side in 0..2 {
+            let steps: Vec<SchemaStep> = r
+                .pairs
+                .iter()
+                .map(|p| if side == 0 { p.0 } else { p.1 })
+                .collect();
+            if steps.windows(2).any(|w| w[0].schema != w[1].schema) {
+                out.push(
+                    Diagnostic::new(
+                        LintId::RelativeOrderSchemaMixed,
+                        format!(
+                            "relative order {} (`{}`) draws side {} from more than \
+                             one workflow: leadership is per instance, so the side \
+                             must stay within one schema",
+                            r.id, r.conflict, side
+                        ),
+                    )
+                    .at_coord(CoordKind::Order, r.id),
+                );
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Note: a side MAY pair a schema with itself — that is the paper's
+        // own scenario (two linked instances of one workflow racing for
+        // the same resources); the deadlock scan models the two instances
+        // separately.
+        // Pair sequence must respect each side's own schema order: the
+        // k-th conflicting step of the leader releases the k-th wait of
+        // the lagger, so inverted pairs make the protocol wait on a step
+        // that cannot run yet.
+        for side in 0..2 {
+            let steps: Vec<SchemaStep> = r
+                .pairs
+                .iter()
+                .map(|p| if side == 0 { p.0 } else { p.1 })
+                .collect();
+            let schema = by_id[&steps[0].schema];
+            let mut inverted = false;
+            for k in 0..steps.len() {
+                for l in (k + 1)..steps.len() {
+                    if schema.is_ancestor(steps[l].step, steps[k].step) {
+                        out.push(
+                            Diagnostic::new(
+                                LintId::RelativeOrderPairsInverted,
+                                format!(
+                                    "relative order {} (`{}`): pair {} step {}/{} \
+                                     precedes pair {} step {}/{} in workflow `{}`'s \
+                                     own order — the pair sequence is inverted",
+                                    r.id,
+                                    r.conflict,
+                                    l,
+                                    steps[l].schema,
+                                    steps[l].step,
+                                    k,
+                                    steps[k].schema,
+                                    steps[k].step,
+                                    schema.name
+                                ),
+                            )
+                            .at_coord(CoordKind::Order, r.id)
+                            .at_step(steps[k].schema, steps[k].step),
+                        );
+                        inverted = true;
+                    }
+                }
+            }
+            ok &= !inverted;
+        }
+        if ok {
+            sane_orders.push(r);
+        }
+    }
+
+    // --- Rollback dependencies: schema-level cycles. ---------------------
+    {
+        let mut edges: BTreeSet<(SchemaId, SchemaId)> = BTreeSet::new();
+        for rd in &spec.rollback_dependencies {
+            known(&rd.source, CoordKind::RollbackDep, rd.id, out);
+            edges.insert((rd.source.schema, rd.dependent_schema));
+        }
+        let nodes: BTreeSet<SchemaId> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+        if let Some(cycle) = find_cycle(&nodes, |n| {
+            edges
+                .iter()
+                .filter(move |(a, _)| a == n)
+                .map(|&(_, b)| b)
+                .collect()
+        }) {
+            let path: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+            out.push(
+                Diagnostic::new(
+                    LintId::RollbackDependencyCycle,
+                    format!(
+                        "rollback dependencies cycle between schemas ({}): one \
+                         failure can force rollbacks to ping-pong between linked \
+                         instances",
+                        path.join(" -> ")
+                    ),
+                )
+                .at_coord(
+                    CoordKind::RollbackDep,
+                    spec.rollback_dependencies
+                        .first()
+                        .map(|r| r.id)
+                        .unwrap_or(0),
+                ),
+            );
+        }
+    }
+
+    // --- Wait-for graph under every leadership assignment. ---------------
+    deadlock_scan(&by_id, &sane_orders, &mutexes_of, out);
+}
+
+/// A step of one of the two virtual linked instances the scan models.
+/// The tag distinguishes the instances, so a schema paired with itself in
+/// a relative order (two linked instances of one workflow) gets two
+/// separate copies of its steps instead of a bogus self-cycle.
+type InstStep = (SchemaStep, u8);
+
+/// Enumerate relative-order leadership assignments and look for a cycle in
+/// the may-wait-for graph. Nodes are the coordination-mentioned steps of
+/// two virtual linked instances; edges point from a waiting step to the
+/// step it waits on.
+fn deadlock_scan(
+    by_id: &BTreeMap<SchemaId, &WorkflowSchema>,
+    orders: &[&crew_model::RelativeOrder],
+    mutexes_of: &BTreeMap<SchemaStep, Vec<u32>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut base: BTreeSet<SchemaStep> = BTreeSet::new();
+    for r in orders {
+        for (a, b) in &r.pairs {
+            base.insert(*a);
+            base.insert(*b);
+        }
+    }
+    for (ss, mutexes) in mutexes_of {
+        if mutexes.len() >= 2 {
+            base.insert(*ss);
+        }
+    }
+    if base.is_empty() {
+        return;
+    }
+    let nodes: BTreeSet<InstStep> = base.iter().flat_map(|&s| [(s, 0), (s, 1)]).collect();
+
+    // Fixed edges: intra-instance control order (a later step waits for
+    // every earlier one of the same instance) and mutual hold-and-wait
+    // between steps of *different* instances sharing two or more mutexes.
+    let mut fixed: BTreeSet<(InstStep, InstStep)> = BTreeSet::new();
+    for &u in &base {
+        for &v in &base {
+            if u.schema == v.schema && u != v {
+                if let Some(schema) = by_id.get(&u.schema) {
+                    if schema.is_ancestor(u.step, v.step) {
+                        for t in 0..2u8 {
+                            fixed.insert(((v, t), (u, t)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (&s, ms) in mutexes_of {
+        for (&t, mt) in mutexes_of {
+            let shared = ms.iter().filter(|m| mt.contains(m)).count();
+            if shared < 2 {
+                continue;
+            }
+            for ts in 0..2u8 {
+                for tt in 0..2u8 {
+                    // Same schema + same tag is the same instance: its own
+                    // control order serializes the acquisitions.
+                    if (s, ts) == (t, tt) || (s.schema == t.schema && ts == tt) {
+                        continue;
+                    }
+                    fixed.insert(((s, ts), (t, tt)));
+                }
+            }
+        }
+    }
+
+    let n = orders.len().min(MAX_ENUMERATED_ORDERS);
+    for mask in 0..(1u32 << n) {
+        let mut edges = fixed.clone();
+        for (i, r) in orders.iter().enumerate().take(n) {
+            let leader_first = mask & (1 << i) == 0;
+            for (a, b) in &r.pairs {
+                if a.schema == b.schema {
+                    // Two instances of one schema: side 0 is tag 0, side 1
+                    // is tag 1, and leadership picks which one leads.
+                    let (lead, lag) = if leader_first {
+                        ((*a, 0u8), (*b, 1u8))
+                    } else {
+                        ((*b, 1u8), (*a, 0u8))
+                    };
+                    edges.insert((lag, lead));
+                } else {
+                    // Different schemas: any instance of the lagging
+                    // schema may wait on any instance of the leader.
+                    let (lead, lag) = if leader_first { (*a, *b) } else { (*b, *a) };
+                    for tl in 0..2u8 {
+                        for tg in 0..2u8 {
+                            edges.insert(((lag, tg), (lead, tl)));
+                        }
+                    }
+                }
+            }
+        }
+        let cycle = find_cycle(&nodes, |node| {
+            edges
+                .iter()
+                .filter(move |(from, _)| from == node)
+                .map(|&(_, to)| to)
+                .collect()
+        });
+        if let Some(cycle) = cycle {
+            let path: Vec<String> = cycle
+                .iter()
+                .map(|(ss, tag)| format!("{}/{}@i{tag}", ss.schema, ss.step))
+                .collect();
+            let orientation: Vec<String> = orders
+                .iter()
+                .enumerate()
+                .take(n)
+                .map(|(i, r)| {
+                    let side = if mask & (1 << i) == 0 { 0 } else { 1 };
+                    format!("order {} led by side {side}", r.id)
+                })
+                .collect();
+            out.push(
+                Diagnostic::new(
+                    LintId::CoordinationDeadlock,
+                    format!(
+                        "static wait-for cycle {} under a reachable coordination \
+                         outcome ({}): linked concurrent instances wedge until the \
+                         horizon expires",
+                        path.join(" -> "),
+                        if orientation.is_empty() {
+                            "mutex grant race".to_string()
+                        } else {
+                            orientation.join(", ")
+                        }
+                    ),
+                )
+                .at_step(cycle[0].0.schema, cycle[0].0.step),
+            );
+            return; // One witness is enough.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::{MutualExclusion, RelativeOrder, RollbackDependency, SchemaBuilder, StepId};
+
+    fn linear(id: u32, steps: u32) -> WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(id), format!("wf{id}")).inputs(1);
+        let ids: Vec<StepId> = (0..steps)
+            .map(|i| b.add_step(format!("S{}", i + 1), "p"))
+            .collect();
+        for w in ids.windows(2) {
+            b.seq(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn ss(schema: u32, step: u32) -> SchemaStep {
+        SchemaStep::new(SchemaId(schema), StepId(step))
+    }
+
+    fn run_pass(schemas: &[WorkflowSchema], spec: &CoordinationSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        run(schemas, spec, &mut out);
+        out
+    }
+
+    fn ids(out: &[Diagnostic]) -> Vec<LintId> {
+        out.iter().map(|d| d.id).collect()
+    }
+
+    #[test]
+    fn single_mutex_and_order_are_clean() {
+        let spec = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "dock".into(),
+                members: vec![ss(1, 2), ss(2, 2)],
+            }],
+            relative_orders: vec![RelativeOrder {
+                id: 1,
+                conflict: "parts".into(),
+                pairs: vec![(ss(1, 1), ss(2, 1)), (ss(1, 3), ss(2, 3))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 3), linear(2, 3)], &spec);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unknown_step_is_an_error() {
+        let spec = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "dock".into(),
+                members: vec![ss(1, 9), ss(2, 1)],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2), linear(2, 2)], &spec);
+        assert_eq!(ids(&out), vec![LintId::CoordUnknownStep]);
+    }
+
+    #[test]
+    fn step_in_two_mutexes_is_hold_and_wait() {
+        let spec = CoordinationSpec {
+            mutual_exclusions: vec![
+                MutualExclusion {
+                    id: 0,
+                    resource: "m1".into(),
+                    members: vec![ss(1, 2), ss(2, 2)],
+                },
+                MutualExclusion {
+                    id: 1,
+                    resource: "m2".into(),
+                    members: vec![ss(1, 2), ss(2, 2)],
+                },
+            ],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 3), linear(2, 3)], &spec);
+        let got = ids(&out);
+        assert!(got.contains(&LintId::MutexHoldAndWait), "{out:?}");
+        // Two steps sharing both mutexes also close a wait-for cycle.
+        assert!(got.contains(&LintId::CoordinationDeadlock), "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_member_warns() {
+        let spec = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "dock".into(),
+                members: vec![ss(1, 1), ss(1, 1)],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2)], &spec);
+        assert_eq!(ids(&out), vec![LintId::MutexDuplicateMember]);
+    }
+
+    #[test]
+    fn inverted_pairs_are_an_error() {
+        // Side A's second pair step (S1) precedes its first (S3).
+        let spec = CoordinationSpec {
+            relative_orders: vec![RelativeOrder {
+                id: 0,
+                conflict: "x".into(),
+                pairs: vec![(ss(1, 3), ss(2, 1)), (ss(1, 1), ss(2, 3))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 3), linear(2, 3)], &spec);
+        assert!(
+            ids(&out).contains(&LintId::RelativeOrderPairsInverted),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_schema_side_is_an_error() {
+        let spec = CoordinationSpec {
+            relative_orders: vec![RelativeOrder {
+                id: 0,
+                conflict: "x".into(),
+                pairs: vec![(ss(1, 1), ss(2, 1)), (ss(3, 1), ss(2, 2))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2), linear(2, 2), linear(3, 2)], &spec);
+        assert!(
+            ids(&out).contains(&LintId::RelativeOrderSchemaMixed),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn self_paired_schema_orders_two_instances() {
+        // The paper's own scenario: two linked instances of ONE workflow,
+        // kept in arrival order at their conflicting steps. Legal & clean.
+        let spec = CoordinationSpec {
+            relative_orders: vec![RelativeOrder {
+                id: 0,
+                conflict: "parts".into(),
+                pairs: vec![(ss(1, 1), ss(1, 1)), (ss(1, 3), ss(1, 3))],
+            }],
+            mutual_exclusions: vec![MutualExclusion {
+                id: 1,
+                resource: "dock".into(),
+                members: vec![ss(1, 2)],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 3)], &spec);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    /// Two instances of one schema whose single step sits in two mutexes:
+    /// each instance can grab one lock and wait for the other.
+    #[test]
+    fn self_double_mutex_deadlocks_two_instances() {
+        let spec = CoordinationSpec {
+            mutual_exclusions: vec![
+                MutualExclusion {
+                    id: 0,
+                    resource: "m1".into(),
+                    members: vec![ss(1, 1)],
+                },
+                MutualExclusion {
+                    id: 1,
+                    resource: "m2".into(),
+                    members: vec![ss(1, 1)],
+                },
+            ],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2)], &spec);
+        let got = ids(&out);
+        assert!(got.contains(&LintId::MutexHoldAndWait), "{out:?}");
+        assert!(got.contains(&LintId::CoordinationDeadlock), "{out:?}");
+    }
+
+    /// Crossed same-schema orders: order 0 says the instance leading at
+    /// step 1 leads, order 1 (over the same two instances) can elect the
+    /// other leader at step 2 — a reachable wedge.
+    #[test]
+    fn crossed_self_orders_deadlock() {
+        let spec = CoordinationSpec {
+            relative_orders: vec![
+                RelativeOrder {
+                    id: 0,
+                    conflict: "a".into(),
+                    pairs: vec![(ss(1, 2), ss(1, 1))],
+                },
+                RelativeOrder {
+                    id: 1,
+                    conflict: "b".into(),
+                    pairs: vec![(ss(1, 2), ss(1, 1))],
+                },
+            ],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2)], &spec);
+        assert!(ids(&out).contains(&LintId::CoordinationDeadlock), "{out:?}");
+    }
+
+    /// Two relative orders whose pairs chain head-to-tail across both
+    /// schemas: under the leadership assignment where each order's later
+    /// step leads, the waits close a cycle.
+    #[test]
+    fn crossed_orders_deadlock() {
+        let spec = CoordinationSpec {
+            relative_orders: vec![
+                RelativeOrder {
+                    id: 0,
+                    conflict: "a".into(),
+                    pairs: vec![(ss(1, 2), ss(2, 1))],
+                },
+                RelativeOrder {
+                    id: 1,
+                    conflict: "b".into(),
+                    pairs: vec![(ss(2, 2), ss(1, 1))],
+                },
+            ],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2), linear(2, 2)], &spec);
+        assert!(ids(&out).contains(&LintId::CoordinationDeadlock), "{out:?}");
+    }
+
+    #[test]
+    fn rollback_dependency_cycle_warns() {
+        let spec = CoordinationSpec {
+            rollback_dependencies: vec![
+                RollbackDependency {
+                    id: 0,
+                    source: ss(1, 1),
+                    dependent_schema: SchemaId(2),
+                    dependent_origin: StepId(1),
+                },
+                RollbackDependency {
+                    id: 1,
+                    source: ss(2, 1),
+                    dependent_schema: SchemaId(1),
+                    dependent_origin: StepId(1),
+                },
+            ],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2), linear(2, 2)], &spec);
+        assert_eq!(ids(&out), vec![LintId::RollbackDependencyCycle]);
+    }
+
+    /// A one-way rollback dependency is fine.
+    #[test]
+    fn one_way_rollback_dependency_is_clean() {
+        let spec = CoordinationSpec {
+            rollback_dependencies: vec![RollbackDependency {
+                id: 0,
+                source: ss(1, 1),
+                dependent_schema: SchemaId(2),
+                dependent_origin: StepId(1),
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&[linear(1, 2), linear(2, 2)], &spec);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

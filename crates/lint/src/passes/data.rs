@@ -1,0 +1,339 @@
+//! Pass 4: data hazards decidable without running anything.
+//!
+//! Three families of checks:
+//!
+//! - **Statically decided XOR conditions.** Arc conditions that fold to a
+//!   constant (see [`crate::fold`]) make a branch dead (`false`), make the
+//!   choice a design-time constant (`true`), or — when *every* conditioned
+//!   arc of a split folds false and no `otherwise` arc exists — leave the
+//!   instance with no rule able to fire at the split.
+//! - **Cross-branch reads over an XOR split.** Only one branch of an XOR
+//!   executes; a step reading a sibling branch's output waits on an event
+//!   that will never be posted.
+//! - **Concurrent same-program updates.** Two update steps on parallel
+//!   AND branches running the *same program* race the external resource
+//!   that program encapsulates (steps are black boxes, so the program name
+//!   is the only identity the WFMS has for the resource). A mutual
+//!   exclusion covering both steps serializes them; absent one, the lost
+//!   update is reported. This mirrors the paper's motivation for mutual
+//!   exclusion in §3.
+
+use crate::fold::fold_bool;
+use crate::{Diagnostic, LintId};
+use crew_model::{
+    CoordinationSpec, ItemScope, SchemaStep, SplitKind, StepId, StepKind, WorkflowSchema,
+};
+use std::collections::BTreeSet;
+
+/// Run the pass over one schema (the coordination spec is consulted for
+/// serializing mutexes).
+pub fn run(schema: &WorkflowSchema, spec: &CoordinationSpec, out: &mut Vec<Diagnostic>) {
+    for def in schema.steps() {
+        match schema.split_kind(def.id) {
+            Some(SplitKind::Xor) => {
+                check_xor_conditions(schema, def.id, out);
+                check_cross_branch_reads(schema, def.id, out);
+            }
+            Some(SplitKind::And) => check_concurrent_writes(schema, def.id, spec, out),
+            _ => {}
+        }
+    }
+}
+
+fn check_xor_conditions(schema: &WorkflowSchema, split: StepId, out: &mut Vec<Diagnostic>) {
+    let arcs: Vec<_> = schema.forward_outgoing(split).collect();
+    let folded: Vec<Option<bool>> = arcs
+        .iter()
+        .map(|a| a.condition.as_ref().and_then(fold_bool))
+        .collect();
+
+    // Every arc carries a condition and all fold false: no branch rule can
+    // ever fire, the instance wedges at the split.
+    if arcs.iter().all(|a| a.condition.is_some()) && folded.iter().all(|f| *f == Some(false)) {
+        out.push(
+            Diagnostic::new(
+                LintId::XorNoViableBranch,
+                format!(
+                    "every branch condition of XOR split `{}` ({split}) in workflow \
+                     `{}` is statically false: no branch can be taken and the \
+                     instance stalls at the split",
+                    schema.expect_step(split).name,
+                    schema.name
+                ),
+            )
+            .at_step(schema.id, split),
+        );
+        return;
+    }
+
+    for (arc, folded) in arcs.iter().zip(&folded) {
+        let head = schema.expect_step(arc.to);
+        match folded {
+            Some(false) => out.push(
+                Diagnostic::new(
+                    LintId::XorBranchUnreachable,
+                    format!(
+                        "branch `{}` ({}) of XOR split `{}` ({split}) in workflow \
+                         `{}` has a statically false condition: the branch is dead",
+                        head.name,
+                        arc.to,
+                        schema.expect_step(split).name,
+                        schema.name
+                    ),
+                )
+                .at_step(schema.id, arc.to),
+            ),
+            Some(true) => out.push(
+                Diagnostic::new(
+                    LintId::XorBranchAlwaysTaken,
+                    format!(
+                        "branch `{}` ({}) of XOR split `{}` ({split}) in workflow \
+                         `{}` has a statically true condition: the choice is made \
+                         at design time and sibling branches are dead",
+                        head.name,
+                        arc.to,
+                        schema.expect_step(split).name,
+                        schema.name
+                    ),
+                )
+                .at_step(schema.id, arc.to),
+            ),
+            None => {}
+        }
+    }
+}
+
+fn check_cross_branch_reads(schema: &WorkflowSchema, split: StepId, out: &mut Vec<Diagnostic>) {
+    let branches: Vec<BTreeSet<StepId>> = schema
+        .forward_outgoing(split)
+        .map(|a| schema.branch_steps(split, a.to))
+        .collect();
+
+    for (i, branch) in branches.iter().enumerate() {
+        for &s in branch {
+            let def = schema.expect_step(s);
+            for key in def.input_keys() {
+                let ItemScope::StepOutput(p) = key.scope else {
+                    continue;
+                };
+                let crossed = branches
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != i && other.contains(&p) && !branch.contains(&p));
+                if crossed {
+                    out.push(
+                        Diagnostic::new(
+                            LintId::XorCrossBranchRead,
+                            format!(
+                                "step `{}` ({s}) in workflow `{}` reads {key} from a \
+                                 different branch of XOR split `{}` ({split}): when \
+                                 `{}`'s branch runs, the producer never does",
+                                def.name,
+                                schema.name,
+                                schema.expect_step(split).name,
+                                def.name
+                            ),
+                        )
+                        .at_step(schema.id, s),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_concurrent_writes(
+    schema: &WorkflowSchema,
+    split: StepId,
+    spec: &CoordinationSpec,
+    out: &mut Vec<Diagnostic>,
+) {
+    let branches: Vec<BTreeSet<StepId>> = schema
+        .forward_outgoing(split)
+        .map(|a| schema.branch_steps(split, a.to))
+        .collect();
+
+    let serialized = |a: StepId, b: StepId| {
+        spec.mutual_exclusions.iter().any(|m| {
+            m.members.contains(&SchemaStep::new(schema.id, a))
+                && m.members.contains(&SchemaStep::new(schema.id, b))
+        })
+    };
+
+    for i in 0..branches.len() {
+        for j in (i + 1)..branches.len() {
+            for &s in &branches[i] {
+                // A step on both branches is past the confluence of a
+                // nested shape, not concurrent with itself.
+                if branches[j].contains(&s) {
+                    continue;
+                }
+                for &t in &branches[j] {
+                    if branches[i].contains(&t) || s >= t {
+                        continue;
+                    }
+                    let (ds, dt) = (schema.expect_step(s), schema.expect_step(t));
+                    if ds.kind != StepKind::Update
+                        || dt.kind != StepKind::Update
+                        || ds.program != dt.program
+                        || serialized(s, t)
+                    {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            LintId::ConcurrentWriteConflict,
+                            format!(
+                                "update steps `{}` ({s}) and `{}` ({t}) run program \
+                                 `{}` on concurrent branches of AND split `{}` \
+                                 ({split}) in workflow `{}` with no serializing \
+                                 mutual exclusion: lost-update race",
+                                ds.name,
+                                dt.name,
+                                ds.program,
+                                schema.expect_step(split).name,
+                                schema.name
+                            ),
+                        )
+                        .at_step(schema.id, s),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use crew_model::{CmpOp, Expr, ItemKey, MutualExclusion, SchemaBuilder, SchemaId};
+
+    fn ids(out: &[Diagnostic]) -> Vec<LintId> {
+        out.iter().map(|d| d.id).collect()
+    }
+
+    fn run_pass(schema: &WorkflowSchema, spec: &CoordinationSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        run(schema, spec, &mut out);
+        out
+    }
+
+    fn xor_diamond(cond_l: Expr) -> (SchemaBuilder, StepId, StepId, StepId, StepId) {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf").inputs(1);
+        let a = b.add_step("A", "p");
+        let l = b.add_step("L", "p");
+        let r = b.add_step("R", "p");
+        let j = b.add_step("J", "p");
+        b.xor_split(a, [(l, Some(cond_l)), (r, None)]);
+        b.xor_join([l, r], j);
+        (b, a, l, r, j)
+    }
+
+    #[test]
+    fn data_dependent_xor_is_clean() {
+        let cond = Expr::cmp(CmpOp::Gt, Expr::item(ItemKey::input(1)), Expr::lit(10));
+        let (b, ..) = xor_diamond(cond);
+        let schema = b.build().unwrap();
+        assert!(run_pass(&schema, &CoordinationSpec::default()).is_empty());
+    }
+
+    #[test]
+    fn statically_false_branch_is_unreachable() {
+        let cond = Expr::cmp(CmpOp::Gt, Expr::lit(1), Expr::lit(2));
+        let (b, ..) = xor_diamond(cond);
+        let schema = b.build().unwrap();
+        let out = run_pass(&schema, &CoordinationSpec::default());
+        assert_eq!(ids(&out), vec![LintId::XorBranchUnreachable]);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn statically_true_branch_is_always_taken() {
+        let cond = Expr::cmp(CmpOp::Lt, Expr::lit(1), Expr::lit(2));
+        let (b, ..) = xor_diamond(cond);
+        let schema = b.build().unwrap();
+        let out = run_pass(&schema, &CoordinationSpec::default());
+        assert_eq!(ids(&out), vec![LintId::XorBranchAlwaysTaken]);
+    }
+
+    #[test]
+    fn all_false_conditions_leave_no_viable_branch() {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf").inputs(1);
+        let a = b.add_step("A", "p");
+        let l = b.add_step("L", "p");
+        let r = b.add_step("R", "p");
+        let j = b.add_step("J", "p");
+        let f1 = Expr::cmp(CmpOp::Gt, Expr::lit(1), Expr::lit(2));
+        let f2 = Expr::cmp(CmpOp::Gt, Expr::lit(3), Expr::lit(4));
+        b.xor_split(a, [(l, Some(f1)), (r, Some(f2))]);
+        b.xor_join([l, r], j);
+        let schema = b.build().unwrap();
+        let out = run_pass(&schema, &CoordinationSpec::default());
+        assert_eq!(ids(&out), vec![LintId::XorNoViableBranch]);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn cross_branch_read_is_an_error() {
+        let cond = Expr::cmp(CmpOp::Gt, Expr::item(ItemKey::input(1)), Expr::lit(10));
+        let (mut b, _a, l, r, _j) = xor_diamond(cond);
+        b.read(r, ItemKey::output(l, 1));
+        let schema = b.build().unwrap();
+        let out = run_pass(&schema, &CoordinationSpec::default());
+        assert_eq!(ids(&out), vec![LintId::XorCrossBranchRead]);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    /// Reading an output produced *before* the split is fine.
+    #[test]
+    fn upstream_read_is_clean() {
+        let cond = Expr::cmp(CmpOp::Gt, Expr::item(ItemKey::input(1)), Expr::lit(10));
+        let (mut b, a, l, _r, _j) = xor_diamond(cond);
+        b.read(l, ItemKey::output(a, 1));
+        let schema = b.build().unwrap();
+        assert!(run_pass(&schema, &CoordinationSpec::default()).is_empty());
+    }
+
+    fn and_diamond(left_prog: &str, right_prog: &str) -> WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf").inputs(1);
+        let a = b.add_step("A", "p");
+        let l = b.add_step("L", left_prog);
+        let r = b.add_step("R", right_prog);
+        let j = b.add_step("J", "p");
+        b.and_split(a, [l, r]);
+        b.and_join([l, r], j);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_program_and_branches_warn() {
+        let out = run_pass(&and_diamond("stamp", "stamp"), &CoordinationSpec::default());
+        assert_eq!(ids(&out), vec![LintId::ConcurrentWriteConflict]);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn different_programs_are_clean() {
+        let out = run_pass(&and_diamond("stamp", "other"), &CoordinationSpec::default());
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn serializing_mutex_silences_the_conflict() {
+        let schema = and_diamond("stamp", "stamp");
+        let spec = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "stamp".into(),
+                members: vec![
+                    SchemaStep::new(schema.id, StepId(2)),
+                    SchemaStep::new(schema.id, StepId(3)),
+                ],
+            }],
+            ..CoordinationSpec::default()
+        };
+        let out = run_pass(&schema, &spec);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

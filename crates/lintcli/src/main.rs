@@ -1,0 +1,148 @@
+//! `crew-lint` — static verifier CLI for LAWS specs and built-in corpora.
+//!
+//! ```text
+//! crew-lint [--deny-warnings] [--builtin] [FILE.laws ...]
+//! ```
+//!
+//! Lints each `.laws` file (parse → compile → analyze, diagnostics carry
+//! source positions) and, with `--builtin`, the workload scenario schemas
+//! and a sweep of generated schemas. Exit status: 0 when every target is
+//! free of Error-level diagnostics (and of Warns under `--deny-warnings`),
+//! 1 when any finding fails the run, 2 on usage/IO/compile failures.
+
+use crew_lint::{lint, Diagnostic};
+use crew_model::{CoordinationSpec, SchemaId, WorkflowSchema};
+use crew_workload::{
+    claim_processing, fraud_check, generate, order_processing, travel_booking, GenConfig,
+};
+use std::process::ExitCode;
+
+struct Options {
+    deny_warnings: bool,
+    builtin: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: crew-lint [--deny-warnings] [--builtin] [FILE.laws ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        deny_warnings: false,
+        builtin: false,
+        files: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--builtin" => opts.builtin = true,
+            "--help" | "-h" => {
+                return usage();
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("crew-lint: unknown flag `{arg}`");
+                return usage();
+            }
+            _ => opts.files.push(arg),
+        }
+    }
+    if !opts.builtin && opts.files.is_empty() {
+        return usage();
+    }
+
+    let mut failed = false;
+    let mut broken = false;
+
+    for file in &opts.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("crew-lint: {file}: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        match crew_laws::parse_and_compile(&source) {
+            Ok(spec) => {
+                failed |= report(file, &spec.lint(), opts.deny_warnings);
+            }
+            Err(e) => {
+                eprintln!("crew-lint: {file}: {e}");
+                broken = true;
+            }
+        }
+    }
+
+    if opts.builtin {
+        for (name, schemas, coordination) in builtin_targets() {
+            failed |= report(&name, &lint(&schemas, &coordination), opts.deny_warnings);
+        }
+    }
+
+    if broken {
+        ExitCode::from(2)
+    } else if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Print a target's diagnostics; true when the target fails the run.
+fn report(target: &str, diags: &[Diagnostic], deny_warnings: bool) -> bool {
+    let errors = crew_lint::errors(diags).count();
+    let warns = diags.len() - errors;
+    if diags.is_empty() {
+        println!("{target}: clean");
+        return false;
+    }
+    println!("{target}: {errors} error(s), {warns} warning(s)");
+    for d in diags {
+        println!("  {d}");
+    }
+    errors > 0 || (deny_warnings && warns > 0)
+}
+
+/// The built-in corpus: the four scenario schemas (claim nests fraud, so
+/// they lint as one group) plus a seeded sweep of generated schemas across
+/// the structure and rollback parameter space.
+fn builtin_targets() -> Vec<(String, Vec<WorkflowSchema>, CoordinationSpec)> {
+    let mut out = vec![
+        (
+            "builtin:order_processing".to_owned(),
+            vec![order_processing()],
+            CoordinationSpec::default(),
+        ),
+        (
+            "builtin:travel_booking".to_owned(),
+            vec![travel_booking()],
+            CoordinationSpec::default(),
+        ),
+        (
+            "builtin:claim_processing".to_owned(),
+            vec![claim_processing(), fraud_check()],
+            CoordinationSpec::default(),
+        ),
+    ];
+    for seed in 0..4u64 {
+        for rollback_depth in [0u32, 1, 2] {
+            let cfg = GenConfig {
+                steps: 18,
+                parallel_prob: 0.35,
+                xor_prob: 0.35,
+                compensatable_frac: 0.5,
+                rollback_depth,
+                seed,
+                ..GenConfig::default()
+            };
+            out.push((
+                format!("builtin:gen(seed={seed},r={rollback_depth})"),
+                vec![generate(SchemaId(100 + seed as u32), &cfg)],
+                CoordinationSpec::default(),
+            ));
+        }
+    }
+    out
+}

@@ -64,11 +64,11 @@ pub struct ControlArc {
 #[allow(missing_docs)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchemaError {
-    /// Empty.
+    /// The schema has no steps.
     Empty,
-    /// Unknownstep.
+    /// An arc or spec references a step that was never added.
     UnknownStep(StepId),
-    /// Duplicatestep.
+    /// The same step id was added twice.
     DuplicateStep(StepId),
     /// Forward arcs must form a DAG.
     Cycle(Vec<StepId>),
@@ -77,40 +77,32 @@ pub enum SchemaError {
     StartSteps(Vec<StepId>),
     /// An XOR-split arc other than the single `otherwise` arc lacks a
     /// condition.
-    /// Missingcondition.
     MissingCondition { from: StepId, to: StepId },
     /// More than one unconditioned arc on an XOR split.
     MultipleOtherwise(StepId),
     /// A condition appears on an arc of an AND split or a sequence.
-    /// Unexpectedcondition.
     UnexpectedCondition { from: StepId, to: StepId },
     /// A step with multiple outgoing arcs has no declared split kind.
     UndeclaredSplit(StepId),
     /// A step with multiple incoming arcs has no declared join kind.
     UndeclaredJoin(StepId),
-    /// A step input reads an output of a step that is not upstream or on a
-    /// concurrent parallel branch (i.e. the producer is a descendant), or
-    /// reads a nonexistent slot.
-    /// Badinput.
+    /// A step input reads a nonexistent producer or slot, its own output,
+    /// or an output of a strict descendant (the future).
     BadInput {
         step: StepId,
         source: ItemKey,
         reason: &'static str,
     },
     /// A condition references an item that no upstream step produces.
-    /// Badconditionitem.
     BadConditionItem { at: StepId, item: ItemKey },
     /// Compensation sets must be disjoint.
     OverlappingCompensationSets(StepId),
     /// A rollback origin must be an ancestor of (or equal to) the failing
     /// step.
-    /// Badrollbackorigin.
     BadRollbackOrigin { failing: StepId, origin: StepId },
     /// A loop back-edge must target an ancestor of its source.
-    /// Badloopback.
     BadLoopBack { from: StepId, to: StepId },
-    /// Workflow input slot out of declared range.
-    /// Badinputslot.
+    /// A step reads a workflow input slot outside the declared range.
     BadInputSlot { step: StepId, slot: u16 },
     /// A nested-workflow step must not also name a program to execute.
     NestedStepHasProgram(StepId),

@@ -58,6 +58,10 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
     let mut tail: Option<StepId> = None;
     let mut block = 0u64;
     let mut all_steps: Vec<StepId> = Vec::new();
+    // XOR branch steps: a rollback that re-decides the split abandons the
+    // branch not retaken, so these must stay compensatable whenever
+    // rollback specs are emitted (crew-lint's compensation-soundness pass).
+    let mut xor_branch_steps: Vec<StepId> = Vec::new();
     // Backbone tails: the sequential spine every later step descends from
     // (rollback origins are drawn from here so they are always ancestors).
     let mut backbone: Vec<StepId> = Vec::new();
@@ -83,6 +87,7 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
                 let cond = Expr::cmp(CmpOp::Gt, Expr::item(ItemKey::input(1)), Expr::lit(10));
                 b.xor_split(head, [(left, Some(cond)), (right, None)]);
                 b.xor_join([left, right], join);
+                xor_branch_steps.extend([left, right]);
             } else {
                 b.and_split(head, [left, right]);
                 b.and_join([left, right], join);
@@ -131,6 +136,16 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
     // Rollback specs: a failure at any step past the first block rolls
     // back `rollback_depth` blocks along the backbone (the paper's `r`).
     if cfg.rollback_depth > 0 {
+        // Branch switches on re-decided XOR splits compensate the abandoned
+        // branch, so its update steps need a real undo regardless of the
+        // compensatable_frac draw.
+        for &s in &xor_branch_steps {
+            b.configure(s, |d| {
+                if d.kind == StepKind::Update && d.compensation_program.is_none() {
+                    d.compensation_program = Some("passthrough".into());
+                }
+            });
+        }
         let start = all_steps[0];
         for &(step, blk) in &block_of {
             if step == start {

@@ -56,7 +56,9 @@ coordination {
 "#;
 
 fn main() {
-    let compiled = crew_laws::parse_and_compile(SPEC).expect("LAWS spec compiles");
+    // Strict mode: compilation fails outright if the analyzer finds any
+    // Error-level problem (compensation holes, coordination deadlock, ...).
+    let compiled = crew_laws::parse_and_compile_strict(SPEC).expect("LAWS spec compiles and lints");
     println!(
         "compiled {} schema(s); coordination: {} order + {} mutex requirement(s)",
         compiled.schemas.len(),

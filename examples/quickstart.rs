@@ -15,8 +15,10 @@ fn main() {
     let mut b = SchemaBuilder::new(SchemaId(1), "ExpenseApproval").inputs(1);
     let submit = b.add_step("Submit", "passthrough");
     let validate = b.add_step("Validate", "passthrough");
+    // The two concurrent checks run *different* programs — crew-lint flags
+    // same-program writes on parallel branches as a lost-update hazard.
     let approve = b.add_step("ManagerApproval", "stamp");
-    let budget = b.add_step("BudgetCheck", "stamp");
+    let budget = b.add_step("BudgetCheck", "passthrough");
     let pay = b.add_step("Pay", "sum");
     b.seq(submit, validate);
     b.and_split(validate, [approve, budget]);
@@ -26,9 +28,11 @@ fn main() {
         b.configure(*s, |d| d.eligible_agents = vec![AgentId(i as u32 % 4)]);
     }
     let schema = b.build().expect("valid schema");
+    let diags = crew_lint::lint_schema(&schema);
+    assert!(diags.is_empty(), "schema should lint clean: {diags:?}");
 
     println!(
-        "ExpenseApproval: {} steps, terminals {:?}",
+        "ExpenseApproval: {} steps (lint: clean), terminals {:?}",
         schema.step_count(),
         schema.terminal_steps()
     );

@@ -19,6 +19,8 @@ fn main() {
     for (i, s) in ids.iter().enumerate() {
         schema.set_eligible_agents(*s, vec![crew_model::AgentId(i as u32 % 4)]);
     }
+    let diags = crew_lint::lint_schema(&schema);
+    assert!(diags.is_empty(), "schema should lint clean: {diags:?}");
     println!(
         "TravelBooking: Quote → AND(Flight, Hotel, Car) → Total → XOR(Premium|Basic) → Confirm"
     );

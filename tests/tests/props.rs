@@ -47,6 +47,37 @@ proptest! {
         }
     }
 
+    /// Any generated schema — including ones with rollback specs and
+    /// compensation sets — is free of Error-level lint findings: the
+    /// generator only emits specs the static verifier accepts.
+    #[test]
+    fn random_schemas_lint_error_free(
+        steps in 1u32..24,
+        parallel in 0.0f64..1.0,
+        xor in 0.0f64..1.0,
+        comp_frac in 0.0f64..1.0,
+        comp_set_steps in 0u32..4,
+        rollback_depth in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = GenConfig {
+            steps,
+            parallel_prob: parallel,
+            xor_prob: xor,
+            compensatable_frac: comp_frac,
+            comp_set_steps,
+            rollback_depth,
+            seed,
+        };
+        let schema = generate(SchemaId(1), &cfg);
+        let diags = crew_lint::lint(&[schema], &crew_model::CoordinationSpec::default());
+        prop_assert!(
+            crew_lint::is_clean(&diags),
+            "seed={} steps={} r={}: {:?}",
+            seed, steps, rollback_depth, diags
+        );
+    }
+
     /// Weight algebra: splitting into k parts and rejoining yields the
     /// original weight; nested splits preserve unity.
     #[test]
