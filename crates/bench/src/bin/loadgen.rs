@@ -1,0 +1,366 @@
+//! `loadgen` — open-loop throughput/latency harness over the simulator.
+//!
+//! ```text
+//! loadgen bench [--out PATH] [flags]    full matrix -> BENCH_*.json
+//! loadgen smoke [--out PATH]            low-rate bounded run + validate
+//! loadgen validate PATH                 validate an existing BENCH file
+//! ```
+//!
+//! Flags (bench/smoke):
+//!   --rates R1,R2,..   arrivals per 1000 virtual ticks   (default 50,200)
+//!   --instances N      instances per run                 (default 20000)
+//!   --seed S           workload + arrival seed           (default 42)
+//!   --schemas C        schema count                      (default 2)
+//!   --steps S          steps per schema                  (default 6)
+//!   --agents Z         agent pool size                   (default 12)
+//!   --engines E        engines for the parallel arch     (default 4)
+//!   --hotpath-scale K  hot-path workload multiplier      (default 10)
+//!   --no-hotpaths      skip the before/after entries
+//!
+//! The emitted JSON is schema-stable (see EXPERIMENTS.md); `validate`
+//! returns non-zero on any violation so CI can keep the harness honest.
+
+use crew_bench::{
+    parse, run_hotpaths, run_load, validate_bench, HotpathResult, Json, LoadResult, LoadSpec,
+    BENCH_SCHEMA_VERSION,
+};
+use crew_core::Architecture;
+use crew_workload::SetupParams;
+
+struct Options {
+    rates: Vec<f64>,
+    instances: u32,
+    seed: u64,
+    schemas: u32,
+    steps: u32,
+    agents: u32,
+    engines: u32,
+    hotpath_scale: u32,
+    hotpaths: bool,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            rates: vec![50.0, 200.0],
+            instances: 20_000,
+            seed: 42,
+            schemas: 2,
+            steps: 6,
+            agents: 12,
+            engines: 4,
+            hotpath_scale: 10,
+            hotpaths: true,
+            out: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--rates" => {
+                o.rates = value("--rates")?
+                    .split(',')
+                    .map(|r| r.parse::<f64>().map_err(|e| format!("--rates: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if o.rates.is_empty() || o.rates.iter().any(|r| *r <= 0.0) {
+                    return Err("--rates: need positive rates".into());
+                }
+            }
+            "--instances" => o.instances = num(&value("--instances")?)?,
+            "--seed" => o.seed = num(&value("--seed")?)? as u64,
+            "--schemas" => o.schemas = num(&value("--schemas")?)?,
+            "--steps" => o.steps = num(&value("--steps")?)?,
+            "--agents" => o.agents = num(&value("--agents")?)?,
+            "--engines" => o.engines = num(&value("--engines")?)?,
+            "--hotpath-scale" => o.hotpath_scale = num(&value("--hotpath-scale")?)?,
+            "--no-hotpaths" => o.hotpaths = false,
+            "--out" => o.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn num(s: &str) -> Result<u32, String> {
+    s.parse::<u32>().map_err(|e| format!("{s:?}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        _ => {
+            eprintln!("usage: loadgen <bench|smoke|validate> [flags]; see module docs");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let options = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 2;
+        }
+    };
+    run_matrix(&options)
+}
+
+fn cmd_smoke(args: &[String]) -> i32 {
+    // A bounded, CI-sized configuration; explicit flags still override.
+    let mut smoke: Vec<String> = ["--rates", "50", "--instances", "60", "--hotpath-scale", "1"]
+        .map(String::from)
+        .to_vec();
+    smoke.extend(args.iter().cloned());
+    let options = match parse_options(&smoke) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 2;
+        }
+    };
+    run_matrix(&options)
+}
+
+fn cmd_validate(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("loadgen validate: need a file path");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("loadgen validate: {path}: {e}");
+            return 1;
+        }
+    };
+    match parse(&text) {
+        Err(e) => {
+            eprintln!("loadgen validate: {path}: parse error: {e}");
+            1
+        }
+        Ok(doc) => {
+            let errs = validate_bench(&doc);
+            if errs.is_empty() {
+                println!("{path}: valid (schema_version {BENCH_SCHEMA_VERSION})");
+                0
+            } else {
+                for e in &errs {
+                    eprintln!("{path}: {e}");
+                }
+                1
+            }
+        }
+    }
+}
+
+fn run_matrix(options: &Options) -> i32 {
+    let setup = SetupParams {
+        s: options.steps,
+        c: options.schemas,
+        z: options.agents,
+        a: 2.min(options.agents),
+        me: 0,
+        ro: 0,
+        rd: 0,
+        r: 0,
+        pf: 0.0,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.0,
+        seed: options.seed,
+    };
+    let archs = [
+        ("central", Architecture::Central { agents: setup.z }),
+        (
+            "parallel",
+            Architecture::Parallel {
+                agents: setup.z,
+                engines: options.engines,
+            },
+        ),
+        ("distributed", Architecture::Distributed { agents: setup.z }),
+    ];
+
+    let mut runs = Vec::new();
+    for &(label, arch) in &archs {
+        for &rate in &options.rates {
+            let result = run_load(&LoadSpec {
+                arch,
+                rate_per_ktick: rate,
+                instances: options.instances,
+                setup,
+            });
+            eprintln!(
+                "{label:<12} rate {rate:>7.1}/ktick: {} committed in {} ticks / {:.0} ms \
+                 ({:.0} inst/s wall, p50/p95/p99 {} / {} / {} ticks)",
+                result.committed,
+                result.virtual_ticks,
+                result.wall_ms,
+                result.instances_per_sec_wall,
+                result.latency_ticks.map_or(0, |l| l.p50),
+                result.latency_ticks.map_or(0, |l| l.p95),
+                result.latency_ticks.map_or(0, |l| l.p99),
+            );
+            runs.push(run_json(label, &result));
+        }
+    }
+
+    let hotpaths: Vec<HotpathResult> = if options.hotpaths {
+        run_hotpaths(options.hotpath_scale)
+    } else {
+        Vec::new()
+    };
+    for h in &hotpaths {
+        eprintln!(
+            "hotpath {:<18} {:>10.1} -> {:>8.1} {} ({:.1}x): {}",
+            h.name,
+            h.before,
+            h.after,
+            h.unit,
+            h.improvement(),
+            h.detail
+        );
+    }
+
+    let mut doc = vec![
+        (
+            "schema_version".to_string(),
+            Json::Num(BENCH_SCHEMA_VERSION),
+        ),
+        ("benchmark".to_string(), Json::Str("crew-loadgen".into())),
+        ("seed".to_string(), Json::Num(options.seed as f64)),
+        (
+            "workload".to_string(),
+            Json::Obj(vec![
+                ("schemas".into(), Json::Num(setup.c as f64)),
+                ("steps".into(), Json::Num(setup.s as f64)),
+                ("agents".into(), Json::Num(setup.z as f64)),
+                ("engines".into(), Json::Num(options.engines as f64)),
+            ]),
+        ),
+        ("runs".to_string(), Json::Arr(runs)),
+    ];
+    if !hotpaths.is_empty() {
+        doc.push((
+            "hotpaths".to_string(),
+            Json::Arr(hotpaths.iter().map(hotpath_json).collect()),
+        ));
+    }
+    let doc = Json::Obj(doc);
+
+    // Self-check before writing: the harness must never emit a file its
+    // own validator rejects.
+    let errs = validate_bench(&doc);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("loadgen: emitted document invalid: {e}");
+        }
+        return 1;
+    }
+
+    let text = doc.emit();
+    match &options.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("loadgen: writing {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
+fn run_json(label: &str, r: &LoadResult) -> Json {
+    let mut members = vec![
+        ("arch".to_string(), Json::Str(label.into())),
+        (
+            "rate_per_ktick".to_string(),
+            Json::Num(r.spec.rate_per_ktick),
+        ),
+        ("instances".to_string(), Json::Num(r.spec.instances as f64)),
+        ("committed".to_string(), Json::Num(r.committed as f64)),
+        ("aborted".to_string(), Json::Num(r.aborted as f64)),
+        ("stalled".to_string(), Json::Num(r.stalled as f64)),
+        (
+            "virtual_ticks".to_string(),
+            Json::Num(r.virtual_ticks as f64),
+        ),
+        ("wall_ms".to_string(), Json::Num(round2(r.wall_ms))),
+        (
+            "instances_per_sec_wall".to_string(),
+            Json::Num(round2(r.instances_per_sec_wall)),
+        ),
+        (
+            "instances_per_ktick".to_string(),
+            Json::Num(round2(r.instances_per_ktick)),
+        ),
+        ("messages".to_string(), Json::Num(r.messages as f64)),
+        ("bytes".to_string(), Json::Num(r.bytes as f64)),
+    ];
+    let lat = r.latency_ticks.unwrap_or(crew_core::LatencyStats {
+        count: 0,
+        p50: 0,
+        p95: 0,
+        p99: 0,
+        mean: 0.0,
+        max: 0,
+    });
+    members.push((
+        "latency_ticks".to_string(),
+        Json::Obj(vec![
+            ("p50".into(), Json::Num(lat.p50 as f64)),
+            ("p95".into(), Json::Num(lat.p95 as f64)),
+            ("p99".into(), Json::Num(lat.p99 as f64)),
+            ("mean".into(), Json::Num(round2(lat.mean))),
+            ("max".into(), Json::Num(lat.max as f64)),
+        ]),
+    ));
+    // Wall-equivalent latency: tick percentiles scaled by this run's
+    // wall-time per tick (the simulator's virtual clock has no intrinsic
+    // wall meaning; this anchors it to the measured run).
+    let us = r.us_per_tick();
+    members.push((
+        "latency_wall_us".to_string(),
+        Json::Obj(vec![
+            ("p50".into(), Json::Num(round2(lat.p50 as f64 * us))),
+            ("p95".into(), Json::Num(round2(lat.p95 as f64 * us))),
+            ("p99".into(), Json::Num(round2(lat.p99 as f64 * us))),
+        ]),
+    ));
+    Json::Obj(members)
+}
+
+fn hotpath_json(h: &HotpathResult) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(h.name.into())),
+        ("unit".to_string(), Json::Str(h.unit.into())),
+        ("before".to_string(), Json::Num(round2(h.before))),
+        ("after".to_string(), Json::Num(round2(h.after))),
+        (
+            "improvement".to_string(),
+            Json::Num(round2(h.improvement())),
+        ),
+        ("detail".to_string(), Json::Str(h.detail.clone())),
+    ])
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}

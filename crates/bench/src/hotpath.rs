@@ -1,0 +1,165 @@
+//! Before/after measurements for the storage and channel hot paths.
+//!
+//! Each entry runs the *same seeded workload* through the slow path the
+//! repo used to ship and the fast path it ships now, and reports both wall
+//! times so `BENCH_*.json` carries the evidence:
+//!
+//! - `wal_group_commit` — per-record `Wal::append` (one `sync_data` per
+//!   record) vs one `Wal::append_batch` flush per group, on a real
+//!   `FileStore`.
+//! - `chan_log_replay` — `WalOutbox::replay` over an append-only channel
+//!   log vs the checkpoint-compacted log (O(every record ever sent) vs
+//!   O(live outbox)).
+
+use crew_simnet::{NodeId, OutboxLog, WalOutbox};
+use crew_storage::{FileStore, Wal};
+use std::time::Instant;
+
+/// One before/after hot-path measurement.
+#[derive(Debug, Clone)]
+pub struct HotpathResult {
+    /// Stable entry name (the `BENCH_*.json` key).
+    pub name: &'static str,
+    /// Unit of `before` / `after`.
+    pub unit: &'static str,
+    /// Slow-path measurement.
+    pub before: f64,
+    /// Fast-path measurement.
+    pub after: f64,
+    /// Human-readable workload description.
+    pub detail: String,
+}
+
+impl HotpathResult {
+    /// Speedup factor (`before / after`).
+    pub fn improvement(&self) -> f64 {
+        if self.after > 0.0 {
+            self.before / self.after
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1000.0
+}
+
+/// WAL group commit on a real file: `records` appends, synced one-by-one
+/// vs batch-encoded with a single `sync_data` per `batch`-record group.
+pub fn bench_group_commit(records: u32, batch: u32) -> std::io::Result<HotpathResult> {
+    let dir = std::env::temp_dir().join(format!("crew-bench-gc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let payload: Vec<u64> = (0..records as u64).collect();
+
+    let per_record = {
+        let mut wal: Wal<u64, FileStore> =
+            Wal::with_store(FileStore::open(dir.join("per-record.wal"))?);
+        let started = Instant::now();
+        for r in &payload {
+            wal.append(r)?;
+        }
+        ms(started)
+    };
+
+    let grouped = {
+        let mut wal: Wal<u64, FileStore> =
+            Wal::with_store(FileStore::open(dir.join("grouped.wal"))?);
+        let started = Instant::now();
+        for chunk in payload.chunks(batch as usize) {
+            wal.append_batch(chunk.iter())?;
+        }
+        ms(started)
+    };
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(HotpathResult {
+        name: "wal_group_commit",
+        unit: "ms_total",
+        before: per_record,
+        after: grouped,
+        detail: format!(
+            "{records} records on FileStore: sync per record vs one sync per {batch}-record batch"
+        ),
+    })
+}
+
+/// Channel-log recovery cost: `messages` fully-acked send/ack rounds, then
+/// one `replay`, on the append-only log vs the checkpoint-compacted log.
+pub fn bench_chan_replay(messages: u32) -> HotpathResult {
+    let mut filled: [WalOutbox<u64>; 2] = [WalOutbox::without_checkpointing(), WalOutbox::new()];
+    for log in filled.iter_mut() {
+        for i in 1..=messages as u64 {
+            log.log_send(NodeId(2), i, &i);
+            log.log_ack(NodeId(2), i);
+        }
+    }
+    let [mut unbounded, mut compacted] = filled;
+    let before_len = unbounded.log_len();
+    let after_len = compacted.log_len();
+
+    // Replay several times so the short compacted path gets a readable
+    // number; both sides run the same iteration count.
+    const ITERS: u32 = 10;
+    let started = Instant::now();
+    for _ in 0..ITERS {
+        let state = unbounded.replay();
+        assert!(state.outbox.values().all(|o| o.is_empty()));
+    }
+    let before = ms(started) * 1000.0 / ITERS as f64;
+    let started = Instant::now();
+    for _ in 0..ITERS {
+        let state = compacted.replay();
+        assert!(state.outbox.values().all(|o| o.is_empty()));
+    }
+    let after = ms(started) * 1000.0 / ITERS as f64;
+
+    HotpathResult {
+        name: "chan_log_replay",
+        unit: "us_per_replay",
+        before,
+        after,
+        detail: format!(
+            "{messages} fully-acked sends: replay over {before_len} records vs {after_len} after checkpointing"
+        ),
+    }
+}
+
+/// Run every hot-path measurement at `scale` (1 = smoke, 10 = full).
+pub fn run_hotpaths(scale: u32) -> Vec<HotpathResult> {
+    let mut out = Vec::new();
+    match bench_group_commit(500 * scale, 64) {
+        Ok(r) => out.push(r),
+        Err(e) => eprintln!("skipping wal_group_commit (io error: {e})"),
+    }
+    out.push(bench_chan_replay(2_000 * scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_commit_beats_per_record_sync() {
+        let r = bench_group_commit(400, 64).expect("temp dir writable");
+        assert!(r.before > 0.0 && r.after > 0.0);
+        assert!(
+            r.improvement() > 1.0,
+            "batched sync should win: before {} after {}",
+            r.before,
+            r.after
+        );
+    }
+
+    #[test]
+    fn checkpointed_replay_beats_full_scan() {
+        let r = bench_chan_replay(4_000);
+        assert!(
+            r.improvement() > 1.0,
+            "compacted replay should win: before {} after {}",
+            r.before,
+            r.after
+        );
+    }
+}

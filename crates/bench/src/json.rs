@@ -1,0 +1,514 @@
+//! Minimal JSON support for the `BENCH_*.json` result files.
+//!
+//! The repo carries no serde; this is a small value type with an emitter,
+//! a recursive-descent parser, and a validator for the benchmark result
+//! schema, so `loadgen` can write files and CI can prove they still parse.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so emitted files are
+/// stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (emitted without trailing `.0` when integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-print with 2-space indentation and a trailing newline.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(members) if members.is_empty() => out.push_str("{}"),
+            Json::Obj(members) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; benches never emit them
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Accepts exactly what [`Json::emit`] produces
+/// (plus arbitrary whitespace); errors carry a byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = bytes.get(*pos..*pos + len).ok_or("truncated utf-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- schema validation
+
+/// The schema version `loadgen` writes and [`validate_bench`] accepts.
+pub const BENCH_SCHEMA_VERSION: f64 = 1.0;
+
+fn require_num(obj: &Json, key: &str, path: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}.{key}: missing or not a number"))
+}
+
+fn require_str<'j>(obj: &'j Json, key: &str, path: &str) -> Result<&'j str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}.{key}: missing or not a string"))
+}
+
+/// Validate a parsed `BENCH_*.json` document against the schema described
+/// in EXPERIMENTS.md. Returns a list of problems (empty = valid).
+pub fn validate_bench(doc: &Json) -> Vec<String> {
+    fn check(errs: &mut Vec<String>, r: Result<(), String>) {
+        if let Err(e) = r {
+            errs.push(e);
+        }
+    }
+    let mut errs = Vec::new();
+
+    check(
+        &mut errs,
+        require_num(doc, "schema_version", "$").and_then(|v| {
+            if v == BENCH_SCHEMA_VERSION {
+                Ok(())
+            } else {
+                Err(format!("$.schema_version: {v} != {BENCH_SCHEMA_VERSION}"))
+            }
+        }),
+    );
+    check(&mut errs, require_str(doc, "benchmark", "$").map(|_| ()));
+    check(&mut errs, require_num(doc, "seed", "$").map(|_| ()));
+
+    match doc.get("runs").and_then(Json::as_arr) {
+        None => errs.push("$.runs: missing or not an array".into()),
+        Some([]) => errs.push("$.runs: must not be empty".into()),
+        Some(runs) => {
+            for (i, run) in runs.iter().enumerate() {
+                let path = format!("$.runs[{i}]");
+                match require_str(run, "arch", &path) {
+                    Ok("central" | "parallel" | "distributed") => {}
+                    Ok(other) => errs.push(format!("{path}.arch: unknown {other:?}")),
+                    Err(e) => errs.push(e),
+                }
+                for key in [
+                    "rate_per_ktick",
+                    "instances",
+                    "committed",
+                    "aborted",
+                    "stalled",
+                    "virtual_ticks",
+                    "wall_ms",
+                    "instances_per_sec_wall",
+                    "instances_per_ktick",
+                    "messages",
+                    "bytes",
+                ] {
+                    check(&mut errs, require_num(run, key, &path).map(|_| ()));
+                }
+                match run.get("latency_ticks") {
+                    None => errs.push(format!("{path}.latency_ticks: missing")),
+                    Some(lat) => {
+                        for key in ["p50", "p95", "p99", "mean", "max"] {
+                            check(
+                                &mut errs,
+                                require_num(lat, key, &format!("{path}.latency_ticks")).map(|_| ()),
+                            );
+                        }
+                    }
+                }
+                if let Some(lat) = run.get("latency_wall_us") {
+                    for key in ["p50", "p95", "p99"] {
+                        check(
+                            &mut errs,
+                            require_num(lat, key, &format!("{path}.latency_wall_us")).map(|_| ()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(hotpaths) = doc.get("hotpaths") {
+        match hotpaths.as_arr() {
+            None => errs.push("$.hotpaths: not an array".into()),
+            Some(entries) => {
+                for (i, entry) in entries.iter().enumerate() {
+                    let path = format!("$.hotpaths[{i}]");
+                    check(&mut errs, require_str(entry, "name", &path).map(|_| ()));
+                    check(&mut errs, require_str(entry, "unit", &path).map(|_| ()));
+                    check(&mut errs, require_num(entry, "before", &path).map(|_| ()));
+                    check(&mut errs, require_num(entry, "after", &path).map(|_| ()));
+                    check(
+                        &mut errs,
+                        require_num(entry, "improvement", &path).and_then(|v| {
+                            if v > 0.0 {
+                                Ok(())
+                            } else {
+                                Err(format!("{path}.improvement: must be positive, got {v}"))
+                            }
+                        }),
+                    );
+                }
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_values() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Num(1.0)),
+            ("b".into(), Json::Str("x \"quoted\"\n".into())),
+            (
+                "c".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(2.5)]),
+            ),
+            ("d".into(), Json::Obj(vec![])),
+            ("e".into(), Json::Arr(vec![])),
+        ]);
+        let text = doc.emit();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn integral_numbers_emit_without_decimal_point() {
+        assert_eq!(Json::Num(42.0).emit(), "42\n");
+        assert_eq!(Json::Num(2.5).emit(), "2.5\n");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} extra").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    fn minimal_run() -> Json {
+        let nums = [
+            ("rate_per_ktick", 50.0),
+            ("instances", 10.0),
+            ("committed", 10.0),
+            ("aborted", 0.0),
+            ("stalled", 0.0),
+            ("virtual_ticks", 100.0),
+            ("wall_ms", 1.0),
+            ("instances_per_sec_wall", 10.0),
+            ("instances_per_ktick", 100.0),
+            ("messages", 50.0),
+            ("bytes", 500.0),
+        ];
+        let mut members = vec![("arch".to_string(), Json::Str("central".into()))];
+        members.extend(nums.map(|(k, v)| (k.to_string(), Json::Num(v))));
+        members.push((
+            "latency_ticks".into(),
+            Json::Obj(
+                [
+                    ("p50", 5.0),
+                    ("p95", 9.0),
+                    ("p99", 10.0),
+                    ("mean", 5.5),
+                    ("max", 10.0),
+                ]
+                .map(|(k, v)| (k.to_string(), Json::Num(v)))
+                .to_vec(),
+            ),
+        ));
+        Json::Obj(members)
+    }
+
+    #[test]
+    fn validates_wellformed_bench_doc() {
+        let doc = Json::Obj(vec![
+            ("schema_version".into(), Json::Num(1.0)),
+            ("benchmark".into(), Json::Str("crew-loadgen".into())),
+            ("seed".into(), Json::Num(42.0)),
+            ("runs".into(), Json::Arr(vec![minimal_run()])),
+        ]);
+        assert_eq!(validate_bench(&doc), Vec::<String>::new());
+        // Round-trip through text keeps it valid.
+        assert_eq!(
+            validate_bench(&parse(&doc.emit()).unwrap()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn validation_catches_missing_fields_and_bad_arch() {
+        let doc = Json::Obj(vec![
+            ("schema_version".into(), Json::Num(1.0)),
+            ("benchmark".into(), Json::Str("crew-loadgen".into())),
+            ("seed".into(), Json::Num(42.0)),
+            (
+                "runs".into(),
+                Json::Arr(vec![Json::Obj(vec![(
+                    "arch".into(),
+                    Json::Str("quantum".into()),
+                )])]),
+            ),
+        ]);
+        let errs = validate_bench(&doc);
+        assert!(errs.iter().any(|e| e.contains("arch")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("latency_ticks")), "{errs:?}");
+        let empty = Json::Obj(vec![]);
+        assert!(validate_bench(&empty).len() >= 4);
+    }
+}

@@ -10,6 +10,14 @@
 
 #![warn(missing_docs)]
 
+pub mod hotpath;
+pub mod json;
+pub mod load;
+
+pub use hotpath::{run_hotpaths, HotpathResult};
+pub use json::{parse, validate_bench, Json, BENCH_SCHEMA_VERSION};
+pub use load::{arrival_ticks, run_load, LoadResult, LoadSpec};
+
 use crew_analysis::Params;
 use crew_core::{Architecture, Scenario, WorkflowSystem};
 use crew_model::{SchemaId, Value};

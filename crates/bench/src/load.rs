@@ -1,0 +1,197 @@
+//! Open-loop traffic driver: Poisson arrivals over the deterministic
+//! simulator.
+//!
+//! A closed-loop harness (start N, wait, start N more) measures the
+//! system's own backpressure; an *open-loop* driver schedules the whole
+//! arrival train up front at a configured rate, so queueing delay shows up
+//! in the completion-latency percentiles instead of silently throttling
+//! the offered load. Arrivals are a Poisson process in virtual time —
+//! exponential inter-arrival gaps drawn from the seeded hash, so the same
+//! `(seed, rate, instances)` triple always produces the identical train
+//! and every measurement is reproducible bit-for-bit.
+
+use crew_core::{Architecture, LatencyStats, Scenario, WorkflowSystem};
+use crew_model::{SchemaId, Value};
+use crew_workload::{build_deployment, SetupParams};
+use std::time::Instant;
+
+/// One open-loop load point: which architecture, how hard, how long.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Architecture under test.
+    pub arch: Architecture,
+    /// Offered load: expected arrivals per 1000 virtual ticks.
+    pub rate_per_ktick: f64,
+    /// Total instances in the arrival train.
+    pub instances: u32,
+    /// Workload shape (schemas, steps, agents, failure probabilities).
+    pub setup: SetupParams,
+}
+
+/// Measured result of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// The spec that produced it.
+    pub spec: LoadSpec,
+    /// Instances committed / aborted / not terminal at quiescence.
+    pub committed: usize,
+    /// See [`LoadResult::committed`].
+    pub aborted: usize,
+    /// See [`LoadResult::committed`].
+    pub stalled: usize,
+    /// Virtual time at quiescence.
+    pub virtual_ticks: u64,
+    /// Simulator events delivered.
+    pub events: u64,
+    /// Wall-clock duration of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Terminal instances per wall-clock second (the harness throughput).
+    pub instances_per_sec_wall: f64,
+    /// Terminal instances per 1000 virtual ticks (the modeled throughput;
+    /// compare against `rate_per_ktick` to spot saturation).
+    pub instances_per_ktick: f64,
+    /// Completion latency in virtual ticks (arrival → terminal status).
+    pub latency_ticks: Option<LatencyStats>,
+    /// Total logical messages delivered.
+    pub messages: u64,
+    /// Total payload bytes (approximate).
+    pub bytes: u64,
+}
+
+impl LoadResult {
+    /// Wall-clock microseconds per virtual tick for this run — the factor
+    /// that converts tick latencies to wall-equivalent latencies.
+    pub fn us_per_tick(&self) -> f64 {
+        if self.virtual_ticks == 0 {
+            return 0.0;
+        }
+        self.wall_ms * 1000.0 / self.virtual_ticks as f64
+    }
+}
+
+/// The deterministic Poisson arrival train for `(seed, rate, instances)`:
+/// strictly increasing virtual ticks, exponential gaps of mean
+/// `1000 / rate_per_ktick` (quantized to ≥ 1 tick).
+pub fn arrival_ticks(seed: u64, rate_per_ktick: f64, instances: u32) -> Vec<u64> {
+    assert!(rate_per_ktick > 0.0, "offered load must be positive");
+    let mean_gap = 1000.0 / rate_per_ktick;
+    let mut at = 0u64;
+    let mut out = Vec::with_capacity(instances as usize);
+    for k in 0..instances as u64 {
+        // (0, 1]: flip the [0,1) draw so ln never sees zero.
+        let u = 1.0 - crew_exec::hash::unit_draw(seed, &[0x4c4f4144, k]);
+        let gap = (-u.ln() * mean_gap).round().max(1.0) as u64;
+        at += gap;
+        out.push(at);
+    }
+    out
+}
+
+/// Run one open-loop load point to quiescence and measure.
+pub fn run_load(spec: &LoadSpec) -> LoadResult {
+    let deployment = build_deployment(&spec.setup, false);
+    let schemas: Vec<SchemaId> = deployment.schemas.keys().copied().collect();
+    let system = WorkflowSystem::with_deployment(deployment, spec.arch);
+
+    let mut scenario = Scenario::new();
+    for (k, &at) in arrival_ticks(spec.setup.seed, spec.rate_per_ktick, spec.instances)
+        .iter()
+        .enumerate()
+    {
+        let schema = schemas[k % schemas.len()];
+        scenario.start_at(schema, vec![(1, Value::Int(5)), (2, Value::Int(1))], at);
+    }
+
+    let started = Instant::now();
+    let report = system.run(scenario);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let committed = report.committed();
+    let aborted = report.aborted();
+    let terminal = (committed + aborted) as f64;
+    let stalled = spec.instances as usize - committed - aborted;
+    LoadResult {
+        spec: *spec,
+        committed,
+        aborted,
+        stalled,
+        virtual_ticks: report.virtual_time,
+        events: report.events,
+        wall_ms,
+        instances_per_sec_wall: if wall_ms > 0.0 {
+            terminal / (wall_ms / 1000.0)
+        } else {
+            0.0
+        },
+        instances_per_ktick: if report.virtual_time > 0 {
+            terminal * 1000.0 / report.virtual_time as f64
+        } else {
+            0.0
+        },
+        latency_ticks: report.latency_stats(),
+        messages: report.metrics.total_messages,
+        bytes: report.metrics.total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arch: Architecture, rate: f64, instances: u32) -> LoadSpec {
+        LoadSpec {
+            arch,
+            rate_per_ktick: rate,
+            instances,
+            setup: SetupParams::small(),
+        }
+    }
+
+    #[test]
+    fn arrival_train_is_deterministic_and_increasing() {
+        let a = arrival_ticks(42, 100.0, 500);
+        let b = arrival_ticks(42, 100.0, 500);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        // Mean gap tracks 1000/rate loosely (quantized exponential).
+        let mean = *a.last().unwrap() as f64 / a.len() as f64;
+        assert!((5.0..20.0).contains(&mean), "mean gap {mean} for rate 100");
+        let c = arrival_ticks(43, 100.0, 500);
+        assert_ne!(a, c, "seed changes the train");
+    }
+
+    #[test]
+    fn open_loop_run_completes_under_all_architectures() {
+        let z = SetupParams::small().z;
+        for arch in [
+            Architecture::Central { agents: z },
+            Architecture::Parallel {
+                agents: z,
+                engines: 2,
+            },
+            Architecture::Distributed { agents: z },
+        ] {
+            let r = run_load(&spec(arch, 50.0, 40));
+            assert_eq!(r.committed, 40, "{arch:?}");
+            assert_eq!(r.stalled, 0, "{arch:?}");
+            assert!(r.instances_per_ktick > 0.0, "{arch:?}");
+            let lat = r.latency_ticks.expect("completions recorded");
+            assert_eq!(lat.count, 40, "{arch:?}");
+            assert!(lat.p50 > 0 && lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+            assert!(r.messages > 0 && r.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn higher_rate_finishes_in_fewer_ticks() {
+        let z = SetupParams::small().z;
+        let slow = run_load(&spec(Architecture::Central { agents: z }, 20.0, 60));
+        let fast = run_load(&spec(Architecture::Central { agents: z }, 200.0, 60));
+        assert!(
+            fast.virtual_ticks < slow.virtual_ticks,
+            "fast {} vs slow {}",
+            fast.virtual_ticks,
+            slow.virtual_ticks
+        );
+    }
+}

@@ -64,6 +64,30 @@ impl CentralRun {
         instance
     }
 
+    /// Start an instance at a specific virtual time (open-loop arrival
+    /// processes in the throughput harness).
+    pub fn start_instance_at(
+        &mut self,
+        schema: SchemaId,
+        inputs: Vec<(u16, Value)>,
+        at: u64,
+    ) -> InstanceId {
+        let instance = InstanceId::new(schema, self.next_serial);
+        self.next_serial += 1;
+        let inputs = inputs
+            .into_iter()
+            .map(|(slot, v)| (ItemKey::input(slot), v))
+            .collect();
+        let owner = self.topo.owner_engine(instance);
+        self.sim.send_external_at(
+            self.topo.engine_node(owner),
+            CentralMsg::WorkflowStart { instance, inputs },
+            at,
+        );
+        self.started.push(instance);
+        instance
+    }
+
     /// Inject a user abort.
     pub fn abort_instance(&mut self, instance: InstanceId) {
         let owner = self.topo.owner_engine(instance);
@@ -154,6 +178,18 @@ impl CentralRun {
         for e in 0..self.topo.engines {
             for (&i, &s) in &self.engine(e).statuses {
                 out.insert(i, s);
+            }
+        }
+        out
+    }
+
+    /// Virtual tick at which each instance first reached a terminal
+    /// status, folded across engines.
+    pub fn completion_times(&self) -> BTreeMap<InstanceId, u64> {
+        let mut out = BTreeMap::new();
+        for e in 0..self.topo.engines {
+            for (&i, &t) in &self.engine(e).terminal_times {
+                out.entry(i).or_insert(t);
             }
         }
         out

@@ -99,6 +99,14 @@ pub struct Engine {
     templates: BTreeMap<crew_model::SchemaId, Arc<Vec<crew_rules::TemplateRule>>>,
     /// Instance status summary (the WFDB instance summary table).
     pub statuses: BTreeMap<InstanceId, InstanceStatus>,
+    /// Virtual tick at which each instance first reached a terminal status
+    /// (measurement instrumentation for the throughput/latency harness —
+    /// not part of the recovered state machine, so it survives fail-stop
+    /// crashes and is never written during replay).
+    pub terminal_times: BTreeMap<InstanceId, u64>,
+    /// Virtual time of the message being handled (instrumentation only;
+    /// the state machine itself never reads the clock).
+    clock: u64,
     // ---- coordination state ----
     /// Relative-order decisions, keyed by (req, side-0 instance, side-1
     /// instance). Present at the manager engine and mirrored at owners.
@@ -141,6 +149,8 @@ impl Engine {
             instances: BTreeMap::new(),
             templates: BTreeMap::new(),
             statuses: BTreeMap::new(),
+            terminal_times: BTreeMap::new(),
+            clock: 0,
             ro_decisions: BTreeMap::new(),
             ro_released: BTreeSet::new(),
             mutex_holders: BTreeMap::new(),
@@ -174,8 +184,11 @@ impl Engine {
     /// command stream, so only the projection is updated.
     fn log(&mut self, op: DbOp) {
         if !self.replaying {
+            // Group commit: records accumulate unsynced and are made
+            // durable by the single flush at the end of `on_message`,
+            // before any handler output leaves the node.
             self.wal
-                .append(&op)
+                .append_nosync(&op)
                 .expect("in-memory WAL append cannot fail");
         }
         self.db.apply(&op);
@@ -184,6 +197,11 @@ impl Engine {
     /// Update the instance summary table, journaling the change.
     fn set_status(&mut self, instance: InstanceId, status: InstanceStatus) {
         self.statuses.insert(instance, status);
+        if status != InstanceStatus::Executing && !self.replaying {
+            // First terminal transition wins: re-executions after an input
+            // change must not move the completion time.
+            self.terminal_times.entry(instance).or_insert(self.clock);
+        }
         self.log(DbOp::StatusChanged { instance, status });
     }
 
@@ -1621,13 +1639,18 @@ impl Node<CentralMsg> for Engine {
         // Write-ahead command logging: journal the input *before* handling
         // it, so every volatile structure the handler mutates can be
         // re-derived by replaying the journal after a fail-stop crash.
+        // The input record and every table mutation the handler logs are
+        // group-committed: one flush per delivered message, issued before
+        // the simulator releases the handler's buffered sends.
+        self.clock = ctx.now;
         self.wal
-            .append(&DbOp::EngineInput {
+            .append_nosync(&DbOp::EngineInput {
                 from: from.0,
                 payload: msg.to_bytes().to_vec(),
             })
             .expect("in-memory WAL append cannot fail");
         self.handle(from, msg, ctx);
+        self.wal.flush().expect("in-memory WAL flush cannot fail");
     }
 
     fn on_crash(&mut self) {

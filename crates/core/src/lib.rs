@@ -25,7 +25,7 @@
 pub mod report;
 pub mod system;
 
-pub use report::{InstanceOutcome, RunReport};
+pub use report::{InstanceOutcome, LatencyStats, RunReport};
 pub use system::{Architecture, CrashTarget, CrashWindow, Scenario, WorkflowSystem};
 
 pub use crew_simnet::{LinkCut, NetFaultPlan, RetransmitConfig, TransportStats};

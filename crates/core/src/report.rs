@@ -34,9 +34,73 @@ pub struct RunReport {
     pub events: u64,
     /// Virtual time at quiescence.
     pub virtual_time: u64,
+    /// Virtual tick at which each instance's start was injected.
+    pub arrival_ticks: BTreeMap<InstanceId, u64>,
+    /// Virtual tick at which each instance was first observed terminal
+    /// (engine summary table under central/parallel control, front-end
+    /// notification under distributed control). Stalled instances are
+    /// absent.
+    pub completion_ticks: BTreeMap<InstanceId, u64>,
+}
+
+/// Completion-latency summary over the terminal instances of one run, in
+/// virtual ticks (arrival → first terminal status).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Instances with both an arrival and a completion tick.
+    pub count: u64,
+    /// Median latency.
+    pub p50: u64,
+    /// 95th-percentile latency.
+    pub p95: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Maximum latency.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Summarize a set of latency samples (nearest-rank percentiles).
+    /// Returns `None` when `samples` is empty.
+    pub fn from_samples(mut samples: Vec<u64>) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |q: f64| samples[((n as f64 * q).ceil() as usize).clamp(1, n) - 1];
+        Some(LatencyStats {
+            count: n as u64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            mean: samples.iter().sum::<u64>() as f64 / n as f64,
+            max: samples[n - 1],
+        })
+    }
 }
 
 impl RunReport {
+    /// Per-instance completion latencies in virtual ticks (instances that
+    /// stalled or whose arrival was not recorded are skipped).
+    pub fn latencies(&self) -> Vec<u64> {
+        self.completion_ticks
+            .iter()
+            .filter_map(|(i, &done)| {
+                self.arrival_ticks
+                    .get(i)
+                    .map(|&start| done.saturating_sub(start))
+            })
+            .collect()
+    }
+
+    /// Completion-latency summary; `None` when nothing completed.
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        LatencyStats::from_samples(self.latencies())
+    }
+
     /// Per-instance messages for a mechanism (the Tables 4–6 unit).
     pub fn messages_per_instance(&self, mechanism: Mechanism) -> f64 {
         self.metrics
@@ -134,6 +198,8 @@ mod tests {
             scheduler_nodes: vec![NodeId(0), NodeId(1)],
             events: 10,
             virtual_time: 50,
+            arrival_ticks: BTreeMap::from([(i1, 5)]),
+            completion_ticks: BTreeMap::from([(i1, 45)]),
         };
         assert_eq!(report.messages_per_instance(Mechanism::Normal), 1.0);
         assert_eq!(report.scheduler_load_per_instance(), 100.0);
@@ -141,5 +207,23 @@ mod tests {
         assert_eq!(report.committed(), 1);
         assert_eq!(report.aborted(), 0);
         assert!(report.all_terminal());
+        let lat = report.latency_stats().unwrap();
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.p50, 40);
+        assert_eq!(lat.max, 40);
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let stats = LatencyStats::from_samples((1..=100).collect()).unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p50, 50);
+        assert_eq!(stats.p95, 95);
+        assert_eq!(stats.p99, 99);
+        assert_eq!(stats.max, 100);
+        assert_eq!(stats.mean, 50.5);
+        assert_eq!(LatencyStats::from_samples(vec![]), None);
+        let one = LatencyStats::from_samples(vec![7]).unwrap();
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (7, 7, 7, 7));
     }
 }

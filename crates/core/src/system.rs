@@ -120,12 +120,16 @@ impl CrashWindow {
     }
 }
 
+/// One scheduled instance start: schema, initial inputs, and an optional
+/// arrival tick (`None` = start at time zero).
+type ScheduledStart = (SchemaId, Vec<(u16, Value)>, Option<u64>);
+
 /// A declarative run scenario: which instances start (in order — instance
 /// serials are assigned 1, 2, … accordingly), which get linked for
 /// relative ordering, and which user actions / crashes are injected.
 #[derive(Debug, Clone, Default)]
 pub struct Scenario {
-    starts: Vec<(SchemaId, Vec<(u16, Value)>)>,
+    starts: Vec<ScheduledStart>,
     links: Vec<(usize, usize)>,
     actions: Vec<UserAction>,
     crashes: Vec<CrashWindow>,
@@ -140,7 +144,15 @@ impl Scenario {
     /// Start an instance of `schema`; returns its index within the
     /// scenario (serials are `index + 1`).
     pub fn start(&mut self, schema: SchemaId, inputs: Vec<(u16, Value)>) -> usize {
-        self.starts.push((schema, inputs));
+        self.starts.push((schema, inputs, None));
+        self.starts.len() - 1
+    }
+
+    /// Start an instance of `schema` at virtual time `at` — open-loop
+    /// arrival processes (the throughput harness) schedule their whole
+    /// arrival train up front with this.
+    pub fn start_at(&mut self, schema: SchemaId, inputs: Vec<(u16, Value)>, at: u64) -> usize {
+        self.starts.push((schema, inputs, Some(at)));
         self.starts.len() - 1
     }
 
@@ -268,8 +280,14 @@ impl WorkflowSystem {
             run.sim.enable_net_faults(plan.clone());
         }
         let mut ids = Vec::new();
-        for (schema, inputs) in &scenario.starts {
-            ids.push(run.start_instance(*schema, inputs.clone()));
+        let mut arrival_ticks = BTreeMap::new();
+        for (schema, inputs, at) in &scenario.starts {
+            let id = match at {
+                None => run.start_instance(*schema, inputs.clone()),
+                Some(t) => run.start_instance_at(*schema, inputs.clone(), *t),
+            };
+            arrival_ticks.insert(id, at.unwrap_or(0));
+            ids.push(id);
         }
         for action in &scenario.actions {
             match action {
@@ -286,6 +304,7 @@ impl WorkflowSystem {
         // "waits for the failed agent" into a terminating run.
         run.sim.max_events = 50_000_000;
         let events = run.sim.run_until(1_000_000);
+        let completion_ticks = run.completion_times();
         let outcomes_raw = run.outcomes();
         let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
             .iter()
@@ -304,6 +323,8 @@ impl WorkflowSystem {
             scheduler_nodes: run.agent_nodes(),
             events,
             virtual_time: run.sim.now(),
+            arrival_ticks,
+            completion_ticks,
             metrics: run.sim.metrics.clone(),
         }
     }
@@ -334,8 +355,14 @@ impl WorkflowSystem {
             run.sim.enable_net_faults(plan.clone());
         }
         let mut ids = Vec::new();
-        for (schema, inputs) in &scenario.starts {
-            ids.push(run.start_instance(*schema, inputs.clone()));
+        let mut arrival_ticks = BTreeMap::new();
+        for (schema, inputs, at) in &scenario.starts {
+            let id = match at {
+                None => run.start_instance(*schema, inputs.clone()),
+                Some(t) => run.start_instance_at(*schema, inputs.clone(), *t),
+            };
+            arrival_ticks.insert(id, at.unwrap_or(0));
+            ids.push(id);
         }
         for action in &scenario.actions {
             match action {
@@ -353,6 +380,7 @@ impl WorkflowSystem {
         // reported as Stalled instead of an unbounded loop.
         run.sim.max_events = 50_000_000;
         let events = run.sim.run_until(1_000_000);
+        let completion_ticks = run.completion_times();
         let statuses = run.statuses();
         let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
             .iter()
@@ -371,6 +399,8 @@ impl WorkflowSystem {
             scheduler_nodes: run.engine_nodes(),
             events,
             virtual_time: run.sim.now(),
+            arrival_ticks,
+            completion_ticks,
             metrics: run.sim.metrics.clone(),
         }
     }
@@ -432,6 +462,34 @@ mod tests {
             assert!(report.all_terminal(), "{arch:?}");
             assert!(report.transport().data_frames > 0, "{arch:?}");
             assert!(report.frame_overhead() >= 1.0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn staggered_starts_record_latency_under_all_architectures() {
+        for arch in [
+            Architecture::Central { agents: 2 },
+            Architecture::Parallel {
+                agents: 2,
+                engines: 2,
+            },
+            Architecture::Distributed { agents: 2 },
+        ] {
+            let system = WorkflowSystem::new([two_step_schema()], arch);
+            let mut scenario = Scenario::new();
+            scenario.start_at(SchemaId(1), vec![(1, Value::Int(7))], 10);
+            scenario.start_at(SchemaId(1), vec![(1, Value::Int(8))], 40);
+            let report = system.run(scenario);
+            assert_eq!(report.committed(), 2, "{arch:?}");
+            assert_eq!(report.arrival_ticks.len(), 2, "{arch:?}");
+            assert_eq!(report.completion_ticks.len(), 2, "{arch:?}");
+            let lat = report.latency_stats().expect("two completions");
+            assert_eq!(lat.count, 2, "{arch:?}");
+            assert!(lat.p50 > 0, "{arch:?}: completion after arrival");
+            assert!(
+                lat.max < 1_000,
+                "{arch:?}: latency is per-instance, not absolute time"
+            );
         }
     }
 

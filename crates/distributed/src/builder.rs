@@ -72,6 +72,33 @@ impl DistRun {
         instance
     }
 
+    /// Start an instance at a specific virtual time (open-loop arrival
+    /// processes in the throughput harness).
+    pub fn start_instance_at(
+        &mut self,
+        schema: SchemaId,
+        inputs: Vec<(u16, Value)>,
+        at: u64,
+    ) -> InstanceId {
+        let instance = InstanceId::new(schema, self.next_serial);
+        self.next_serial += 1;
+        let inputs: Vec<(ItemKey, Value)> = inputs
+            .into_iter()
+            .map(|(slot, v)| (ItemKey::input(slot), v))
+            .collect();
+        self.sim.send_external_at(
+            self.directory.frontend,
+            DistMsg::WorkflowStart {
+                instance,
+                inputs,
+                parent: None,
+            },
+            at,
+        );
+        self.started.push(instance);
+        instance
+    }
+
     /// Inject a user abort for `instance`.
     pub fn abort_instance(&mut self, instance: InstanceId) {
         self.sim
@@ -139,6 +166,12 @@ impl DistRun {
     /// Observed terminal outcomes at the front end.
     pub fn outcomes(&self) -> BTreeMap<InstanceId, Outcome> {
         self.frontend().outcomes.clone()
+    }
+
+    /// Virtual tick at which each terminal outcome was first observed at
+    /// the front end.
+    pub fn completion_times(&self) -> BTreeMap<InstanceId, u64> {
+        self.frontend().outcome_times.clone()
     }
 
     /// The front-end node.

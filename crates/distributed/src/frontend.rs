@@ -70,6 +70,10 @@ pub struct FrontEnd {
     shared: SharedCtx,
     /// Terminal outcomes observed.
     pub outcomes: BTreeMap<InstanceId, Outcome>,
+    /// Virtual tick at which each terminal outcome was first observed
+    /// (completion as seen from the administrative interface — the
+    /// latency the throughput harness reports).
+    pub outcome_times: BTreeMap<InstanceId, u64>,
     /// Last status reply per instance.
     pub statuses: BTreeMap<InstanceId, &'static str>,
     /// Requests rejected by coordination agents.
@@ -81,6 +85,7 @@ impl FrontEnd {
         FrontEnd {
             shared,
             outcomes: BTreeMap::new(),
+            outcome_times: BTreeMap::new(),
             statuses: BTreeMap::new(),
             rejections: Vec::new(),
         }
@@ -141,9 +146,11 @@ impl Node<DistMsg> for FrontEnd {
             // Coordination agents → record.
             DistMsg::WorkflowCommitted { instance } => {
                 self.outcomes.insert(instance, Outcome::Committed);
+                self.outcome_times.entry(instance).or_insert(ctx.now);
             }
             DistMsg::WorkflowAborted { instance } => {
                 self.outcomes.insert(instance, Outcome::Aborted);
+                self.outcome_times.entry(instance).or_insert(ctx.now);
             }
             DistMsg::WorkflowStatusReply { instance, status } => {
                 self.statuses.insert(instance, status);

@@ -634,7 +634,9 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
                             self.deliver(from, node, msg);
                         }
                         // Channel recovery: rebuild from the durable log
-                        // and immediately retransmit everything unacked.
+                        // and retransmit the first burst of unacked frames
+                        // per peer; the retry clock armed below drains the
+                        // rest at the normal burst/RTO pace.
                         if let Some(mut t) = self.transport.take() {
                             let resend = t.endpoint_mut(node).on_recover(self.now);
                             for (peer, seq, msg) in resend {
