@@ -879,6 +879,20 @@ impl Engine {
                     instance,
                     code: EventKind::StepFail(step).code(),
                 });
+                // Failure-policy retry: re-dispatch in place while the
+                // step's budget lasts; only an exhausted budget falls
+                // through to the paper's rollback machinery.
+                let def = schema.expect_step(step);
+                if def
+                    .policy
+                    .retry
+                    .as_ref()
+                    .is_some_and(|r| r.allows_retry_after(attempt))
+                {
+                    let def = def.clone();
+                    self.dispatch(instance, &def, ctx);
+                    return;
+                }
                 self.handle_failure(instance, step, ctx);
             }
         }

@@ -24,7 +24,7 @@ use crate::report::{InstanceOutcome, RunReport};
 use crew_central::CentralRun;
 use crew_distributed::{DistConfig, DistRun, Outcome};
 use crew_exec::Deployment;
-use crew_model::{InstanceId, SchemaId, Value, WorkflowSchema};
+use crew_model::{InstanceId, SchemaId, Value, WorkflowSchema, RUN_HORIZON_TICKS};
 use crew_simnet::NetFaultPlan;
 use crew_storage::InstanceStatus;
 use std::collections::BTreeMap;
@@ -303,7 +303,7 @@ impl WorkflowSystem {
         // the poll timer alive forever; a generous virtual-time cap turns
         // "waits for the failed agent" into a terminating run.
         run.sim.max_events = 50_000_000;
-        let events = run.sim.run_until(1_000_000);
+        let events = run.sim.run_until(RUN_HORIZON_TICKS);
         let completion_ticks = run.completion_times();
         let outcomes_raw = run.outcomes();
         let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
@@ -379,7 +379,7 @@ impl WorkflowSystem {
         // the cap turns "waits for the failed node" into a terminating run
         // reported as Stalled instead of an unbounded loop.
         run.sim.max_events = 50_000_000;
-        let events = run.sim.run_until(1_000_000);
+        let events = run.sim.run_until(RUN_HORIZON_TICKS);
         let completion_ticks = run.completion_times();
         let statuses = run.statuses();
         let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids

@@ -836,6 +836,25 @@ impl DistAgent {
                     instance,
                     code: EventKind::StepFail(def.id).code(),
                 });
+                // Failure-policy retry: requeue via a self-send so each
+                // attempt is a fresh delivery (simulated time advances and
+                // unbounded retries cannot recurse), falling back to the
+                // paper's rollback protocol once the budget is exhausted.
+                if def
+                    .policy
+                    .retry
+                    .as_ref()
+                    .is_some_and(|r| r.allows_retry_after(attempt))
+                {
+                    ctx.send(
+                        ctx.self_id,
+                        DistMsg::StepRetry {
+                            instance,
+                            step: def.id,
+                        },
+                    );
+                    return;
+                }
                 self.initiate_rollback(instance, def.id, ctx);
             }
         }
@@ -2578,6 +2597,22 @@ impl DistAgent {
         self.execute_now(instance, &def, ctx);
     }
 
+    fn on_step_retry(&mut self, instance: InstanceId, step: StepId, ctx: &mut Ctx<DistMsg>) {
+        // The retry only stands while the failure is still current: a
+        // rollback or abort between the self-send and its delivery
+        // supersedes the policy.
+        let current = self
+            .instances
+            .get(&instance)
+            .is_some_and(|st| st.history.state(step) == StepState::Failed);
+        if !current {
+            return;
+        }
+        let schema = self.schema(instance);
+        let def = schema.expect_step(step).clone();
+        self.execute_now(instance, &def, ctx);
+    }
+
     // ---- purge ------------------------------------------------------------------
 
     fn on_purge_timer(&mut self, ctx: &mut Ctx<DistMsg>) {
@@ -2814,6 +2849,7 @@ impl Node<DistMsg> for DistAgent {
             DistMsg::ExecuteRequest { instance, step } => {
                 self.on_execute_request(instance, step, ctx)
             }
+            DistMsg::StepRetry { instance, step } => self.on_step_retry(instance, step, ctx),
             DistMsg::AddRule { rule } => self.handle_coord_rule(rule, from, ctx),
             DistMsg::AddEvent { instance, tag } => self.on_add_event(instance, tag, ctx),
             DistMsg::AddPrecondition {

@@ -494,6 +494,11 @@ impl Encode for DistMsg {
                 25u8.encode(buf);
                 instances.encode(buf);
             }
+            DistMsg::StepRetry { instance, step } => {
+                26u8.encode(buf);
+                instance.encode(buf);
+                step.encode(buf);
+            }
         }
     }
 }
@@ -607,6 +612,10 @@ impl Decode for DistMsg {
             },
             25 => DistMsg::PurgeBroadcast {
                 instances: Decode::decode(buf)?,
+            },
+            26 => DistMsg::StepRetry {
+                instance: Decode::decode(buf)?,
+                step: Decode::decode(buf)?,
             },
             tag => {
                 return Err(CodecError::BadTag {
@@ -752,6 +761,10 @@ mod tests {
                 step: StepId(2),
             },
             DistMsg::ExecuteRequest {
+                instance: inst(1),
+                step: StepId(2),
+            },
+            DistMsg::StepRetry {
                 instance: inst(1),
                 step: StepId(2),
             },

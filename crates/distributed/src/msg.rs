@@ -181,6 +181,9 @@ pub enum DistMsg {
     /// Ask an alternate eligible agent to take over a (query) step whose
     /// designated executor is unreachable.
     ExecuteRequest { instance: InstanceId, step: StepId },
+    /// Failure-policy retry: re-execute a failed step in place (self-send,
+    /// so unbounded retries advance simulated time instead of recursing).
+    StepRetry { instance: InstanceId, step: StepId },
 
     // ---- coordinated execution (AddRule / AddEvent / AddPrecondition) ----
     /// Install a coordination rule at the receiving agent (Figure 4).
@@ -217,6 +220,7 @@ impl Classify for DistMsg {
             DistMsg::NestedCompleted { .. } => "NestedCompleted",
             DistMsg::InputsChanged { .. } => "InputsChanged",
             DistMsg::WorkflowRollback { .. } => "WorkflowRollback",
+            DistMsg::StepRetry { .. } => "StepRetry",
             DistMsg::HaltThread { .. } => "HaltThread",
             DistMsg::StepCompensate { .. } => "StepCompensate",
             DistMsg::StepCompensateAck { .. } => "StepCompensateAck",
@@ -256,7 +260,8 @@ impl Classify for DistMsg {
             | DistMsg::CompensateThread { .. }
             | DistMsg::StepStatus { .. }
             | DistMsg::StepStatusReply { .. }
-            | DistMsg::ExecuteRequest { .. } => Mechanism::FailureHandling,
+            | DistMsg::ExecuteRequest { .. }
+            | DistMsg::StepRetry { .. } => Mechanism::FailureHandling,
             DistMsg::AddRule { .. }
             | DistMsg::AddEvent { .. }
             | DistMsg::AddPrecondition { .. } => Mechanism::CoordinatedExecution,
@@ -284,6 +289,7 @@ impl Classify for DistMsg {
             | DistMsg::StepStatus { instance, .. }
             | DistMsg::StepStatusReply { instance, .. }
             | DistMsg::ExecuteRequest { instance, .. }
+            | DistMsg::StepRetry { instance, .. }
             | DistMsg::AddEvent { instance, .. }
             | DistMsg::AddPrecondition { instance, .. } => Some(*instance),
             DistMsg::StepExecute { packet } => Some(packet.instance),

@@ -33,6 +33,10 @@ pub struct FailurePlan {
     /// Scripted failures: (instance, step, attempt) triples that fail
     /// regardless of `pf`.
     pub scripted_failures: BTreeSet<(InstanceId, StepId, u32)>,
+    /// Deterministic failures: (instance, step) pairs that fail on *every*
+    /// attempt — the adversary for retry policies, which probabilistic and
+    /// per-attempt scripted failures cannot model.
+    pub always_fail: BTreeSet<(InstanceId, StepId)>,
     /// Scripted input changes: instances whose inputs a user changes.
     pub scripted_input_changes: BTreeSet<InstanceId>,
     /// Scripted aborts: instances a user aborts mid-flight.
@@ -66,6 +70,13 @@ impl FailurePlan {
         self
     }
 
+    /// Script a deterministic failure: `step` in `instance` fails on every
+    /// attempt, however often it is retried.
+    pub fn fail_step_always(mut self, instance: InstanceId, step: StepId) -> Self {
+        self.always_fail.insert((instance, step));
+        self
+    }
+
     /// Script a user input change for `instance`.
     pub fn change_inputs(mut self, instance: InstanceId) -> Self {
         self.scripted_input_changes.insert(instance);
@@ -96,7 +107,9 @@ impl FailurePlan {
 
     /// Should this execution of `step` fail?
     pub fn step_fails(&self, instance: InstanceId, step: StepId, attempt: u32) -> bool {
-        if self.scripted_failures.contains(&(instance, step, attempt)) {
+        if self.always_fail.contains(&(instance, step))
+            || self.scripted_failures.contains(&(instance, step, attempt))
+        {
             return true;
         }
         // Probabilistic failures strike only the first attempt.
@@ -202,6 +215,19 @@ mod tests {
         let p = FailurePlan::probabilistic(11, 0.0, 0.0, 0.0, 1.0).force_reexec(inst(1), StepId(4));
         assert!(p.revisit_requires_reexec(inst(9), StepId(9)));
         assert!(p.revisit_requires_reexec(inst(1), StepId(4)));
+    }
+
+    #[test]
+    fn always_fail_strikes_every_attempt() {
+        let p = FailurePlan::none().fail_step_always(inst(1), StepId(4));
+        for attempt in 1..20 {
+            assert!(p.step_fails(inst(1), StepId(4), attempt));
+        }
+        assert!(!p.step_fails(inst(1), StepId(3), 1), "other steps clean");
+        assert!(
+            !p.step_fails(inst(2), StepId(4), 1),
+            "other instances clean"
+        );
     }
 
     #[test]

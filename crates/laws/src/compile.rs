@@ -103,7 +103,11 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, CompileError> {
         let (schema, steps) = compile_workflow(wf, &wf_ids)?;
         spans.record_workflow(schema.id, span(wf.pos));
         for step in &wf.steps {
-            spans.record_step(schema.id, steps[step.name.as_str()], span(step.pos));
+            let id = steps[step.name.as_str()];
+            spans.record_step(schema.id, id, span(step.pos));
+            if let Some(p) = &step.policy {
+                spans.record_step_policy(schema.id, id, span(p.pos));
+            }
         }
         step_maps.insert(&wf.name, steps);
         schemas.push(schema);
@@ -122,6 +126,12 @@ fn compile_workflow<'a>(
     wf_ids: &BTreeMap<&str, SchemaId>,
 ) -> Result<(WorkflowSchema, BTreeMap<&'a str, StepId>), CompileError> {
     let mut b = SchemaBuilder::new(SchemaId(wf.id), wf.name.clone()).inputs(wf.inputs);
+    if let Some(p) = &wf.policy {
+        b.workflow_policy(crew_model::WorkflowPolicy {
+            max_failures: p.max_failures,
+            dead_letter: p.dead_letter,
+        });
+    }
     let mut ids: BTreeMap<&str, StepId> = BTreeMap::new();
 
     // Pass 1: declare steps.
@@ -171,6 +181,7 @@ fn compile_workflow<'a>(
             Some(ReexecDecl::InputsChanged) => Some(ReexecPolicy::IfInputsChanged),
             Some(ReexecDecl::When(e)) => Some(ReexecPolicy::When(resolve_expr(e, &ids)?)),
         };
+        let policy = step.policy.as_ref().map(compile_step_policy);
         b.configure(id, |d| {
             d.kind = if step.query {
                 StepKind::Query
@@ -193,6 +204,9 @@ fn compile_workflow<'a>(
             }
             if let Some(r) = reexec {
                 d.reexec = r;
+            }
+            if let Some(p) = policy {
+                d.policy = p;
             }
             d.eligible_agents = step
                 .agents
@@ -294,6 +308,35 @@ fn compile_workflow<'a>(
         message: format!("workflow `{}`: {e}", wf.name),
     })?;
     Ok((schema, ids))
+}
+
+/// Translate a parsed step policy block into the model type, applying the
+/// surface defaults (fixed backoff with zero base, zero jitter).
+fn compile_step_policy(p: &PolicyDecl) -> crew_model::StepPolicy {
+    crew_model::StepPolicy {
+        retry: p.retry.as_ref().map(|r| {
+            let (backoff, base) = match r.backoff {
+                Some((BackoffKindAst::Fixed, b)) => (crew_model::BackoffKind::Fixed, b),
+                Some((BackoffKindAst::Linear, b)) => (crew_model::BackoffKind::Linear, b),
+                Some((BackoffKindAst::Exponential, b)) => (crew_model::BackoffKind::Exponential, b),
+                None => (crew_model::BackoffKind::Fixed, 0),
+            };
+            crew_model::RetryPolicy {
+                max: r.max,
+                backoff,
+                base,
+                jitter: r.jitter.unwrap_or(0),
+            }
+        }),
+        idempotent: p.idempotent,
+        breaker: p
+            .breaker
+            .map(|(threshold, cooldown)| crew_model::BreakerPolicy {
+                threshold,
+                cooldown,
+            }),
+        dead_letter: p.dead_letter,
+    }
 }
 
 /// Resolve `WF.I<n>` / `<Step>.O<n>` item references.

@@ -28,11 +28,15 @@
 //!
 //! - `workflow Name (id N) { ... }` — steps, control flow
 //!   (`flow`/`parallel`/`choice`/`loop`), `compensation set { ... }`,
-//!   `on failure of S rollback to T [retry N]`.
+//!   `on failure of S rollback to T [retry N]`, and an optional
+//!   `policy { max_failures N; dead_letter; }` block.
 //! - `step Name { program "p"; compensate "u" [partial]; kind query;
 //!   reads WF.I1, Other.O2; outputs N; cost N; agents 0, 1;
 //!   reexecute always|never|when inputs_changed|when <expr>; }` or
-//!   `calls workflow Child;` for nested workflows.
+//!   `calls workflow Child;` for nested workflows. Steps may carry a
+//!   failure-policy block: `policy { retry(unbounded|N [, fixed|linear|
+//!   exponential N] [, jitter N]); idempotent; breaker(threshold N,
+//!   cooldown N); dead_letter; }`.
 //! - `coordination { mutex "res" { WF.Step, ... }; order "conflict"
 //!   (A.X before B.Y), ...; rollback A.X forces B to Y; }`.
 
@@ -55,7 +59,8 @@ pub fn parse_and_compile(source: &str) -> Result<CompiledSpec, LawsError> {
 /// [`parse_and_compile`] plus the `crew-lint` analyzer: fails with
 /// [`LawsError::Lint`] when the spec carries Error-level findings
 /// (compensation unsoundness, coordination deadlock, non-terminating
-/// rule templates, data hazards). Warn-level diagnostics are kept on the
+/// rule templates, data hazards, failure-policy unsoundness). Warn-level
+/// diagnostics are kept on the
 /// returned spec's lint report but do not fail compilation.
 pub fn parse_and_compile_strict(source: &str) -> Result<CompiledSpec, LawsError> {
     let spec = parse_and_compile(source)?;

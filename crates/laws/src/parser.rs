@@ -6,8 +6,16 @@
 //! spec      := (workflow | coordination)* EOF
 //! workflow  := "workflow" IDENT "(" "id" INT ")" "{" wfitem* "}"
 //! wfitem    := "inputs" INT ";" | step | flow | parallel | choice | loop
-//!            | compset | onfailure
+//!            | compset | onfailure | wfpolicy
 //! step      := "step" IDENT "{" stepitem* "}"
+//! wfpolicy  := "policy" "{" ("max_failures" INT ";" | "dead_letter" ";")* "}"
+//! steppolicy := "policy" "{" policyitem* "}"
+//! policyitem := "retry" "(" ("unbounded" | INT)
+//!                 ("," ("fixed"|"linear"|"exponential") INT)?
+//!                 ("," "jitter" INT)? ")" ";"
+//!             | "idempotent" ";"
+//!             | "breaker" "(" "threshold" INT "," "cooldown" INT ")" ";"
+//!             | "dead_letter" ";"
 //! flow      := "flow" IDENT "->" IDENT ";"
 //! parallel  := "parallel" IDENT "->" "{" IDENT ("," IDENT)* "}" "->" IDENT ";"
 //! choice    := "choice" IDENT "->" "{" branch ("," branch)* "}" "->" IDENT ";"
@@ -166,6 +174,7 @@ impl Parser {
             inputs: 0,
             steps: Vec::new(),
             items: Vec::new(),
+            policy: None,
             pos,
         };
         while self.peek().tok != Tok::RBrace {
@@ -281,6 +290,16 @@ impl Parser {
                             pos,
                         });
                     }
+                    "policy" => {
+                        let pos = self.next().pos;
+                        if decl.policy.is_some() {
+                            return Err(ParseError {
+                                pos,
+                                message: "duplicate workflow policy block".into(),
+                            });
+                        }
+                        decl.policy = Some(self.wf_policy(pos)?);
+                    }
                     other => return self.err(format!("unexpected workflow item `{other}`")),
                 },
                 other => return self.err(format!("unexpected token {other}")),
@@ -318,6 +337,7 @@ impl Parser {
             cost: 100,
             agents: Vec::new(),
             reexec: None,
+            policy: None,
             pos,
         };
         while self.peek().tok != Tok::RBrace {
@@ -405,6 +425,15 @@ impl Parser {
                     decl.reexec = Some(r);
                     self.expect(Tok::Semi)?;
                 }
+                "policy" => {
+                    if decl.policy.is_some() {
+                        return Err(ParseError {
+                            pos: kw_pos,
+                            message: "duplicate step policy block".into(),
+                        });
+                    }
+                    decl.policy = Some(self.step_policy(kw_pos)?);
+                }
                 other => {
                     return Err(ParseError {
                         pos: kw_pos,
@@ -414,6 +443,129 @@ impl Parser {
             }
         }
         self.expect(Tok::RBrace)?;
+        Ok(decl)
+    }
+
+    /// `policy { (max_failures INT ";" | dead_letter ";")* }` — the
+    /// `policy` keyword has already been consumed at `pos`.
+    fn wf_policy(&mut self, pos: Pos) -> Result<WfPolicyDecl, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut decl = WfPolicyDecl {
+            max_failures: None,
+            dead_letter: false,
+            pos,
+        };
+        while self.peek().tok != Tok::RBrace {
+            let (kw, kw_pos) = self.ident()?;
+            match kw.as_str() {
+                "max_failures" => {
+                    decl.max_failures = Some(self.int()? as u32);
+                    self.expect(Tok::Semi)?;
+                }
+                "dead_letter" => {
+                    decl.dead_letter = true;
+                    self.expect(Tok::Semi)?;
+                }
+                other => {
+                    return Err(ParseError {
+                        pos: kw_pos,
+                        message: format!("unexpected workflow policy item `{other}`"),
+                    })
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(decl)
+    }
+
+    /// `policy { policyitem* }` — the `policy` keyword has already been
+    /// consumed at `pos`.
+    fn step_policy(&mut self, pos: Pos) -> Result<PolicyDecl, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut decl = PolicyDecl {
+            retry: None,
+            idempotent: false,
+            breaker: None,
+            dead_letter: false,
+            pos,
+        };
+        while self.peek().tok != Tok::RBrace {
+            let (kw, kw_pos) = self.ident()?;
+            match kw.as_str() {
+                "retry" => {
+                    decl.retry = Some(self.retry_decl(kw_pos)?);
+                    self.expect(Tok::Semi)?;
+                }
+                "idempotent" => {
+                    decl.idempotent = true;
+                    self.expect(Tok::Semi)?;
+                }
+                "breaker" => {
+                    self.expect(Tok::LParen)?;
+                    self.keyword("threshold")?;
+                    let threshold = self.int()? as u32;
+                    self.expect(Tok::Comma)?;
+                    self.keyword("cooldown")?;
+                    let cooldown = self.int()? as u64;
+                    self.expect(Tok::RParen)?;
+                    self.expect(Tok::Semi)?;
+                    decl.breaker = Some((threshold, cooldown));
+                }
+                "dead_letter" => {
+                    decl.dead_letter = true;
+                    self.expect(Tok::Semi)?;
+                }
+                other => {
+                    return Err(ParseError {
+                        pos: kw_pos,
+                        message: format!("unexpected policy item `{other}`"),
+                    })
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(decl)
+    }
+
+    /// `retry "(" ("unbounded" | INT) ("," backoff INT)? ("," "jitter" INT)? ")"`
+    fn retry_decl(&mut self, pos: Pos) -> Result<RetryDecl, ParseError> {
+        self.expect(Tok::LParen)?;
+        let max = if self.is_keyword("unbounded") {
+            self.next();
+            None
+        } else {
+            Some(self.int()? as u32)
+        };
+        let mut decl = RetryDecl {
+            max,
+            backoff: None,
+            jitter: None,
+            pos,
+        };
+        while self.peek().tok == Tok::Comma {
+            self.next();
+            let (kw, kw_pos) = self.ident()?;
+            let kind = match kw.as_str() {
+                "fixed" => Some(BackoffKindAst::Fixed),
+                "linear" => Some(BackoffKindAst::Linear),
+                "exponential" => Some(BackoffKindAst::Exponential),
+                "jitter" => None,
+                other => {
+                    return Err(ParseError {
+                        pos: kw_pos,
+                        message: format!(
+                            "expected fixed|linear|exponential|jitter, found `{other}`"
+                        ),
+                    })
+                }
+            };
+            let value = self.int()? as u64;
+            match kind {
+                Some(k) => decl.backoff = Some((k, value)),
+                None => decl.jitter = Some(value),
+            }
+        }
+        self.expect(Tok::RParen)?;
         Ok(decl)
     }
 
@@ -762,6 +914,64 @@ mod tests {
         );
         let err = parse("coordination { order \"x\" (A.B after C.D); }").unwrap_err();
         assert!(err.message.contains("before"), "{}", err.message);
+    }
+
+    #[test]
+    fn parses_policy_blocks() {
+        let spec = parse(
+            r#"
+            workflow P (id 1) {
+                inputs 1;
+                policy { max_failures 4; dead_letter; }
+                step A {
+                    program "p";
+                    policy { retry(3, exponential 10, jitter 2); idempotent; }
+                }
+                step B {
+                    program "p";
+                    policy {
+                        retry(unbounded);
+                        breaker(threshold 2, cooldown 500);
+                        dead_letter;
+                    }
+                }
+                flow A -> B;
+            }
+            "#,
+        )
+        .unwrap();
+        let wf = &spec.workflows[0];
+        let wfp = wf.policy.as_ref().unwrap();
+        assert_eq!(wfp.max_failures, Some(4));
+        assert!(wfp.dead_letter);
+        let a = wf.steps[0].policy.as_ref().unwrap();
+        let ra = a.retry.as_ref().unwrap();
+        assert_eq!(ra.max, Some(3));
+        assert_eq!(ra.backoff, Some((BackoffKindAst::Exponential, 10)));
+        assert_eq!(ra.jitter, Some(2));
+        assert!(a.idempotent);
+        assert!(!a.dead_letter);
+        let b = wf.steps[1].policy.as_ref().unwrap();
+        assert_eq!(b.retry.as_ref().unwrap().max, None);
+        assert_eq!(b.breaker, Some((2, 500)));
+        assert!(b.dead_letter);
+    }
+
+    #[test]
+    fn policy_errors_are_reported() {
+        let err = parse(
+            r#"workflow P (id 1) { step A { program "p"; policy { retry(2); } policy { } } }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate step policy"), "{err}");
+        let err = parse(r#"workflow P (id 1) { step A { program "p"; policy { backoff 3; } } }"#)
+            .unwrap_err();
+        assert!(err.message.contains("unexpected policy item"), "{err}");
+        let err = parse(r#"workflow P (id 1) { policy { retry(2); } }"#).unwrap_err();
+        assert!(
+            err.message.contains("unexpected workflow policy item"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! today surfaces as a runtime `Stalled` after the simulation horizon
 //! expires; this crate turns those wedges into compile-time diagnostics.
 //!
-//! Four passes run over a compiled spec (schemas + [`CoordinationSpec`] +
+//! Five passes run over a compiled spec (schemas + [`CoordinationSpec`] +
 //! the `crew-rules` template):
 //!
 //! 1. **Compensation soundness** ([`passes::compensation`]) — steps a
@@ -30,6 +30,13 @@
 //!    [`Expr`](crew_model::Expr)), reads must not cross XOR branches, and
 //!    concurrent AND branches must not race the same update program
 //!    without a serializing mutex.
+//! 5. **Failure-policy soundness** ([`passes::policy`]) — retry, breaker
+//!    and dead-letter annotations must be coherent: a retried
+//!    non-idempotent update step needs compensation, retry inside a
+//!    compensation dependent set needs a set-wide failure budget,
+//!    unbounded retry needs a dead-letter route, a breaker on a mutex
+//!    holder risks livelock, and cumulative backoff schedules must fit
+//!    the run horizon without overflowing tick arithmetic.
 //!
 //! Diagnostics carry a [`LintId`], a severity, and (when the spec came
 //! from LAWS source) a [`Span`] threaded through from the parser via a
@@ -83,6 +90,7 @@ pub enum CoordKind {
 pub struct SpanTable {
     workflows: BTreeMap<SchemaId, Span>,
     steps: BTreeMap<(SchemaId, StepId), Span>,
+    step_policies: BTreeMap<(SchemaId, StepId), Span>,
     coord: BTreeMap<(CoordKind, u32), Span>,
 }
 
@@ -97,15 +105,26 @@ impl SpanTable {
         self.steps.insert((schema, step), span);
     }
 
+    /// Record the span of a step's `policy { ... }` block.
+    pub fn record_step_policy(&mut self, schema: SchemaId, step: StepId, span: Span) {
+        self.step_policies.insert((schema, step), span);
+    }
+
     /// Record the span of a coordination requirement.
     pub fn record_coord(&mut self, kind: CoordKind, id: u32, span: Span) {
         self.coord.insert((kind, id), span);
     }
 
-    /// The best span for a diagnostic: its step, else its workflow, else
-    /// its coordination requirement.
+    /// The best span for a diagnostic: for policy findings the step's
+    /// policy block, then its step, else its workflow, else its
+    /// coordination requirement.
     pub fn resolve(&self, d: &Diagnostic) -> Option<Span> {
         if let (Some(schema), Some(step)) = (d.schema, d.step) {
+            if d.id.is_policy() {
+                if let Some(s) = self.step_policies.get(&(schema, step)) {
+                    return Some(*s);
+                }
+            }
             if let Some(s) = self.steps.get(&(schema, step)) {
                 return Some(*s);
             }
@@ -210,6 +229,31 @@ pub enum LintId {
     /// with no serializing mutex: lost-update race on the shared
     /// resource.
     ConcurrentWriteConflict,
+
+    // Pass 5: failure-policy soundness.
+    /// A retried update step is neither idempotent nor compensatable:
+    /// each retry can duplicate effects no rollback can undo.
+    RetryNonIdempotentWithoutCompensation,
+    /// A compensation-set member carries its own retry policy but the
+    /// workflow declares no set-wide failure budget (`max_failures`): a
+    /// member can retry indefinitely often while the set's atomic undo
+    /// is pending.
+    RetryInCompSetWithoutSetPolicy,
+    /// An unbounded retry has no dead-letter route (step- or
+    /// workflow-level): a deterministic failure retries forever and the
+    /// instance never terminates.
+    UnboundedRetryWithoutDeadLetter,
+    /// A circuit breaker guards a step that holds a mutual-exclusion
+    /// building block: while the breaker is open the mutex stays held and
+    /// linked instances can livelock behind it.
+    BreakerOnMutexStep,
+    /// The retry policy's worst-case cumulative backoff exceeds the run
+    /// horizon or wraps 64-bit tick arithmetic: the schedule can never
+    /// complete within a bounded run.
+    BackoffOverflowsHorizon,
+    /// A dead-letter route is declared on a step without a retry policy:
+    /// nothing ever routes to it.
+    DeadLetterWithoutRetry,
 }
 
 impl LintId {
@@ -227,7 +271,11 @@ impl LintId {
             | RuleCycleWithoutLoopBack
             | LoopNeverExits
             | XorNoViableBranch
-            | XorCrossBranchRead => Severity::Error,
+            | XorCrossBranchRead
+            | RetryNonIdempotentWithoutCompensation
+            | RetryInCompSetWithoutSetPolicy
+            | UnboundedRetryWithoutDeadLetter
+            | BackoffOverflowsHorizon => Severity::Error,
             RollbackBlindReexecution
             | RollbackOriginInsideXorBranch
             | MutexDuplicateMember
@@ -235,8 +283,26 @@ impl LintId {
             | LoopConditionNeverHolds
             | XorBranchUnreachable
             | XorBranchAlwaysTaken
-            | ConcurrentWriteConflict => Severity::Warn,
+            | ConcurrentWriteConflict
+            | BreakerOnMutexStep
+            | DeadLetterWithoutRetry => Severity::Warn,
         }
+    }
+
+    /// True for the failure-policy pass family: these diagnostics anchor
+    /// to a step's `policy { ... }` block when the spec came from LAWS
+    /// source.
+    pub fn is_policy(self) -> bool {
+        use LintId::*;
+        matches!(
+            self,
+            RetryNonIdempotentWithoutCompensation
+                | RetryInCompSetWithoutSetPolicy
+                | UnboundedRetryWithoutDeadLetter
+                | BreakerOnMutexStep
+                | BackoffOverflowsHorizon
+                | DeadLetterWithoutRetry
+        )
     }
 
     /// The stable kebab-case code for this check.
@@ -262,6 +328,12 @@ impl LintId {
             XorNoViableBranch => "xor-no-viable-branch",
             XorCrossBranchRead => "xor-cross-branch-read",
             ConcurrentWriteConflict => "concurrent-write-conflict",
+            RetryNonIdempotentWithoutCompensation => "retry-non-idempotent-without-compensation",
+            RetryInCompSetWithoutSetPolicy => "retry-in-comp-set-without-set-policy",
+            UnboundedRetryWithoutDeadLetter => "unbounded-retry-without-dead-letter",
+            BreakerOnMutexStep => "breaker-on-mutex-step",
+            BackoffOverflowsHorizon => "backoff-overflows-horizon",
+            DeadLetterWithoutRetry => "dead-letter-without-retry",
         }
     }
 }
@@ -328,7 +400,7 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Run all four passes over `schemas` + `coordination`.
+/// Run all five passes over `schemas` + `coordination`.
 ///
 /// Diagnostics come back sorted errors-first, then by schema/step, so the
 /// first entry is always the most severe finding.
@@ -338,6 +410,7 @@ pub fn lint(schemas: &[WorkflowSchema], coordination: &CoordinationSpec) -> Vec<
         passes::compensation::run(schema, &mut out);
         passes::template::run(schema, &mut out);
         passes::data::run(schema, coordination, &mut out);
+        passes::policy::run(schema, coordination, &mut out);
     }
     passes::coordination::run(schemas, coordination, &mut out);
     sort(&mut out);

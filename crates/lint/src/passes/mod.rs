@@ -1,9 +1,10 @@
-//! The analyzer's four passes. Each pass is a free function appending to
+//! The analyzer's five passes. Each pass is a free function appending to
 //! a shared diagnostic vector; [`crate::lint`] runs them all and sorts.
 
 pub mod compensation;
 pub mod coordination;
 pub mod data;
+pub mod policy;
 pub mod template;
 
 use std::collections::{BTreeMap, BTreeSet};

@@ -1,7 +1,7 @@
 //! `crew-lint` — static verifier CLI for LAWS specs and built-in corpora.
 //!
 //! ```text
-//! crew-lint [--deny-warnings] [--builtin] [FILE.laws ...]
+//! crew-lint [--deny-warnings] [--builtin] [--format text|json] [FILE.laws ...]
 //! ```
 //!
 //! Lints each `.laws` file (parse → compile → analyze, diagnostics carry
@@ -9,22 +9,37 @@
 //! and a sweep of generated schemas. Exit status: 0 when every target is
 //! free of Error-level diagnostics (and of Warns under `--deny-warnings`),
 //! 1 when any finding fails the run, 2 on usage/IO/compile failures.
+//!
+//! `--format json` emits one JSON document on stdout — an array of target
+//! objects, each `{"target", "errors", "warnings", "diagnostics": [{"id",
+//! "severity", "span": {"line", "col"} | null, "message"}]}` — a stable
+//! schema for CI and editor tooling. IO/compile failures still go to
+//! stderr and exit 2 either way.
 
-use crew_lint::{lint, Diagnostic};
+use crew_lint::{lint, Diagnostic, Severity};
 use crew_model::{CoordinationSpec, SchemaId, WorkflowSchema};
 use crew_workload::{
     claim_processing, fraud_check, generate, order_processing, travel_booking, GenConfig,
 };
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 struct Options {
     deny_warnings: bool,
     builtin: bool,
+    format: Format,
     files: Vec<String>,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: crew-lint [--deny-warnings] [--builtin] [FILE.laws ...]");
+    eprintln!(
+        "usage: crew-lint [--deny-warnings] [--builtin] [--format text|json] [FILE.laws ...]"
+    );
     ExitCode::from(2)
 }
 
@@ -32,12 +47,26 @@ fn main() -> ExitCode {
     let mut opts = Options {
         deny_warnings: false,
         builtin: false,
+        format: Format::Text,
         files: Vec::new(),
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
             "--builtin" => opts.builtin = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some(other) => {
+                    eprintln!("crew-lint: unknown format `{other}`");
+                    return usage();
+                }
+                None => {
+                    eprintln!("crew-lint: --format needs a value");
+                    return usage();
+                }
+            },
             "--help" | "-h" => {
                 return usage();
             }
@@ -54,6 +83,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut broken = false;
+    let mut results: Vec<(String, Vec<Diagnostic>)> = Vec::new();
 
     for file in &opts.files {
         let source = match std::fs::read_to_string(file) {
@@ -65,9 +95,7 @@ fn main() -> ExitCode {
             }
         };
         match crew_laws::parse_and_compile(&source) {
-            Ok(spec) => {
-                failed |= report(file, &spec.lint(), opts.deny_warnings);
-            }
+            Ok(spec) => results.push((file.clone(), spec.lint())),
             Err(e) => {
                 eprintln!("crew-lint: {file}: {e}");
                 broken = true;
@@ -77,8 +105,20 @@ fn main() -> ExitCode {
 
     if opts.builtin {
         for (name, schemas, coordination) in builtin_targets() {
-            failed |= report(&name, &lint(&schemas, &coordination), opts.deny_warnings);
+            results.push((name, lint(&schemas, &coordination)));
         }
+    }
+
+    for (target, diags) in &results {
+        let errors = crew_lint::errors(diags).count();
+        let warns = diags.len() - errors;
+        failed |= errors > 0 || (opts.deny_warnings && warns > 0);
+        if opts.format == Format::Text {
+            report(target, diags, errors, warns);
+        }
+    }
+    if opts.format == Format::Json {
+        println!("{}", render_json(&results));
     }
 
     if broken {
@@ -90,19 +130,82 @@ fn main() -> ExitCode {
     }
 }
 
-/// Print a target's diagnostics; true when the target fails the run.
-fn report(target: &str, diags: &[Diagnostic], deny_warnings: bool) -> bool {
-    let errors = crew_lint::errors(diags).count();
-    let warns = diags.len() - errors;
+/// Print a target's diagnostics in the human-readable format.
+fn report(target: &str, diags: &[Diagnostic], errors: usize, warns: usize) {
     if diags.is_empty() {
         println!("{target}: clean");
-        return false;
+        return;
     }
     println!("{target}: {errors} error(s), {warns} warning(s)");
     for d in diags {
         println!("  {d}");
     }
-    errors > 0 || (deny_warnings && warns > 0)
+}
+
+/// Render every target's findings as one JSON array (stable schema).
+fn render_json(results: &[(String, Vec<Diagnostic>)]) -> String {
+    let mut out = String::from("[");
+    for (i, (target, diags)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let errors = crew_lint::errors(diags).count();
+        out.push_str("\n  {\"target\": ");
+        json_string(target, &mut out);
+        out.push_str(&format!(
+            ", \"errors\": {errors}, \"warnings\": {}, \"diagnostics\": [",
+            diags.len() - errors
+        ));
+        for (j, d) in diags.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"id\": ");
+            json_string(&d.id.to_string(), &mut out);
+            out.push_str(", \"severity\": ");
+            json_string(
+                match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warn => "warn",
+                },
+                &mut out,
+            );
+            out.push_str(", \"span\": ");
+            match d.span {
+                Some(s) => out.push_str(&format!("{{\"line\": {}, \"col\": {}}}", s.line, s.col)),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"message\": ");
+            json_string(&d.message, &mut out);
+            out.push('}');
+        }
+        if !diags.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]}");
+    }
+    if !results.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Append `s` as a JSON string literal (RFC 8259 escaping).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// The built-in corpus: the four scenario schemas (claim nests fraud, so
@@ -134,6 +237,7 @@ fn builtin_targets() -> Vec<(String, Vec<WorkflowSchema>, CoordinationSpec)> {
                 xor_prob: 0.35,
                 compensatable_frac: 0.5,
                 rollback_depth,
+                policy_frac: 0.3,
                 seed,
                 ..GenConfig::default()
             };

@@ -30,6 +30,7 @@
 pub mod coord;
 pub mod expr;
 pub mod ids;
+pub mod policy;
 pub mod recovery;
 pub mod schema;
 pub mod step;
@@ -38,6 +39,9 @@ pub mod value;
 pub use coord::{CoordinationSpec, MutualExclusion, RelativeOrder, RollbackDependency, SchemaStep};
 pub use expr::{ArithOp, CmpOp, EvalError, Expr};
 pub use ids::{AgentId, EngineId, InstanceId, SchemaId, StepId, StepRef};
+pub use policy::{
+    BackoffKind, BreakerPolicy, RetryPolicy, StepPolicy, WorkflowPolicy, RUN_HORIZON_TICKS,
+};
 pub use recovery::{CompensationSet, RollbackSpec};
 pub use schema::{
     validate_coordination, ControlArc, JoinKind, SchemaBuilder, SchemaError, SplitKind,

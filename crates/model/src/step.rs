@@ -7,6 +7,7 @@
 
 use crate::expr::Expr;
 use crate::ids::{AgentId, StepId};
+use crate::policy::StepPolicy;
 use crate::value::ItemKey;
 
 /// Whether the step's program changes shared resources. The paper
@@ -96,6 +97,8 @@ pub struct StepDef {
     pub reexec: ReexecPolicy,
     /// Compensation flavour used when this step *is* compensated.
     pub compensation_kind: CompensationKind,
+    /// Failure-policy annotations (retry, breaker, dead-letter).
+    pub policy: StepPolicy,
 }
 
 impl StepDef {
@@ -115,6 +118,7 @@ impl StepDef {
             compensation_cost: None,
             reexec: ReexecPolicy::default(),
             compensation_kind: CompensationKind::default(),
+            policy: StepPolicy::default(),
         }
     }
 

@@ -115,6 +115,7 @@ pub fn build_deployment(p: &SetupParams, structured: bool) -> Deployment {
                 compensatable_frac: 0.6,
                 comp_set_steps: 0,
                 rollback_depth: p.r,
+                policy_frac: 0.0,
                 seed: p.seed,
             };
             let mut s = generate(SchemaId(i), &cfg);

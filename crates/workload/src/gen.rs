@@ -7,7 +7,10 @@
 //! deterministic.
 
 use crew_exec::hash;
-use crew_model::{CmpOp, Expr, ItemKey, SchemaBuilder, SchemaId, StepId, StepKind, WorkflowSchema};
+use crew_model::{
+    BackoffKind, BreakerPolicy, CmpOp, Expr, ItemKey, RetryPolicy, SchemaBuilder, SchemaId, StepId,
+    StepKind, WorkflowPolicy, WorkflowSchema,
+};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +29,10 @@ pub struct GenConfig {
     /// Rollback depth (the paper's `r`): on a step failure, roll back this
     /// many blocks along the backbone (0 = retry in place, no specs).
     pub rollback_depth: u32,
+    /// Fraction of steps given a random failure policy. Policies are valid
+    /// by construction: whatever this draws, the schema stays free of
+    /// crew-lint policy-soundness errors.
+    pub policy_frac: f64,
     /// Seed for the structural draws.
     pub seed: u64,
 }
@@ -39,6 +46,7 @@ impl Default for GenConfig {
             compensatable_frac: 0.6,
             comp_set_steps: 3,
             rollback_depth: 0,
+            policy_frac: 0.0,
             seed: 0,
         }
     }
@@ -163,6 +171,7 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
     }
 
     // One compensation dependent set over a prefix of compensatable steps.
+    let mut comp_set_members: Vec<StepId> = Vec::new();
     if cfg.comp_set_steps >= 2 {
         let members: Vec<StepId> = all_steps
             .iter()
@@ -178,7 +187,66 @@ pub fn generate(id: SchemaId, cfg: &GenConfig) -> WorkflowSchema {
                     }
                 });
             }
+            comp_set_members = members.clone();
             b.compensation_set(members);
+        }
+    }
+
+    // Failure policies: sprinkle random but valid-by-construction policies.
+    // Validity rules mirror crew-lint's policy-soundness pass: retried
+    // non-idempotent non-compensatable update steps become idempotent,
+    // unbounded retries always dead-letter, retried compensation-set
+    // members force a workflow-level failure budget, dead_letter never
+    // appears without retry, and bounded max ≤ 4 with base ≤ 20 keeps
+    // every backoff schedule far below the run horizon.
+    if cfg.policy_frac > 0.0 {
+        let mut needs_failure_budget = false;
+        for (i, &s) in all_steps.iter().enumerate() {
+            if !hash::draw(cfg.seed, &[id.0 as u64, 0xF0, i as u64], cfg.policy_frac) {
+                continue;
+            }
+            let word = |salt: u64| hash::combine(cfg.seed, &[id.0 as u64, salt, i as u64]);
+            let with_retry = hash::draw(cfg.seed, &[id.0 as u64, 0xF1, i as u64], 0.75);
+            let unbounded =
+                with_retry && hash::draw(cfg.seed, &[id.0 as u64, 0xF2, i as u64], 0.15);
+            let idem_draw = hash::draw(cfg.seed, &[id.0 as u64, 0xF3, i as u64], 0.3);
+            let dl_draw = hash::draw(cfg.seed, &[id.0 as u64, 0xF4, i as u64], 0.2);
+            let with_breaker = hash::draw(cfg.seed, &[id.0 as u64, 0xF5, i as u64], 0.25);
+            b.configure(s, |d| {
+                if with_retry {
+                    let mut r = if unbounded {
+                        RetryPolicy::unbounded()
+                    } else {
+                        RetryPolicy::bounded(1 + (word(0xA1) % 4) as u32)
+                    };
+                    r.backoff = match word(0xA2) % 3 {
+                        0 => BackoffKind::Fixed,
+                        1 => BackoffKind::Linear,
+                        _ => BackoffKind::Exponential,
+                    };
+                    r.base = 1 + word(0xA3) % 20;
+                    r.jitter = word(0xA4) % 3;
+                    d.policy.retry = Some(r);
+                    d.policy.dead_letter = unbounded || dl_draw;
+                    d.policy.idempotent = idem_draw
+                        || (d.kind == StepKind::Update && d.compensation_program.is_none());
+                }
+                if with_breaker {
+                    d.policy.breaker = Some(BreakerPolicy {
+                        threshold: 1 + (word(0xA5) % 5) as u32,
+                        cooldown: 50 + word(0xA6) % 451,
+                    });
+                }
+            });
+            if with_retry && comp_set_members.contains(&s) {
+                needs_failure_budget = true;
+            }
+        }
+        if needs_failure_budget {
+            b.workflow_policy(WorkflowPolicy {
+                max_failures: Some(4),
+                dead_letter: false,
+            });
         }
     }
 
@@ -238,6 +306,45 @@ mod tests {
             assert!(s.forward_outgoing(d.id).count() <= 1);
         }
         assert_eq!(s.terminal_steps().len(), 1);
+    }
+
+    #[test]
+    fn policies_are_valid_by_construction() {
+        for seed in 0..20u64 {
+            let cfg = GenConfig {
+                steps: 20,
+                policy_frac: 1.0,
+                compensatable_frac: 0.3,
+                seed,
+                ..GenConfig::default()
+            };
+            let s = generate(SchemaId(6), &cfg);
+            let with_policy = s.steps().filter(|d| !d.policy.is_empty()).count();
+            assert!(with_policy > 0, "seed={seed}: no policies emitted");
+            for d in s.steps() {
+                if let Some(r) = &d.policy.retry {
+                    match r.max {
+                        None => assert!(d.policy.dead_letter, "unbounded retry must dead-letter"),
+                        Some(m) => assert!(m <= 4, "bounded max stays small"),
+                    }
+                    assert!(r.base <= 20 && r.jitter <= 2, "backoff fits horizon");
+                    if d.kind == StepKind::Update && !d.is_compensatable() {
+                        assert!(d.policy.idempotent, "retried bare update is idempotent");
+                    }
+                    if s.compensation_sets
+                        .iter()
+                        .any(|c| c.members.contains(&d.id))
+                    {
+                        assert!(
+                            s.policy.max_failures.is_some(),
+                            "retried comp-set member needs a workflow failure budget"
+                        );
+                    }
+                } else {
+                    assert!(!d.policy.dead_letter, "dead_letter never appears bare");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! linked instances in simnet while the single-mutex control commits.
 
 use crew_core::{Architecture, Scenario, WorkflowSystem};
+use crew_exec::FailurePlan;
 use crew_integration_tests::ExecLog;
 use crew_lint::{is_clean, lint, LintId, Severity};
 use crew_model::{
-    AgentId, CmpOp, CoordinationSpec, Expr, ItemKey, MutualExclusion, ReexecPolicy, RelativeOrder,
-    RollbackDependency, SchemaBuilder, SchemaId, SchemaStep, StepId, Value, WorkflowSchema,
+    AgentId, BackoffKind, BreakerPolicy, CmpOp, CoordinationSpec, Expr, ItemKey, MutualExclusion,
+    ReexecPolicy, RelativeOrder, RetryPolicy, RollbackDependency, SchemaBuilder, SchemaId,
+    SchemaStep, StepId, StepPolicy, Value, WorkflowPolicy, WorkflowSchema,
 };
 use crew_workload::{
     claim_processing, fraud_check, generate, order_processing, travel_booking, GenConfig,
@@ -178,9 +180,17 @@ fn example_laws_corpus() {
         "{diags:?}"
     );
     assert!(ids.contains(&LintId::LoopNeverExits), "{diags:?}");
+    assert!(
+        ids.contains(&LintId::UnboundedRetryWithoutDeadLetter),
+        "{diags:?}"
+    );
+    assert!(
+        ids.contains(&LintId::RetryNonIdempotentWithoutCompensation),
+        "{diags:?}"
+    );
     match crew_laws::parse_and_compile_strict(unsound) {
         Err(crew_laws::LawsError::Lint(diags)) => {
-            assert!(crew_lint::errors(&diags).count() >= 2, "{diags:?}")
+            assert!(crew_lint::errors(&diags).count() >= 3, "{diags:?}")
         }
         other => panic!("strict mode must fail on unsound.laws, got {other:?}"),
     }
@@ -266,6 +276,38 @@ fn seeded_defects_trigger_expected_lints() {
         b.and_split(a, [l, r]);
         b.and_join([l, r], j);
         b.build().unwrap()
+    };
+
+    // Two-step schema with `policy` installed on step A. `comp` gives both
+    // steps a compensation program; `comp_set` wraps them in a dependent
+    // set; `wf` installs a workflow-level policy.
+    let policied = |policy: StepPolicy,
+                    comp: bool,
+                    comp_set: bool,
+                    wf: Option<WorkflowPolicy>|
+     -> WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf").inputs(1);
+        let a = b.add_step("A", "p");
+        let c = b.add_step("B", "p");
+        b.seq(a, c);
+        if comp {
+            for s in [a, c] {
+                b.configure(s, |d| d.compensation_program = Some("undo".into()));
+            }
+        }
+        if comp_set {
+            b.compensation_set([a, c]);
+        }
+        if let Some(w) = wf {
+            b.workflow_policy(w);
+        }
+        b.configure(a, |d| d.policy = policy.clone());
+        b.build().unwrap()
+    };
+    let retry = |r: RetryPolicy, idempotent: bool| StepPolicy {
+        retry: Some(r),
+        idempotent,
+        ..StepPolicy::default()
     };
 
     type Case = (
@@ -460,6 +502,193 @@ fn seeded_defects_trigger_expected_lints() {
             LintId::ConcurrentWriteConflict,
             Severity::Warn,
         ),
+        // -- failure-policy soundness (2 seeded specs per defect class) --
+        (
+            "bounded retry on a bare update step",
+            vec![policied(
+                retry(RetryPolicy::bounded(2), false),
+                false,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::RetryNonIdempotentWithoutCompensation,
+            Severity::Error,
+        ),
+        (
+            "dead-lettered unbounded retry still lacks idempotence",
+            vec![policied(
+                StepPolicy {
+                    dead_letter: true,
+                    ..retry(RetryPolicy::unbounded(), false)
+                },
+                false,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::RetryNonIdempotentWithoutCompensation,
+            Severity::Error,
+        ),
+        (
+            "retried comp-set member without a workflow failure budget",
+            vec![policied(
+                retry(RetryPolicy::bounded(1), true),
+                true,
+                true,
+                None,
+            )],
+            no_coord(),
+            LintId::RetryInCompSetWithoutSetPolicy,
+            Severity::Error,
+        ),
+        (
+            "comp-set retry with only a dead-letter workflow policy",
+            vec![policied(
+                retry(RetryPolicy::bounded(3), true),
+                true,
+                true,
+                Some(WorkflowPolicy {
+                    max_failures: None,
+                    dead_letter: true,
+                }),
+            )],
+            no_coord(),
+            LintId::RetryInCompSetWithoutSetPolicy,
+            Severity::Error,
+        ),
+        (
+            "unbounded retry with no dead-letter route",
+            vec![policied(
+                retry(RetryPolicy::unbounded(), true),
+                false,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::UnboundedRetryWithoutDeadLetter,
+            Severity::Error,
+        ),
+        (
+            "unbounded compensatable retry, still no dead letter",
+            vec![policied(
+                retry(RetryPolicy::unbounded(), false),
+                true,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::UnboundedRetryWithoutDeadLetter,
+            Severity::Error,
+        ),
+        (
+            "breaker on a step holding a mutex",
+            vec![
+                policied(
+                    StepPolicy {
+                        breaker: Some(BreakerPolicy {
+                            threshold: 2,
+                            cooldown: 100,
+                        }),
+                        ..StepPolicy::default()
+                    },
+                    false,
+                    false,
+                    None,
+                ),
+                linear(2, 2),
+            ],
+            CoordinationSpec {
+                mutual_exclusions: vec![MutualExclusion {
+                    id: 0,
+                    resource: "dock".into(),
+                    members: vec![ss(1, 1), ss(2, 1)],
+                }],
+                ..CoordinationSpec::default()
+            },
+            LintId::BreakerOnMutexStep,
+            Severity::Warn,
+        ),
+        (
+            "breaker plus retry on a serialized step",
+            vec![
+                policied(
+                    StepPolicy {
+                        breaker: Some(BreakerPolicy {
+                            threshold: 1,
+                            cooldown: 50,
+                        }),
+                        ..retry(RetryPolicy::bounded(2), true)
+                    },
+                    true,
+                    false,
+                    None,
+                ),
+                linear(2, 2),
+            ],
+            CoordinationSpec {
+                mutual_exclusions: vec![MutualExclusion {
+                    id: 0,
+                    resource: "crane".into(),
+                    members: vec![ss(1, 1), ss(2, 2)],
+                }],
+                ..CoordinationSpec::default()
+            },
+            LintId::BreakerOnMutexStep,
+            Severity::Warn,
+        ),
+        (
+            "fixed backoff schedule past the run horizon",
+            vec![policied(
+                retry(
+                    RetryPolicy {
+                        base: 300_000,
+                        ..RetryPolicy::bounded(4)
+                    },
+                    true,
+                ),
+                false,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::BackoffOverflowsHorizon,
+            Severity::Error,
+        ),
+        (
+            "exponential backoff wrapping tick arithmetic",
+            vec![policied(
+                retry(
+                    RetryPolicy {
+                        backoff: BackoffKind::Exponential,
+                        base: 7,
+                        ..RetryPolicy::bounded(100)
+                    },
+                    true,
+                ),
+                false,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::BackoffOverflowsHorizon,
+            Severity::Error,
+        ),
+        (
+            "dead-letter route with nothing retrying into it",
+            vec![policied(
+                StepPolicy {
+                    dead_letter: true,
+                    ..StepPolicy::default()
+                },
+                false,
+                false,
+                None,
+            )],
+            no_coord(),
+            LintId::DeadLetterWithoutRetry,
+            Severity::Warn,
+        ),
     ];
 
     let mut exercised = BTreeSet::new();
@@ -471,7 +700,7 @@ fn seeded_defects_trigger_expected_lints() {
         );
         exercised.insert(id);
     }
-    assert!(exercised.len() >= 12, "only {} ids", exercised.len());
+    assert!(exercised.len() >= 18, "only {} ids", exercised.len());
 }
 
 /// The one diagnostic the seeded corpus cannot reach through `lint` —
@@ -545,4 +774,211 @@ fn deadlock_lint_predicts_runtime_stall() {
     let committed = run_pair(single_mutex_spec());
     assert!(committed.all_terminal());
     assert_eq!(committed.committed(), 2);
+}
+
+/// A spec the policy pass flags (unbounded retry, no dead-letter route)
+/// really diverges in simnet: a deterministically failing step retries
+/// forever and the instance is still live at the bounded horizon. The
+/// lint-clean control — bounded `retry(3)`, idempotent — rides out two
+/// transient failures and commits. Both control architectures.
+#[test]
+fn retry_lint_predicts_runtime_divergence() {
+    let retry_schema = |policy: StepPolicy| -> WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(1), "wf").inputs(1);
+        let a = b.add_step("A", "passthrough");
+        let c = b.add_step("B", "passthrough");
+        let z = b.add_step("C", "passthrough");
+        b.seq(a, c);
+        b.seq(c, z);
+        for (i, s) in [a, c, z].into_iter().enumerate() {
+            b.configure(s, |d| d.eligible_agents = vec![AgentId(i as u32 % 2)]);
+        }
+        b.configure(c, |d| d.policy = policy.clone());
+        b.build().unwrap()
+    };
+
+    let flagged_schema = retry_schema(StepPolicy {
+        retry: Some(RetryPolicy::unbounded()),
+        idempotent: true,
+        ..StepPolicy::default()
+    });
+    let flagged = lint(
+        std::slice::from_ref(&flagged_schema),
+        &CoordinationSpec::default(),
+    );
+    assert!(
+        crew_lint::errors(&flagged).any(|d| d.id == LintId::UnboundedRetryWithoutDeadLetter),
+        "{flagged:?}"
+    );
+
+    let control_schema = retry_schema(StepPolicy {
+        retry: Some(RetryPolicy::bounded(3)),
+        idempotent: true,
+        ..StepPolicy::default()
+    });
+    let control = lint(
+        std::slice::from_ref(&control_schema),
+        &CoordinationSpec::default(),
+    );
+    assert!(control.is_empty(), "{control:?}");
+
+    for arch in [
+        Architecture::Central { agents: 2 },
+        Architecture::Distributed { agents: 2 },
+    ] {
+        // Flagged: step B fails on every attempt; the unbounded retry
+        // policy re-dispatches forever, so the run ends non-terminal.
+        let mut system = WorkflowSystem::new([flagged_schema.clone()], arch);
+        let mut scenario = Scenario::new();
+        let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+        let inst = scenario.instance_id(idx);
+        system.deployment.plan = FailurePlan::none().fail_step_always(inst, StepId(2));
+        let report = system.run(scenario);
+        assert!(
+            !report.all_terminal(),
+            "{arch:?}: unbounded retry must stall at the horizon"
+        );
+        assert_eq!(report.committed(), 0, "{arch:?}");
+
+        // Control: step B fails twice, the third attempt succeeds within
+        // the bounded budget, and the instance commits.
+        let mut system = WorkflowSystem::new([control_schema.clone()], arch);
+        let mut scenario = Scenario::new();
+        let idx = scenario.start(SchemaId(1), vec![(1, Value::Int(1))]);
+        let inst = scenario.instance_id(idx);
+        system.deployment.plan =
+            FailurePlan::none()
+                .fail_step(inst, StepId(2), 1)
+                .fail_step(inst, StepId(2), 2);
+        let report = system.run(scenario);
+        assert!(report.all_terminal(), "{arch:?}");
+        assert_eq!(
+            report.committed(),
+            1,
+            "{arch:?}: bounded retry must ride out transient failures"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span fidelity over the LAWS seeded-defect corpus
+// ---------------------------------------------------------------------------
+
+/// Every diagnostic the analyzer raises against a `.laws` source —
+/// including all five policy-soundness classes — carries a resolved,
+/// non-empty source span pointing into the offending declaration.
+#[test]
+fn laws_defect_corpus_spans_are_total() {
+    let corpus: Vec<(&str, &str, LintId)> = vec![
+        (
+            "retry on a bare update step",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; policy { retry(2); } }
+                step B { program "p"; }
+                flow A -> B;
+            }"#,
+            LintId::RetryNonIdempotentWithoutCompensation,
+        ),
+        (
+            "retried comp-set member without a failure budget",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; compensate "u"; policy { retry(1); idempotent; } }
+                step B { program "p"; compensate "u"; }
+                flow A -> B;
+                compensation set { A, B };
+            }"#,
+            LintId::RetryInCompSetWithoutSetPolicy,
+        ),
+        (
+            "unbounded retry without dead letter",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; policy { retry(unbounded); idempotent; } }
+                step B { program "p"; }
+                flow A -> B;
+            }"#,
+            LintId::UnboundedRetryWithoutDeadLetter,
+        ),
+        (
+            "breaker on a mutex-holding step",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; policy { breaker(threshold 2, cooldown 100); } }
+                step B { program "p"; }
+                flow A -> B;
+            }
+            workflow V (id 2) {
+                inputs 1;
+                step C { program "p"; }
+            }
+            coordination {
+                mutex "dock" { W.A, V.C };
+            }"#,
+            LintId::BreakerOnMutexStep,
+        ),
+        (
+            "backoff schedule past the run horizon",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; policy { retry(4, fixed 300000); idempotent; } }
+                step B { program "p"; }
+                flow A -> B;
+            }"#,
+            LintId::BackoffOverflowsHorizon,
+        ),
+        (
+            "dead letter with nothing retrying into it",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; policy { dead_letter; } }
+                step B { program "p"; }
+                flow A -> B;
+            }"#,
+            LintId::DeadLetterWithoutRetry,
+        ),
+        (
+            "uncompensatable xor branch in a rollback region",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step S { program "p"; reads WF.I1; }
+                step L { program "p"; }
+                step R { program "p"; }
+                step M { program "p"; }
+                step F { program "p"; }
+                choice S -> { L when WF.I1 > 10, R otherwise } -> M;
+                flow M -> F;
+                on failure of F rollback to S;
+            }"#,
+            LintId::RollbackStepNotCompensatable,
+        ),
+        (
+            "loop that never exits",
+            r#"workflow W (id 1) {
+                inputs 1;
+                step A { program "p"; }
+                step B { program "p"; }
+                flow A -> B;
+                loop B -> A while 1 < 2;
+            }"#,
+            LintId::LoopNeverExits,
+        ),
+    ];
+
+    for (name, source, expected) in corpus {
+        let spec = crew_laws::parse_and_compile(source)
+            .unwrap_or_else(|e| panic!("{name}: must compile, got {e}"));
+        let diags = spec.lint();
+        assert!(
+            diags.iter().any(|d| d.id == expected),
+            "{name}: expected {expected}, got {diags:?}"
+        );
+        for d in &diags {
+            let span = d
+                .span
+                .unwrap_or_else(|| panic!("{name}: {} has no span: {d:?}", d.id));
+            assert!(span.line >= 1 && span.col >= 1, "{name}: empty span {d:?}");
+        }
+    }
 }

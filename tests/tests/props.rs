@@ -28,6 +28,7 @@ proptest! {
             compensatable_frac: 0.5,
             comp_set_steps: 0,
             rollback_depth: 0,
+            policy_frac: 0.0,
             seed,
         };
         let mut schema = generate(SchemaId(1), &cfg);
@@ -47,9 +48,10 @@ proptest! {
         }
     }
 
-    /// Any generated schema — including ones with rollback specs and
-    /// compensation sets — is free of Error-level lint findings: the
-    /// generator only emits specs the static verifier accepts.
+    /// Any generated schema — including ones with rollback specs,
+    /// compensation sets and random failure policies — is free of
+    /// Error-level lint findings: the generator only emits specs the
+    /// static verifier accepts (policies are valid by construction).
     #[test]
     fn random_schemas_lint_error_free(
         steps in 1u32..24,
@@ -58,6 +60,7 @@ proptest! {
         comp_frac in 0.0f64..1.0,
         comp_set_steps in 0u32..4,
         rollback_depth in 0u32..4,
+        policy_frac in 0.0f64..1.0,
         seed in 0u64..1000,
     ) {
         let cfg = GenConfig {
@@ -67,6 +70,7 @@ proptest! {
             compensatable_frac: comp_frac,
             comp_set_steps,
             rollback_depth,
+            policy_frac,
             seed,
         };
         let schema = generate(SchemaId(1), &cfg);
