@@ -3,10 +3,12 @@
 //! ```text
 //! loadgen bench [--out PATH] [flags]    full matrix -> BENCH_*.json
 //! loadgen smoke [--out PATH]            low-rate bounded run + validate
+//! loadgen escale [--out PATH] [flags]   e-scaling sweep: static modulo vs
+//!                                       consistent-hash + auto-balancer
 //! loadgen validate PATH                 validate an existing BENCH file
 //! ```
 //!
-//! Flags (bench/smoke):
+//! Flags (bench/smoke/escale):
 //!   --rates R1,R2,..   arrivals per 1000 virtual ticks   (default 50,200)
 //!   --instances N      instances per run                 (default 20000)
 //!   --seed S           workload + arrival seed           (default 42)
@@ -14,6 +16,13 @@
 //!   --steps S          steps per schema                  (default 6)
 //!   --agents Z         agent pool size                   (default 12)
 //!   --engines E        engines for the parallel arch     (default 4)
+//!   --placement P      modulo | ring                     (default modulo)
+//!   --vnodes V         ring virtual nodes per engine     (default 16)
+//!   --balance T        auto-balancer sampling interval   (default off)
+//!   --skew F           fraction of arrivals on schema 1  (default 0)
+//!   --engine-cost T    engine ticks per message          (default 0)
+//!   --degraded E:T     slow engine E at T ticks/message  (default none)
+//!   --engines-sweep .. e values for escale     (default 2,4,8,16,32,64)
 //!   --hotpath-scale K  hot-path workload multiplier      (default 10)
 //!   --no-hotpaths      skip the before/after entries
 //!
@@ -24,7 +33,7 @@ use crew_bench::{
     parse, run_hotpaths, run_load, validate_bench, HotpathResult, Json, LoadResult, LoadSpec,
     BENCH_SCHEMA_VERSION,
 };
-use crew_core::Architecture;
+use crew_core::{Architecture, BalancerConfig, PlacementStrategy};
 use crew_workload::SetupParams;
 
 struct Options {
@@ -35,6 +44,12 @@ struct Options {
     steps: u32,
     agents: u32,
     engines: u32,
+    engines_sweep: Vec<u32>,
+    placement: PlacementStrategy,
+    balance: Option<u64>,
+    skew: f64,
+    engine_cost: u64,
+    degraded: Option<(u32, u64)>,
     hotpath_scale: u32,
     hotpaths: bool,
     out: Option<String>,
@@ -50,6 +65,12 @@ impl Default for Options {
             steps: 6,
             agents: 12,
             engines: 4,
+            engines_sweep: vec![2, 4, 8, 16, 32, 64],
+            placement: PlacementStrategy::Modulo,
+            balance: None,
+            skew: 0.0,
+            engine_cost: 0,
+            degraded: None,
             hotpath_scale: 10,
             hotpaths: true,
             out: None,
@@ -82,6 +103,47 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--steps" => o.steps = num(&value("--steps")?)?,
             "--agents" => o.agents = num(&value("--agents")?)?,
             "--engines" => o.engines = num(&value("--engines")?)?,
+            "--engines-sweep" => {
+                o.engines_sweep = value("--engines-sweep")?
+                    .split(',')
+                    .map(num)
+                    .collect::<Result<_, _>>()?;
+                if o.engines_sweep.is_empty() || o.engines_sweep.iter().any(|e| *e < 2) {
+                    return Err("--engines-sweep: need engine counts >= 2".into());
+                }
+            }
+            "--placement" => {
+                o.placement = match value("--placement")?.as_str() {
+                    "modulo" => PlacementStrategy::Modulo,
+                    "ring" => PlacementStrategy::ConsistentHash { vnodes: 16 },
+                    other => return Err(format!("--placement: unknown {other:?}")),
+                }
+            }
+            "--vnodes" => {
+                let v = num(&value("--vnodes")?)? as u16;
+                if let PlacementStrategy::ConsistentHash { vnodes } = &mut o.placement {
+                    *vnodes = v;
+                } else {
+                    o.placement = PlacementStrategy::ConsistentHash { vnodes: v };
+                }
+            }
+            "--balance" => o.balance = Some(num(&value("--balance")?)? as u64),
+            "--skew" => {
+                o.skew = value("--skew")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--skew: {e}"))?;
+                if !(0.0..=1.0).contains(&o.skew) {
+                    return Err("--skew: need a fraction in [0, 1]".into());
+                }
+            }
+            "--engine-cost" => o.engine_cost = num(&value("--engine-cost")?)? as u64,
+            "--degraded" => {
+                let v = value("--degraded")?;
+                let (e, t) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--degraded: want ENGINE:TICKS, got {v:?}"))?;
+                o.degraded = Some((num(e)?, num(t)? as u64));
+            }
             "--hotpath-scale" => o.hotpath_scale = num(&value("--hotpath-scale")?)?,
             "--no-hotpaths" => o.hotpaths = false,
             "--out" => o.out = Some(value("--out")?),
@@ -100,9 +162,10 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("bench") => cmd_bench(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
+        Some("escale") => cmd_escale(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         _ => {
-            eprintln!("usage: loadgen <bench|smoke|validate> [flags]; see module docs");
+            eprintln!("usage: loadgen <bench|smoke|escale|validate> [flags]; see module docs");
             2
         }
     };
@@ -134,6 +197,38 @@ fn cmd_smoke(args: &[String]) -> i32 {
         }
     };
     run_matrix(&options)
+}
+
+fn cmd_escale(args: &[String]) -> i32 {
+    // The e-scaling scenario: a skewed arrival mix (most arrivals on the
+    // hot schema), engines that pay 1 tick per message, and one degraded
+    // engine paying 8 — the divergence-from-uniform case the balancer
+    // exists for. Explicit flags still override.
+    let mut escale: Vec<String> = [
+        "--rates",
+        "30,120",
+        "--instances",
+        "800",
+        "--skew",
+        "0.7",
+        "--engine-cost",
+        "1",
+        "--degraded",
+        "0:8",
+        "--balance",
+        "100",
+    ]
+    .map(String::from)
+    .to_vec();
+    escale.extend(args.iter().cloned());
+    let options = match parse_options(&escale) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 2;
+        }
+    };
+    run_escale(&options)
 }
 
 fn cmd_validate(args: &[String]) -> i32 {
@@ -199,12 +294,13 @@ fn run_matrix(options: &Options) -> i32 {
     let mut runs = Vec::new();
     for &(label, arch) in &archs {
         for &rate in &options.rates {
-            let result = run_load(&LoadSpec {
-                arch,
-                rate_per_ktick: rate,
-                instances: options.instances,
-                setup,
-            });
+            let mut spec = LoadSpec::new(arch, rate, options.instances, setup);
+            spec.placement = options.placement;
+            spec.balancer = options.balance.map(|t| (t, BalancerConfig::default()));
+            spec.hot_fraction = options.skew;
+            spec.engine_cost = options.engine_cost;
+            spec.degraded = options.degraded;
+            let result = run_load(&spec);
             eprintln!(
                 "{label:<12} rate {rate:>7.1}/ktick: {} committed in {} ticks / {:.0} ms \
                  ({:.0} inst/s wall, p50/p95/p99 {} / {} / {} ticks)",
@@ -287,6 +383,137 @@ fn run_matrix(options: &Options) -> i32 {
     0
 }
 
+fn run_escale(options: &Options) -> i32 {
+    let setup = SetupParams {
+        s: options.steps,
+        c: options.schemas,
+        z: options.agents,
+        a: 2.min(options.agents),
+        me: 0,
+        ro: 0,
+        rd: 0,
+        r: 0,
+        pf: 0.0,
+        pi: 0.0,
+        pa: 0.0,
+        pr: 0.0,
+        seed: options.seed,
+    };
+    let mut runs = Vec::new();
+    for &engines in &options.engines_sweep {
+        for &rate in &options.rates {
+            // "before": the paper's static modulo assignment, no balancer.
+            // "after": consistent-hash placement + the auto-balancer.
+            let configs = [
+                ("modulo", PlacementStrategy::Modulo, None),
+                (
+                    "ring",
+                    match options.placement {
+                        ring @ PlacementStrategy::ConsistentHash { .. } => ring,
+                        PlacementStrategy::Modulo => {
+                            PlacementStrategy::ConsistentHash { vnodes: 16 }
+                        }
+                    },
+                    Some((options.balance.unwrap_or(100), BalancerConfig::default())),
+                ),
+            ];
+            for (pname, placement, balancer) in configs {
+                let mut spec = LoadSpec::new(
+                    Architecture::Parallel {
+                        agents: setup.z,
+                        engines,
+                    },
+                    rate,
+                    options.instances,
+                    setup,
+                );
+                spec.placement = placement;
+                spec.balancer = balancer;
+                spec.hot_fraction = options.skew;
+                spec.engine_cost = options.engine_cost;
+                spec.degraded = options.degraded;
+                let r = run_load(&spec);
+                eprintln!(
+                    "e={engines:<3} rate {rate:>6.1}/ktick {pname:<7} \
+                     ({}): {} committed in {} ticks, p99 {} ticks, \
+                     {:.0} inst/s wall, {} migrations, skew {:.2}",
+                    if balancer.is_some() {
+                        "balanced"
+                    } else {
+                        "static"
+                    },
+                    r.committed,
+                    r.virtual_ticks,
+                    r.latency_ticks.map_or(0, |l| l.p99),
+                    r.instances_per_sec_wall,
+                    r.migrations,
+                    r.engine_skew,
+                );
+                let mut entry = run_json("parallel", &r);
+                if let Json::Obj(members) = &mut entry {
+                    members.push(("engines".into(), Json::Num(engines as f64)));
+                    members.push(("placement".into(), Json::Str(pname.into())));
+                    members.push(("balanced".into(), Json::Bool(balancer.is_some())));
+                }
+                runs.push(entry);
+            }
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        (
+            "schema_version".to_string(),
+            Json::Num(BENCH_SCHEMA_VERSION),
+        ),
+        (
+            "benchmark".to_string(),
+            Json::Str("crew-loadgen-escale".into()),
+        ),
+        ("seed".to_string(), Json::Num(options.seed as f64)),
+        (
+            "workload".to_string(),
+            Json::Obj(vec![
+                ("schemas".into(), Json::Num(setup.c as f64)),
+                ("steps".into(), Json::Num(setup.s as f64)),
+                ("agents".into(), Json::Num(setup.z as f64)),
+                ("skew".into(), Json::Num(options.skew)),
+                ("engine_cost".into(), Json::Num(options.engine_cost as f64)),
+                (
+                    "degraded_engine".into(),
+                    match options.degraded {
+                        Some((e, t)) => Json::Obj(vec![
+                            ("engine".into(), Json::Num(e as f64)),
+                            ("ticks".into(), Json::Num(t as f64)),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+        ("runs".to_string(), Json::Arr(runs)),
+    ]);
+
+    let errs = validate_bench(&doc);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("loadgen: emitted document invalid: {e}");
+        }
+        return 1;
+    }
+    let text = doc.emit();
+    match &options.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("loadgen: writing {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
 fn run_json(label: &str, r: &LoadResult) -> Json {
     let mut members = vec![
         ("arch".to_string(), Json::Str(label.into())),
@@ -313,6 +540,8 @@ fn run_json(label: &str, r: &LoadResult) -> Json {
         ),
         ("messages".to_string(), Json::Num(r.messages as f64)),
         ("bytes".to_string(), Json::Num(r.bytes as f64)),
+        ("migrations".to_string(), Json::Num(r.migrations as f64)),
+        ("engine_skew".to_string(), Json::Num(round2(r.engine_skew))),
     ];
     let lat = r.latency_ticks.unwrap_or(crew_core::LatencyStats {
         count: 0,

@@ -10,7 +10,9 @@
 //! `(seed, rate, instances)` triple always produces the identical train
 //! and every measurement is reproducible bit-for-bit.
 
-use crew_core::{Architecture, LatencyStats, Scenario, WorkflowSystem};
+use crew_core::{
+    Architecture, BalancerConfig, LatencyStats, PlacementStrategy, Scenario, WorkflowSystem,
+};
 use crew_model::{SchemaId, Value};
 use crew_workload::{build_deployment, SetupParams};
 use std::time::Instant;
@@ -26,6 +28,43 @@ pub struct LoadSpec {
     pub instances: u32,
     /// Workload shape (schemas, steps, agents, failure probabilities).
     pub setup: SetupParams,
+    /// Instance-placement strategy (central/parallel control).
+    pub placement: PlacementStrategy,
+    /// Auto-balancer `(interval, config)`; `None` = static placement.
+    pub balancer: Option<(u64, BalancerConfig)>,
+    /// Skewed arrival mix: this fraction of arrivals is concentrated on
+    /// the first schema instead of round-robining. `0.0` = uniform.
+    pub hot_fraction: f64,
+    /// Per-message engine service cost in virtual ticks (`0` = engines
+    /// handle messages instantly, the pre-shard behavior).
+    pub engine_cost: u64,
+    /// A degraded engine `(index, ticks)`: that engine pays `ticks` per
+    /// message instead of `engine_cost`, modeling a slow node the static
+    /// placement keeps feeding at full rate.
+    pub degraded: Option<(u32, u64)>,
+}
+
+impl LoadSpec {
+    /// A plain load point: modulo placement, no balancer, uniform
+    /// arrival mix, instant engines.
+    pub fn new(
+        arch: Architecture,
+        rate_per_ktick: f64,
+        instances: u32,
+        setup: SetupParams,
+    ) -> Self {
+        LoadSpec {
+            arch,
+            rate_per_ktick,
+            instances,
+            setup,
+            placement: PlacementStrategy::Modulo,
+            balancer: None,
+            hot_fraction: 0.0,
+            engine_cost: 0,
+            degraded: None,
+        }
+    }
 }
 
 /// Measured result of one open-loop run.
@@ -56,6 +95,11 @@ pub struct LoadResult {
     pub messages: u64,
     /// Total payload bytes (approximate).
     pub bytes: u64,
+    /// Live migrations completed during the run (0 without a balancer).
+    pub migrations: u64,
+    /// End-of-run per-engine load skew, max/mean pressure (1.0 when
+    /// balanced or when the architecture has no engine fleet).
+    pub engine_skew: f64,
 }
 
 impl LoadResult {
@@ -91,14 +135,42 @@ pub fn arrival_ticks(seed: u64, rate_per_ktick: f64, instances: u32) -> Vec<u64>
 pub fn run_load(spec: &LoadSpec) -> LoadResult {
     let deployment = build_deployment(&spec.setup, false);
     let schemas: Vec<SchemaId> = deployment.schemas.keys().copied().collect();
-    let system = WorkflowSystem::with_deployment(deployment, spec.arch);
+    let mut system =
+        WorkflowSystem::with_deployment(deployment, spec.arch).with_placement(spec.placement);
+    if let Some((interval, cfg)) = spec.balancer {
+        system = system.with_balancer(interval, cfg);
+    }
+    let engines = match spec.arch {
+        Architecture::Parallel { engines, .. } => engines,
+        Architecture::Central { .. } => 1,
+        Architecture::Distributed { .. } => 0,
+    };
+    if spec.engine_cost > 0 {
+        for e in 0..engines {
+            system = system.with_engine_service_cost(e, spec.engine_cost);
+        }
+    }
+    if let Some((e, ticks)) = spec.degraded {
+        if e < engines {
+            system = system.with_engine_service_cost(e, ticks);
+        }
+    }
 
     let mut scenario = Scenario::new();
     for (k, &at) in arrival_ticks(spec.setup.seed, spec.rate_per_ktick, spec.instances)
         .iter()
         .enumerate()
     {
-        let schema = schemas[k % schemas.len()];
+        // Skewed mix: a seeded draw sends `hot_fraction` of arrivals to
+        // the first schema; the rest round-robin over the whole set.
+        let hot = spec.hot_fraction > 0.0
+            && crew_exec::hash::unit_draw(spec.setup.seed, &[0x534b_4557, k as u64])
+                < spec.hot_fraction;
+        let schema = if hot {
+            schemas[0]
+        } else {
+            schemas[k % schemas.len()]
+        };
         scenario.start_at(schema, vec![(1, Value::Int(5)), (2, Value::Int(1))], at);
     }
 
@@ -131,6 +203,8 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         latency_ticks: report.latency_stats(),
         messages: report.metrics.total_messages,
         bytes: report.metrics.total_bytes,
+        migrations: report.migrations(),
+        engine_skew: report.engine_skew(),
     }
 }
 
@@ -139,12 +213,7 @@ mod tests {
     use super::*;
 
     fn spec(arch: Architecture, rate: f64, instances: u32) -> LoadSpec {
-        LoadSpec {
-            arch,
-            rate_per_ktick: rate,
-            instances,
-            setup: SetupParams::small(),
-        }
+        LoadSpec::new(arch, rate, instances, SetupParams::small())
     }
 
     #[test]
@@ -180,6 +249,37 @@ mod tests {
             assert!(lat.p50 > 0 && lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
             assert!(r.messages > 0 && r.bytes > 0);
         }
+    }
+
+    #[test]
+    fn balanced_run_with_degraded_engine_commits_deterministically() {
+        let z = SetupParams::small().z;
+        let mut s = spec(
+            Architecture::Parallel {
+                agents: z,
+                engines: 4,
+            },
+            100.0,
+            60,
+        );
+        s.placement = PlacementStrategy::ConsistentHash { vnodes: 8 };
+        s.balancer = Some((
+            40,
+            BalancerConfig {
+                skew_threshold: 1.2,
+                max_moves_per_round: 4,
+            },
+        ));
+        s.engine_cost = 1;
+        s.degraded = Some((0, 8));
+        s.hot_fraction = 0.6;
+        let r = run_load(&s);
+        assert_eq!(r.committed, 60);
+        assert_eq!(r.stalled, 0);
+        assert!(r.engine_skew >= 1.0);
+        let again = run_load(&s);
+        assert_eq!(r.virtual_ticks, again.virtual_ticks, "deterministic");
+        assert_eq!(r.migrations, again.migrations, "deterministic");
     }
 
     #[test]

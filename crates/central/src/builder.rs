@@ -4,9 +4,10 @@
 use crate::appagent::AppAgent;
 use crate::engine::Engine;
 use crate::msg::CentralMsg;
-use crate::topology::Topology;
+use crate::topology::{PlacementStrategy, Topology};
 use crew_exec::Deployment;
 use crew_model::{AgentId, InstanceId, ItemKey, SchemaId, Value};
+use crew_shard::{plan_migrations, BalancerConfig, EngineLoad, Params};
 use crew_simnet::{NodeId, Simulation};
 use crew_storage::InstanceStatus;
 use std::collections::BTreeMap;
@@ -24,8 +25,20 @@ pub struct CentralRun {
 
 impl CentralRun {
     pub fn new(deployment: Deployment, agents: u32, engines: u32) -> Self {
+        Self::new_with_placement(deployment, agents, engines, PlacementStrategy::Modulo)
+    }
+
+    /// Like [`CentralRun::new`] but with an explicit instance-placement
+    /// strategy. The deployment seed feeds the consistent-hash ring so
+    /// runs stay deterministic.
+    pub fn new_with_placement(
+        deployment: Deployment,
+        agents: u32,
+        engines: u32,
+        strategy: PlacementStrategy,
+    ) -> Self {
         let deployment = Arc::new(deployment);
-        let topo = Topology::new(agents, engines);
+        let topo = Topology::with_placement(agents, engines, strategy, deployment.seed);
         let mut sim = Simulation::new(deployment.seed);
         for _ in 0..agents {
             sim.add_node(AppAgent::new(
@@ -145,9 +158,130 @@ impl CentralRun {
         );
     }
 
+    /// Inject a live-migration order at a specific virtual time: move
+    /// `instance` to engine `target`. Addressed to the placement owner; if
+    /// the instance already migrated, the owner forwards the request to
+    /// wherever it currently lives.
+    pub fn migrate_instance_at(&mut self, instance: InstanceId, target: u32, at: u64) {
+        let owner = self.topo.owner_engine(instance);
+        self.sim.send_external_at(
+            self.topo.engine_node(owner),
+            CentralMsg::MigrateRequest { instance, target },
+            at,
+        );
+    }
+
     /// Run to quiescence.
     pub fn run(&mut self) -> u64 {
         self.sim.run()
+    }
+
+    /// One load sample per engine, in engine order, from the live
+    /// counters each engine exports.
+    pub fn engine_loads(&self) -> Vec<EngineLoad> {
+        (0..self.topo.engines)
+            .map(|e| {
+                let eng = self.engine(e);
+                EngineLoad {
+                    engine: e,
+                    live_instances: eng.live_instances(),
+                    delivered_msgs: eng.delivered_msgs,
+                    wal_appends: eng.wal_appended(),
+                    forwarded_msgs: eng.forwarded_msgs,
+                    migrations_out: eng.migrations_out,
+                    migrations_in: eng.migrations_in,
+                }
+            })
+            .collect()
+    }
+
+    /// Run to quiescence with the auto-balancer in the loop.
+    ///
+    /// Every `interval` ticks the driver samples per-engine load, asks
+    /// `crew-shard` for a plan (measured skew vs the §7 uniform
+    /// prediction), and turns each [`crew_shard::MigrationOrder`] into
+    /// live `MigrateRequest`s against concrete executing instances on the
+    /// hot engine. Returns `(final_tick, instances_ordered_moved)`.
+    pub fn run_balanced(&mut self, interval: u64, cfg: &BalancerConfig, p: &Params) -> (u64, u64) {
+        self.run_balanced_until(u64::MAX, interval, cfg, p)
+    }
+
+    /// [`CentralRun::run_balanced`] with a virtual-time horizon, for
+    /// scenarios (unrecovered crashes) whose event queue never drains.
+    pub fn run_balanced_until(
+        &mut self,
+        horizon: u64,
+        interval: u64,
+        cfg: &BalancerConfig,
+        p: &Params,
+    ) -> (u64, u64) {
+        let interval = interval.max(1);
+        let mut moved = 0u64;
+        // Drive a monotonic virtual-time cursor rather than `sim.now()`:
+        // a window in which nothing was due must still advance time, or a
+        // queue of far-future arrivals would spin the loop forever.
+        let mut cursor = self.sim.now();
+        // Counter samples from the previous window: the planner sees
+        // per-window deltas, not run-cumulative totals, so pressure ranks
+        // engines by what they are doing *now* rather than by history.
+        // Backlog (`live_instances`) stays instantaneous.
+        let mut prev: Vec<EngineLoad> = self.engine_loads();
+        // Each instance is ordered moved at most once per run. A request
+        // queued behind a saturated engine is invisible to the next
+        // sampling round — without this set the driver re-orders the same
+        // instances every interval and the duplicates, delivered stale,
+        // bounce them between engines indefinitely.
+        let mut ordered: std::collections::BTreeSet<InstanceId> = std::collections::BTreeSet::new();
+        loop {
+            cursor = cursor.saturating_add(interval).min(horizon);
+            self.sim.run_until(cursor);
+            if self.sim.is_quiescent()
+                || self.sim.halted()
+                || cursor >= horizon
+                || self.sim.delivered() >= self.sim.max_events
+            {
+                break;
+            }
+            let now = self.engine_loads();
+            let window: Vec<EngineLoad> = now
+                .iter()
+                .zip(prev.iter())
+                .map(|(n, o)| EngineLoad {
+                    engine: n.engine,
+                    live_instances: n.live_instances,
+                    delivered_msgs: n.delivered_msgs - o.delivered_msgs,
+                    wal_appends: n.wal_appends - o.wal_appends,
+                    forwarded_msgs: n.forwarded_msgs - o.forwarded_msgs,
+                    migrations_out: n.migrations_out - o.migrations_out,
+                    migrations_in: n.migrations_in - o.migrations_in,
+                })
+                .collect();
+            prev = now;
+            let orders = plan_migrations(&window, p, cfg);
+            let at = cursor + 1;
+            for o in orders {
+                let candidates = self.engine(o.from).movable_instances();
+                for inst in candidates
+                    .into_iter()
+                    .filter(|i| ordered.insert(*i))
+                    .take(o.count as usize)
+                {
+                    // Address the currently-hosting engine directly: the
+                    // placement owner would forward anyway, this skips a
+                    // hop for instances the balancer already moved once.
+                    self.sim.send_external_at(
+                        self.topo.engine_node(o.from),
+                        CentralMsg::MigrateRequest {
+                            instance: inst,
+                            target: o.to,
+                        },
+                        at,
+                    );
+                    moved += 1;
+                }
+            }
+        }
+        (self.sim.now(), moved)
     }
 
     /// The engine owning `instance`.
@@ -254,5 +388,48 @@ mod tests {
             .filter(|&e| !run.engine(e).statuses.is_empty())
             .count();
         assert!(engines_with_work > 1);
+    }
+
+    #[test]
+    fn balancer_moves_instances_off_the_hot_engine() {
+        // A 1-vnode-per-engine ring carves the key space into four uneven
+        // arcs, so arrivals pile onto whichever engine owns the largest
+        // arc — exactly the measured-vs-predicted divergence the balancer
+        // exists to correct.
+        let deployment = Deployment::new([linear_schema(1, 4, &[0])]);
+        let mut run = CentralRun::new_with_placement(
+            deployment,
+            1,
+            4,
+            PlacementStrategy::ConsistentHash { vnodes: 1 },
+        );
+        run.sim.set_service_cost(run.topo.agent_node(AgentId(0)), 3);
+        let instances: Vec<InstanceId> = (0..24)
+            .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
+            .collect();
+        let cfg = crew_shard::BalancerConfig {
+            skew_threshold: 1.2,
+            max_moves_per_round: 8,
+        };
+        let (_, moved) = run.run_balanced(5, &cfg, &crew_shard::Params::paper_mean());
+        let statuses = run.statuses();
+        for i in &instances {
+            assert_eq!(statuses.get(i), Some(&InstanceStatus::Committed), "{i}");
+        }
+        assert!(moved >= 1, "balancer should order at least one move");
+        let migrated_in: u64 = (0..4).map(|e| run.engine(e).migrations_in).sum();
+        assert!(migrated_in >= 1, "at least one migration completed");
+    }
+
+    #[test]
+    fn engine_loads_reflect_delivered_work() {
+        let deployment = Deployment::new([linear_schema(1, 3, &[0])]);
+        let mut run = CentralRun::new(deployment, 1, 2);
+        run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]);
+        run.run();
+        let loads = run.engine_loads();
+        assert_eq!(loads.len(), 2);
+        assert!(loads.iter().any(|l| l.delivered_msgs > 0));
+        assert!(loads.iter().all(|l| l.live_instances == 0), "all terminal");
     }
 }

@@ -1,8 +1,11 @@
 //! Binary codec for [`CentralMsg`], so centralized/parallel traffic can
 //! ride the simulator's WAL-backed reliable channels (the durable outbox
 //! needs to persist message payloads across fail-stop crashes).
+//!
+//! Wire discriminants are allocated centrally in [`crate::tags`].
 
 use crate::msg::{CentralMsg, CoordMsg};
+use crate::tags::{central, coord};
 use bytes::{Bytes, BytesMut};
 use crew_storage::{CodecError, Decode, Encode};
 
@@ -14,7 +17,7 @@ impl Encode for CoordMsg {
                 claimant,
                 partner,
             } => {
-                0u8.encode(buf);
+                coord::RO_FIRST_DONE.encode(buf);
                 req.encode(buf);
                 claimant.encode(buf);
                 partner.encode(buf);
@@ -25,14 +28,14 @@ impl Encode for CoordMsg {
                 b,
                 leader_side,
             } => {
-                1u8.encode(buf);
+                coord::RO_DECISION.encode(buf);
                 req.encode(buf);
                 a.encode(buf);
                 b.encode(buf);
                 leader_side.encode(buf);
             }
             CoordMsg::RoRelease { req, k, lagging } => {
-                2u8.encode(buf);
+                coord::RO_RELEASE.encode(buf);
                 req.encode(buf);
                 (*k as u64).encode(buf);
                 lagging.encode(buf);
@@ -42,7 +45,7 @@ impl Encode for CoordMsg {
                 instance,
                 step,
             } => {
-                3u8.encode(buf);
+                coord::MUTEX_ACQUIRE.encode(buf);
                 req.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
@@ -52,7 +55,7 @@ impl Encode for CoordMsg {
                 instance,
                 step,
             } => {
-                4u8.encode(buf);
+                coord::MUTEX_GRANT.encode(buf);
                 req.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
@@ -62,13 +65,13 @@ impl Encode for CoordMsg {
                 instance,
                 step,
             } => {
-                5u8.encode(buf);
+                coord::MUTEX_RELEASE.encode(buf);
                 req.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
             }
             CoordMsg::RollbackDep { instance, origin } => {
-                6u8.encode(buf);
+                coord::ROLLBACK_DEP.encode(buf);
                 instance.encode(buf);
                 origin.encode(buf);
             }
@@ -79,38 +82,38 @@ impl Encode for CoordMsg {
 impl Decode for CoordMsg {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(match u8::decode(buf)? {
-            0 => CoordMsg::RoFirstDone {
+            coord::RO_FIRST_DONE => CoordMsg::RoFirstDone {
                 req: Decode::decode(buf)?,
                 claimant: Decode::decode(buf)?,
                 partner: Decode::decode(buf)?,
             },
-            1 => CoordMsg::RoDecision {
+            coord::RO_DECISION => CoordMsg::RoDecision {
                 req: Decode::decode(buf)?,
                 a: Decode::decode(buf)?,
                 b: Decode::decode(buf)?,
                 leader_side: Decode::decode(buf)?,
             },
-            2 => CoordMsg::RoRelease {
+            coord::RO_RELEASE => CoordMsg::RoRelease {
                 req: Decode::decode(buf)?,
                 k: u64::decode(buf)? as usize,
                 lagging: Decode::decode(buf)?,
             },
-            3 => CoordMsg::MutexAcquire {
+            coord::MUTEX_ACQUIRE => CoordMsg::MutexAcquire {
                 req: Decode::decode(buf)?,
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
             },
-            4 => CoordMsg::MutexGrant {
+            coord::MUTEX_GRANT => CoordMsg::MutexGrant {
                 req: Decode::decode(buf)?,
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
             },
-            5 => CoordMsg::MutexRelease {
+            coord::MUTEX_RELEASE => CoordMsg::MutexRelease {
                 req: Decode::decode(buf)?,
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
             },
-            6 => CoordMsg::RollbackDep {
+            coord::ROLLBACK_DEP => CoordMsg::RollbackDep {
                 instance: Decode::decode(buf)?,
                 origin: Decode::decode(buf)?,
             },
@@ -128,7 +131,7 @@ impl Encode for CentralMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
             CentralMsg::WorkflowStart { instance, inputs } => {
-                0u8.encode(buf);
+                central::WORKFLOW_START.encode(buf);
                 instance.encode(buf);
                 inputs.encode(buf);
             }
@@ -136,16 +139,16 @@ impl Encode for CentralMsg {
                 instance,
                 new_inputs,
             } => {
-                1u8.encode(buf);
+                central::WORKFLOW_CHANGE_INPUTS.encode(buf);
                 instance.encode(buf);
                 new_inputs.encode(buf);
             }
             CentralMsg::WorkflowAbort { instance } => {
-                2u8.encode(buf);
+                central::WORKFLOW_ABORT.encode(buf);
                 instance.encode(buf);
             }
             CentralMsg::WorkflowStatus { instance } => {
-                3u8.encode(buf);
+                central::WORKFLOW_STATUS.encode(buf);
                 instance.encode(buf);
             }
             CentralMsg::ExecRequest {
@@ -156,7 +159,7 @@ impl Encode for CentralMsg {
                 attempt,
                 cost,
             } => {
-                4u8.encode(buf);
+                central::EXEC_REQUEST.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
                 program.encode(buf);
@@ -165,7 +168,7 @@ impl Encode for CentralMsg {
                 cost.encode(buf);
             }
             CentralMsg::StateProbe { token } => {
-                5u8.encode(buf);
+                central::STATE_PROBE.encode(buf);
                 token.encode(buf);
             }
             CentralMsg::CompensateRequest {
@@ -175,7 +178,7 @@ impl Encode for CentralMsg {
                 partial,
                 for_abort,
             } => {
-                6u8.encode(buf);
+                central::COMPENSATE_REQUEST.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
                 program.encode(buf);
@@ -189,7 +192,7 @@ impl Encode for CentralMsg {
                 outputs,
                 error,
             } => {
-                7u8.encode(buf);
+                central::EXEC_RESULT.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
                 attempt.encode(buf);
@@ -197,7 +200,7 @@ impl Encode for CentralMsg {
                 error.encode(buf);
             }
             CentralMsg::StateProbeReply { token, load } => {
-                8u8.encode(buf);
+                central::STATE_PROBE_REPLY.encode(buf);
                 token.encode(buf);
                 load.encode(buf);
             }
@@ -206,13 +209,13 @@ impl Encode for CentralMsg {
                 step,
                 for_abort,
             } => {
-                9u8.encode(buf);
+                central::COMPENSATE_RESULT.encode(buf);
                 instance.encode(buf);
                 step.encode(buf);
                 for_abort.encode(buf);
             }
             CentralMsg::Coord(c) => {
-                10u8.encode(buf);
+                central::COORD.encode(buf);
                 c.encode(buf);
             }
             CentralMsg::ChildStart {
@@ -221,7 +224,7 @@ impl Encode for CentralMsg {
                 parent,
                 parent_step,
             } => {
-                11u8.encode(buf);
+                central::CHILD_START.encode(buf);
                 child.encode(buf);
                 inputs.encode(buf);
                 parent.encode(buf);
@@ -232,10 +235,33 @@ impl Encode for CentralMsg {
                 parent_step,
                 outputs,
             } => {
-                12u8.encode(buf);
+                central::CHILD_DONE.encode(buf);
                 parent.encode(buf);
                 parent_step.encode(buf);
                 outputs.encode(buf);
+            }
+            CentralMsg::MigrateRequest { instance, target } => {
+                central::MIGRATE_REQUEST.encode(buf);
+                instance.encode(buf);
+                target.encode(buf);
+            }
+            CentralMsg::MigrateState { instance, records } => {
+                central::MIGRATE_STATE.encode(buf);
+                instance.encode(buf);
+                (records.len() as u32).encode(buf);
+                for (from, payload) in records {
+                    from.encode(buf);
+                    payload.encode(buf);
+                }
+            }
+            CentralMsg::MigrateAck { instance } => {
+                central::MIGRATE_ACK.encode(buf);
+                instance.encode(buf);
+            }
+            CentralMsg::OwnerChanged { instance, owner } => {
+                central::OWNER_CHANGED.encode(buf);
+                instance.encode(buf);
+                owner.encode(buf);
             }
         }
     }
@@ -244,21 +270,21 @@ impl Encode for CentralMsg {
 impl Decode for CentralMsg {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(match u8::decode(buf)? {
-            0 => CentralMsg::WorkflowStart {
+            central::WORKFLOW_START => CentralMsg::WorkflowStart {
                 instance: Decode::decode(buf)?,
                 inputs: Decode::decode(buf)?,
             },
-            1 => CentralMsg::WorkflowChangeInputs {
+            central::WORKFLOW_CHANGE_INPUTS => CentralMsg::WorkflowChangeInputs {
                 instance: Decode::decode(buf)?,
                 new_inputs: Decode::decode(buf)?,
             },
-            2 => CentralMsg::WorkflowAbort {
+            central::WORKFLOW_ABORT => CentralMsg::WorkflowAbort {
                 instance: Decode::decode(buf)?,
             },
-            3 => CentralMsg::WorkflowStatus {
+            central::WORKFLOW_STATUS => CentralMsg::WorkflowStatus {
                 instance: Decode::decode(buf)?,
             },
-            4 => CentralMsg::ExecRequest {
+            central::EXEC_REQUEST => CentralMsg::ExecRequest {
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
                 program: Decode::decode(buf)?,
@@ -266,43 +292,63 @@ impl Decode for CentralMsg {
                 attempt: Decode::decode(buf)?,
                 cost: Decode::decode(buf)?,
             },
-            5 => CentralMsg::StateProbe {
+            central::STATE_PROBE => CentralMsg::StateProbe {
                 token: Decode::decode(buf)?,
             },
-            6 => CentralMsg::CompensateRequest {
+            central::COMPENSATE_REQUEST => CentralMsg::CompensateRequest {
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
                 program: Decode::decode(buf)?,
                 partial: Decode::decode(buf)?,
                 for_abort: Decode::decode(buf)?,
             },
-            7 => CentralMsg::ExecResult {
+            central::EXEC_RESULT => CentralMsg::ExecResult {
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
                 attempt: Decode::decode(buf)?,
                 outputs: Decode::decode(buf)?,
                 error: Decode::decode(buf)?,
             },
-            8 => CentralMsg::StateProbeReply {
+            central::STATE_PROBE_REPLY => CentralMsg::StateProbeReply {
                 token: Decode::decode(buf)?,
                 load: Decode::decode(buf)?,
             },
-            9 => CentralMsg::CompensateResult {
+            central::COMPENSATE_RESULT => CentralMsg::CompensateResult {
                 instance: Decode::decode(buf)?,
                 step: Decode::decode(buf)?,
                 for_abort: Decode::decode(buf)?,
             },
-            10 => CentralMsg::Coord(CoordMsg::decode(buf)?),
-            11 => CentralMsg::ChildStart {
+            central::COORD => CentralMsg::Coord(CoordMsg::decode(buf)?),
+            central::CHILD_START => CentralMsg::ChildStart {
                 child: Decode::decode(buf)?,
                 inputs: Decode::decode(buf)?,
                 parent: Decode::decode(buf)?,
                 parent_step: Decode::decode(buf)?,
             },
-            12 => CentralMsg::ChildDone {
+            central::CHILD_DONE => CentralMsg::ChildDone {
                 parent: Decode::decode(buf)?,
                 parent_step: Decode::decode(buf)?,
                 outputs: Decode::decode(buf)?,
+            },
+            central::MIGRATE_REQUEST => CentralMsg::MigrateRequest {
+                instance: Decode::decode(buf)?,
+                target: Decode::decode(buf)?,
+            },
+            central::MIGRATE_STATE => {
+                let instance = Decode::decode(buf)?;
+                let n = u32::decode(buf)? as usize;
+                let mut records = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    records.push((u32::decode(buf)?, Vec::<u8>::decode(buf)?));
+                }
+                CentralMsg::MigrateState { instance, records }
+            }
+            central::MIGRATE_ACK => CentralMsg::MigrateAck {
+                instance: Decode::decode(buf)?,
+            },
+            central::OWNER_CHANGED => CentralMsg::OwnerChanged {
+                instance: Decode::decode(buf)?,
+                owner: Decode::decode(buf)?,
             },
             tag => {
                 return Err(CodecError::BadTag {
@@ -319,6 +365,7 @@ mod tests {
     use super::*;
     use bytes::Buf;
     use crew_model::{InstanceId, ItemKey, SchemaId, StepId, Value};
+    use proptest::prelude::*;
 
     fn inst(n: u32) -> InstanceId {
         InstanceId::new(SchemaId(2), n)
@@ -397,6 +444,19 @@ mod tests {
             parent_step: StepId(5),
             outputs: vec![Value::Bool(false)],
         });
+        round_trip(CentralMsg::MigrateRequest {
+            instance: inst(10),
+            target: 7,
+        });
+        round_trip(CentralMsg::MigrateState {
+            instance: inst(10),
+            records: vec![(3, vec![1, 2, 3]), (u32::MAX, vec![])],
+        });
+        round_trip(CentralMsg::MigrateAck { instance: inst(10) });
+        round_trip(CentralMsg::OwnerChanged {
+            instance: inst(10),
+            owner: 3,
+        });
     }
 
     #[test]
@@ -452,5 +512,26 @@ mod tests {
                 tag: 200
             })
         ));
+    }
+
+    proptest! {
+        /// Migration messages round-trip for arbitrary identities and
+        /// record slices (the payloads are opaque bytes on the wire).
+        #[test]
+        fn migration_messages_round_trip(
+            schema in 0u32..64,
+            serial in 0u32..1_000_000,
+            target in 0u32..1024,
+            records in proptest::collection::vec(
+                (0u32..4096, proptest::collection::vec(proptest::prelude::any::<u8>(), 0..48)),
+                0..12,
+            ),
+        ) {
+            let instance = InstanceId::new(SchemaId(schema), serial);
+            round_trip(CentralMsg::MigrateRequest { instance, target });
+            round_trip(CentralMsg::MigrateState { instance, records: records.clone() });
+            round_trip(CentralMsg::MigrateAck { instance });
+            round_trip(CentralMsg::OwnerChanged { instance, owner: target });
+        }
     }
 }

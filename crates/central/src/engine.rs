@@ -120,6 +120,31 @@ pub struct Engine {
     mutex_held: BTreeSet<(u32, InstanceId, StepId)>,
     probe_token: u64,
     load: u64,
+    // ---- live migration (crew-shard) ----
+    /// Per-instance command log: the encoded `CentralMsg` inputs (real and
+    /// synthesized) that mention each hosted instance, in delivery order.
+    /// Replaying this slice through `handle` on another engine rebuilds the
+    /// instance's volatile state there, which is what `MigrateState`
+    /// carries. Rebuilt from the WAL on recovery, so it needs no separate
+    /// persistence.
+    cmd_log: BTreeMap<InstanceId, Vec<(u32, Vec<u8>)>>,
+    /// Instances migrated away: where to forward their traffic.
+    forwards: BTreeMap<InstanceId, u32>,
+    /// Messages forwarded on behalf of migrated-away instances.
+    pub forwarded_msgs: u64,
+    /// Instances this engine has migrated out / accepted in.
+    pub migrations_out: u64,
+    pub migrations_in: u64,
+    /// Accepted instances that arrived holding at least one mutex grant.
+    pub migrations_in_with_mutex: u64,
+    /// Messages delivered to this engine (handled, not forwarded).
+    pub delivered_msgs: u64,
+    /// `MigrateAck`s received for instances this engine exported.
+    pub migrations_acked: u64,
+    /// Set to the instance being installed while a `MigrateState` slice
+    /// replays, so cross-instance effects of the replay are routed as
+    /// (discarded) sends instead of re-applied to live co-hosted state.
+    installing: Option<InstanceId>,
     // ---- WFDB (persistence) ----
     /// The WFDB write-ahead log. Every delivered message is journaled as a
     /// [`DbOp::EngineInput`] command *before* it is handled, alongside the
@@ -158,6 +183,15 @@ impl Engine {
             mutex_held: BTreeSet::new(),
             probe_token: 0,
             load: 0,
+            cmd_log: BTreeMap::new(),
+            forwards: BTreeMap::new(),
+            forwarded_msgs: 0,
+            migrations_out: 0,
+            migrations_in: 0,
+            migrations_in_with_mutex: 0,
+            delivered_msgs: 0,
+            migrations_acked: 0,
+            installing: None,
             wal: Wal::in_memory(),
             db: AgentDb::new(),
             replaying: false,
@@ -197,10 +231,15 @@ impl Engine {
     /// Update the instance summary table, journaling the change.
     fn set_status(&mut self, instance: InstanceId, status: InstanceStatus) {
         self.statuses.insert(instance, status);
-        if status != InstanceStatus::Executing && !self.replaying {
-            // First terminal transition wins: re-executions after an input
-            // change must not move the completion time.
-            self.terminal_times.entry(instance).or_insert(self.clock);
+        if status != InstanceStatus::Executing {
+            // Terminal instances never migrate, so their command log —
+            // kept only to feed a future MigrateState export — can go.
+            self.cmd_log.remove(&instance);
+            if !self.replaying {
+                // First terminal transition wins: re-executions after an
+                // input change must not move the completion time.
+                self.terminal_times.entry(instance).or_insert(self.clock);
+            }
         }
         self.log(DbOp::StatusChanged { instance, status });
     }
@@ -236,6 +275,110 @@ impl Engine {
         self.halted
     }
 
+    // ---- live migration (crew-shard) ---------------------------------------
+
+    /// Live (non-terminal) instances currently hosted by this engine.
+    pub fn live_instances(&self) -> u64 {
+        self.statuses
+            .values()
+            .filter(|s| **s == InstanceStatus::Executing)
+            .count() as u64
+    }
+
+    /// WAL records appended so far (a proxy for WFDB write pressure).
+    pub fn wal_appended(&self) -> u64 {
+        self.wal.appended()
+    }
+
+    /// Instances hosted here and still executing — the candidates a
+    /// balancer driver can order moved. Deterministic (BTreeMap) order.
+    pub fn movable_instances(&self) -> Vec<InstanceId> {
+        self.instances
+            .keys()
+            .filter(|i| self.statuses.get(i) == Some(&InstanceStatus::Executing))
+            .copied()
+            .collect()
+    }
+
+    /// Where an instance lives right now, for the local-vs-remote decision
+    /// every cross-instance interaction makes: `None` means handle it with
+    /// a direct call (hosted here, or about to be created here), otherwise
+    /// the engine node to send to — the placement owner, or the forward
+    /// target if the instance migrated away.
+    ///
+    /// While a `MigrateState` slice replays, effects on instances other
+    /// than the one being installed already happened at the source, so
+    /// they are routed as sends for the replay sink to discard.
+    fn route(&self, instance: InstanceId) -> Option<NodeId> {
+        if let Some(focus) = self.installing {
+            if instance == focus {
+                return None;
+            }
+            return Some(self.topo.engine_node(self.index));
+        }
+        if self.instances.contains_key(&instance) {
+            return None;
+        }
+        if let Some(&e) = self.forwards.get(&instance) {
+            return Some(self.topo.engine_node(e));
+        }
+        let owner = self.topo.owner_engine(instance);
+        if owner == self.index {
+            None
+        } else {
+            Some(self.topo.engine_node(owner))
+        }
+    }
+
+    /// Record a delivered (or locally synthesized) command against every
+    /// hosted instance it mentions. The per-instance command log is what a
+    /// `MigrateState` export carries: replaying it through [`Self::handle`]
+    /// on another engine rebuilds the instance's volatile state there. The
+    /// log is itself volatile — crash recovery rebuilds it by re-driving
+    /// the WAL through this same path.
+    fn ingest_cmd(&mut self, from: u32, msg: &CentralMsg, payload: &[u8]) {
+        if matches!(
+            msg,
+            CentralMsg::MigrateRequest { .. }
+                | CentralMsg::MigrateState { .. }
+                | CentralMsg::MigrateAck { .. }
+                | CentralMsg::OwnerChanged { .. }
+        ) {
+            // Migration traffic describes placement, not instance state;
+            // replaying a stale MigrateRequest at a new host would bounce
+            // the instance right back out.
+            return;
+        }
+        let creates = match msg {
+            CentralMsg::WorkflowStart { instance, .. } => Some(*instance),
+            CentralMsg::ChildStart { child, .. } => Some(*child),
+            _ => None,
+        };
+        for inst in msg.mentions() {
+            if creates == Some(inst) {
+                self.cmd_log
+                    .entry(inst)
+                    .or_default()
+                    .push((from, payload.to_vec()));
+            } else if let Some(log) = self.cmd_log.get_mut(&inst) {
+                log.push((from, payload.to_vec()));
+            }
+        }
+    }
+
+    /// Journal-equivalent of a local shortcut: when a handler takes a
+    /// direct call instead of a self-send, record the message it *would*
+    /// have sent against the hosted instances it mentions, so an export
+    /// replays the interaction at the target. Nothing is sent and nothing
+    /// is charged — non-migrating runs behave identically.
+    fn synth(&mut self, msg: &CentralMsg, ctx: &Ctx<CentralMsg>) {
+        if self.installing.is_some() {
+            return; // the incoming slice already carries these records
+        }
+        let payload = msg.to_bytes().to_vec();
+        self.ingest_cmd(ctx.self_id.0, msg, &payload);
+    }
+
     // ---- instantiation -----------------------------------------------------
 
     fn start_instance(
@@ -245,6 +388,12 @@ impl Engine {
         parent: Option<(InstanceId, StepId)>,
         ctx: &mut Ctx<CentralMsg>,
     ) {
+        if self.statuses.contains_key(&instance) {
+            // Duplicate start (e.g. a replayed ChildStart for an instance
+            // that already lives here): compiling the rules twice would
+            // double-fire every step.
+            return;
+        }
         let schema = self.schema(instance);
         let template = self
             .templates
@@ -454,12 +603,15 @@ impl Engine {
         ctx: &mut Ctx<CentralMsg>,
     ) {
         let holder = self.mutex_holders.entry(req).or_default();
+        // Holder/queue identity is (instance, step); the recorded owner
+        // engine is advisory and may go stale when the holder migrates.
+        let same = |t: &(InstanceId, StepId, u32)| t.0 == instance && t.1 == step;
         if holder.is_none() {
             *holder = Some((instance, step, owner_engine));
             self.mutex_grant(req, instance, step, owner_engine, ctx);
-        } else if *holder != Some((instance, step, owner_engine)) {
+        } else if !holder.as_ref().is_some_and(same) {
             let q = self.mutex_queues.entry(req).or_default();
-            if !q.contains(&(instance, step, owner_engine)) {
+            if !q.iter().any(same) {
                 q.push_back((instance, step, owner_engine));
             }
         }
@@ -470,29 +622,40 @@ impl Engine {
         req: u32,
         instance: InstanceId,
         step: StepId,
-        owner_engine: u32,
+        _owner_engine: u32,
         ctx: &mut Ctx<CentralMsg>,
     ) {
-        if owner_engine == self.index {
-            let terminal = {
-                let st = self.inst(instance);
-                st.aborted || st.committed
-            };
-            if terminal {
-                self.mutex_do_release(req, instance, step, ctx);
-                return;
+        // Routed by current hosting, not the owner engine recorded at
+        // acquire time: the holder may have migrated while queued.
+        match self.route(instance) {
+            None => {
+                let terminal = {
+                    let st = self.inst(instance);
+                    st.aborted || st.committed
+                };
+                if terminal {
+                    self.mutex_do_release(req, instance, step, ctx);
+                    return;
+                }
+                self.synth(
+                    &CentralMsg::Coord(CoordMsg::MutexGrant {
+                        req,
+                        instance,
+                        step,
+                    }),
+                    ctx,
+                );
+                self.mutex_held.insert((req, instance, step));
+                self.resume_waiting(instance, step, ctx);
             }
-            self.mutex_held.insert((req, instance, step));
-            self.resume_waiting(instance, step, ctx);
-        } else {
-            ctx.send(
-                self.topo.engine_node(owner_engine),
+            Some(node) => ctx.send(
+                node,
                 CentralMsg::Coord(CoordMsg::MutexGrant {
                     req,
                     instance,
                     step,
                 }),
-            );
+            ),
         }
     }
 
@@ -967,18 +1130,26 @@ impl Engine {
                 let parent = self.inst(instance).parent;
                 if let Some((p, pstep)) = parent {
                     let outputs = self.nested_outputs(instance);
-                    let owner = self.topo.owner_engine(p);
-                    if owner == self.index {
-                        self.on_child_done(p, pstep, outputs, ctx);
-                    } else {
-                        ctx.send(
-                            self.topo.engine_node(owner),
+                    match self.route(p) {
+                        None => {
+                            self.synth(
+                                &CentralMsg::ChildDone {
+                                    parent: p,
+                                    parent_step: pstep,
+                                    outputs: outputs.clone(),
+                                },
+                                ctx,
+                            );
+                            self.on_child_done(p, pstep, outputs, ctx);
+                        }
+                        Some(node) => ctx.send(
+                            node,
                             CentralMsg::ChildDone {
                                 parent: p,
                                 parent_step: pstep,
                                 outputs,
                             },
-                        );
+                        ),
                     }
                 }
             }
@@ -1039,19 +1210,28 @@ impl Engine {
                 })
                 .collect()
         };
-        let owner = self.topo.owner_engine(child);
-        if owner == self.index {
-            self.start_instance(child, inputs, Some((instance, step)), ctx);
-        } else {
-            ctx.send(
-                self.topo.engine_node(owner),
+        match self.route(child) {
+            None => {
+                self.synth(
+                    &CentralMsg::ChildStart {
+                        child,
+                        inputs: inputs.clone(),
+                        parent: instance,
+                        parent_step: step,
+                    },
+                    ctx,
+                );
+                self.start_instance(child, inputs, Some((instance, step)), ctx);
+            }
+            Some(node) => ctx.send(
+                node,
                 CentralMsg::ChildStart {
                     child,
                     inputs,
                     parent: instance,
                     parent_step: step,
                 },
-            );
+            ),
         }
     }
 
@@ -1199,17 +1379,16 @@ impl Engine {
                     if partner.schema != rd.dependent_schema {
                         continue;
                     }
-                    let owner = self.topo.owner_engine(partner);
-                    if owner == self.index {
-                        self.rollback_to(partner, rd.dependent_origin, true, ctx);
-                    } else {
-                        ctx.send(
-                            self.topo.engine_node(owner),
-                            CentralMsg::Coord(CoordMsg::RollbackDep {
-                                instance: partner,
-                                origin: rd.dependent_origin,
-                            }),
-                        );
+                    let msg = CentralMsg::Coord(CoordMsg::RollbackDep {
+                        instance: partner,
+                        origin: rd.dependent_origin,
+                    });
+                    match self.route(partner) {
+                        None => {
+                            self.synth(&msg, ctx);
+                            self.rollback_to(partner, rd.dependent_origin, true, ctx);
+                        }
+                        Some(node) => ctx.send(node, msg),
                     }
                 }
             }
@@ -1333,18 +1512,17 @@ impl Engine {
                     (RoState::SideALeads, 0) | (RoState::SideBLeads, 1)
                 );
                 if we_lead {
-                    let owner = self.topo.owner_engine(partner);
-                    if owner == self.index {
-                        self.ro_apply_release(r.id, k, partner, ctx);
-                    } else {
-                        ctx.send(
-                            self.topo.engine_node(owner),
-                            CentralMsg::Coord(CoordMsg::RoRelease {
-                                req: r.id,
-                                k,
-                                lagging: partner,
-                            }),
-                        );
+                    let msg = CentralMsg::Coord(CoordMsg::RoRelease {
+                        req: r.id,
+                        k,
+                        lagging: partner,
+                    });
+                    match self.route(partner) {
+                        None => {
+                            self.synth(&msg, ctx);
+                            self.ro_apply_release(r.id, k, partner, ctx);
+                        }
+                        Some(node) => ctx.send(node, msg),
                     }
                 }
             }
@@ -1378,19 +1556,19 @@ impl Engine {
         };
         self.ro_decisions.insert(key, state);
         self.nav_load(ctx);
-        for engine in [self.topo.owner_engine(a), self.topo.owner_engine(b)] {
-            if engine == self.index {
-                self.ro_apply_decision(req, a, b, winner_side, ctx);
-            } else {
-                ctx.send(
-                    self.topo.engine_node(engine),
-                    CentralMsg::Coord(CoordMsg::RoDecision {
-                        req,
-                        a,
-                        b,
-                        leader_side: winner_side,
-                    }),
-                );
+        for inst in [a, b] {
+            let msg = CentralMsg::Coord(CoordMsg::RoDecision {
+                req,
+                a,
+                b,
+                leader_side: winner_side,
+            });
+            match self.route(inst) {
+                None => {
+                    self.synth(&msg, ctx);
+                    self.ro_apply_decision(req, a, b, winner_side, ctx);
+                }
+                Some(node) => ctx.send(node, msg),
             }
         }
     }
@@ -1409,9 +1587,10 @@ impl Engine {
             RoState::SideBLeads
         };
         self.ro_decisions.insert((req, a, b), state);
-        // The decision may unblock deferred steps of instances we own.
+        // The decision may unblock deferred steps of instances we host
+        // (hosting, not placement: a migrated-in instance resumes here).
         for inst in [a, b] {
-            if self.topo.owner_engine(inst) == self.index && self.instances.contains_key(&inst) {
+            if self.instances.contains_key(&inst) {
                 self.resume_all_ro(inst, ctx);
                 // If the leading side already completed later pairs before
                 // the decision landed, emit the pending releases now.
@@ -1457,18 +1636,17 @@ impl Engine {
                     (RoState::SideALeads, 0) | (RoState::SideBLeads, 1)
                 );
                 if we_lead {
-                    let owner = self.topo.owner_engine(partner);
-                    if owner == self.index {
-                        self.ro_apply_release(r.id, k, partner, ctx);
-                    } else {
-                        ctx.send(
-                            self.topo.engine_node(owner),
-                            CentralMsg::Coord(CoordMsg::RoRelease {
-                                req: r.id,
-                                k,
-                                lagging: partner,
-                            }),
-                        );
+                    let msg = CentralMsg::Coord(CoordMsg::RoRelease {
+                        req: r.id,
+                        k,
+                        lagging: partner,
+                    });
+                    match self.route(partner) {
+                        None => {
+                            self.synth(&msg, ctx);
+                            self.ro_apply_release(r.id, k, partner, ctx);
+                        }
+                        Some(node) => ctx.send(node, msg),
                     }
                 }
             }
@@ -1589,7 +1767,7 @@ impl Engine {
     /// The actual message handler. [`Node::on_message`] journals the input
     /// and delegates here; [`Node::on_recover`] replays journalled inputs
     /// through here with a detached context.
-    fn handle(&mut self, _from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
+    fn handle(&mut self, from: NodeId, msg: CentralMsg, ctx: &mut Ctx<CentralMsg>) {
         match msg {
             CentralMsg::WorkflowStart { instance, inputs } => {
                 self.start_instance(instance, inputs, None, ctx)
@@ -1633,12 +1811,121 @@ impl Engine {
                 parent_step,
                 outputs,
             } => self.on_child_done(parent, parent_step, outputs, ctx),
+            CentralMsg::MigrateRequest { instance, target } => {
+                self.on_migrate_request(instance, target, ctx)
+            }
+            CentralMsg::MigrateState { instance, records } => {
+                self.on_migrate_state(from, instance, records, ctx)
+            }
+            CentralMsg::MigrateAck { .. } => {
+                self.migrations_acked += 1;
+            }
+            CentralMsg::OwnerChanged { instance, owner } => {
+                if self.instances.contains_key(&instance) || owner == self.index {
+                    self.forwards.remove(&instance);
+                } else {
+                    self.forwards.insert(instance, owner);
+                }
+            }
             CentralMsg::ExecRequest { .. }
             | CentralMsg::StateProbe { .. }
             | CentralMsg::CompensateRequest { .. } => {
                 // Agent-bound messages; an engine receiving one is a
                 // routing bug surfaced by tests.
             }
+        }
+    }
+
+    // ---- migration protocol (crew-shard) -----------------------------------
+
+    /// Source side of a live migration: freeze is implicit in handler
+    /// atomicity — between receiving the request and emitting the state
+    /// transfer nothing else can touch the instance. Refusal (not hosted,
+    /// not executing, bogus target) is silent: the balancer observes the
+    /// outcome through load stats, not replies.
+    fn on_migrate_request(&mut self, instance: InstanceId, target: u32, ctx: &mut Ctx<CentralMsg>) {
+        if target == self.index
+            || target >= self.topo.engines
+            || !self.instances.contains_key(&instance)
+            || self.status_of(instance) != Some(InstanceStatus::Executing)
+        {
+            return;
+        }
+        let records = self.cmd_log.remove(&instance).unwrap_or_default();
+        self.instances.remove(&instance);
+        self.statuses.remove(&instance);
+        // The local grant mirror travels with the instance (rebuilt from
+        // the slice at the target); manager-side holder state stays put —
+        // the manager role is placement-independent and never migrates.
+        self.mutex_held.retain(|(_, i, _)| *i != instance);
+        self.forwards.insert(instance, target);
+        self.migrations_out += 1;
+        ctx.send(
+            self.topo.engine_node(target),
+            CentralMsg::MigrateState { instance, records },
+        );
+    }
+
+    /// Target side: replay the exported command slice through the normal
+    /// handlers to rebuild the instance's volatile state, then ack the
+    /// source and advertise the new placement. Per-channel FIFO guarantees
+    /// the slice lands before any traffic the source forwards afterwards.
+    fn on_migrate_state(
+        &mut self,
+        from: NodeId,
+        instance: InstanceId,
+        records: Vec<(u32, Vec<u8>)>,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
+        self.forwards.remove(&instance);
+        let was_replaying = self.replaying;
+        self.replaying = true; // suppress WAL appends: the MigrateState
+                               // input record regenerates all of this
+        self.installing = Some(instance);
+        for (src, payload) in &records {
+            let mut buf = Bytes::from(payload.clone());
+            match CentralMsg::decode(&mut buf) {
+                Ok(msg) => {
+                    let mut sink = Ctx::detached(ctx.now, ctx.self_id);
+                    self.handle(NodeId(*src), msg, &mut sink);
+                }
+                Err(_) => {
+                    self.halted = true;
+                    break;
+                }
+            }
+        }
+        self.installing = None;
+        self.replaying = was_replaying;
+        if self.halted {
+            return;
+        }
+        let holds_mutex = self.mutex_held.iter().any(|(_, i, _)| *i == instance);
+        self.cmd_log.insert(instance, records);
+        self.migrations_in += 1;
+        if holds_mutex {
+            self.migrations_in_with_mutex += 1;
+        }
+        ctx.send(from, CentralMsg::MigrateAck { instance });
+        // Advertise the new placement fleet-wide. Peers route
+        // instance-bound traffic (manager decisions, ChildDone from child
+        // hosts) via the static placement owner; without the broadcast
+        // every such message would detour through that owner as a forward
+        // — exactly the engine the balancer is usually trying to drain.
+        // The source is skipped: dropping the instance left it a forwards
+        // entry already.
+        for e in 0..self.topo.engines {
+            let node = self.topo.engine_node(e);
+            if e == self.index || node == from {
+                continue;
+            }
+            ctx.send(
+                node,
+                CentralMsg::OwnerChanged {
+                    instance,
+                    owner: self.index,
+                },
+            );
         }
     }
 }
@@ -1650,6 +1937,20 @@ impl Node<CentralMsg> for Engine {
             // nothing rather than serving from wrong (empty) state.
             return;
         }
+        // Traffic for migrated-away instances is passed along unjournaled:
+        // the current owner journals it on delivery, so each input is
+        // recovered exactly once, at exactly one engine. Manager-bound
+        // coordination is exempt — the manager role never migrates.
+        if !msg.manager_bound() {
+            let mentions = msg.mentions();
+            if !mentions.is_empty() && mentions.iter().all(|i| !self.instances.contains_key(i)) {
+                if let Some(&e) = mentions.iter().find_map(|i| self.forwards.get(i)) {
+                    self.forwarded_msgs += 1;
+                    ctx.send(self.topo.engine_node(e), msg);
+                    return;
+                }
+            }
+        }
         // Write-ahead command logging: journal the input *before* handling
         // it, so every volatile structure the handler mutates can be
         // re-derived by replaying the journal after a fail-stop crash.
@@ -1657,12 +1958,15 @@ impl Node<CentralMsg> for Engine {
         // group-committed: one flush per delivered message, issued before
         // the simulator releases the handler's buffered sends.
         self.clock = ctx.now;
+        self.delivered_msgs += 1;
+        let payload = msg.to_bytes().to_vec();
         self.wal
             .append_nosync(&DbOp::EngineInput {
                 from: from.0,
-                payload: msg.to_bytes().to_vec(),
+                payload: payload.clone(),
             })
             .expect("in-memory WAL append cannot fail");
+        self.ingest_cmd(from.0, &msg, &payload);
         self.handle(from, msg, ctx);
         self.wal.flush().expect("in-memory WAL flush cannot fail");
     }
@@ -1679,6 +1983,15 @@ impl Node<CentralMsg> for Engine {
         self.mutex_held.clear();
         self.probe_token = 0;
         self.load = 0;
+        self.cmd_log.clear();
+        self.forwards.clear();
+        self.forwarded_msgs = 0;
+        self.migrations_out = 0;
+        self.migrations_in = 0;
+        self.migrations_in_with_mutex = 0;
+        self.migrations_acked = 0;
+        self.delivered_msgs = 0;
+        self.installing = None;
         self.db = AgentDb::new();
     }
 
@@ -1694,11 +2007,13 @@ impl Node<CentralMsg> for Engine {
                 // (through `log`, which applies without appending).
                 continue;
             };
-            let mut buf = Bytes::from(payload);
+            let mut buf = Bytes::from(payload.clone());
             match CentralMsg::decode(&mut buf) {
                 Ok(msg) => {
                     // Sends, timers and load were already emitted before the
                     // crash; replay must rebuild state without repeating them.
+                    self.delivered_msgs += 1;
+                    self.ingest_cmd(from, &msg, &payload);
                     let mut sink = Ctx::detached(ctx.now, ctx.self_id);
                     self.handle(NodeId(from), msg, &mut sink);
                 }
@@ -1779,6 +2094,141 @@ mod tests {
         // A halted engine ignores everything that follows.
         let inst2 = start(&mut e, 2);
         assert!(e.status_of(inst2).is_none());
+    }
+
+    // ---- live migration ----------------------------------------------------
+
+    use crate::builder::CentralRun;
+    use crew_model::{CoordinationSpec, MutualExclusion, SchemaStep};
+
+    fn linear(id: u32, steps: u32) -> crew_model::WorkflowSchema {
+        let mut b = SchemaBuilder::new(SchemaId(id), format!("wf{id}")).inputs(1);
+        let ids: Vec<_> = (0..steps)
+            .map(|i| b.add_step(format!("S{}", i + 1), "passthrough"))
+            .collect();
+        for w in ids.windows(2) {
+            b.seq(w[0], w[1]);
+        }
+        for s in &ids {
+            b.configure(*s, |d| d.eligible_agents = vec![AgentId(0)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn live_migration_mid_flight_commits_at_target() {
+        let deployment = Deployment::new([linear(1, 4)]);
+        let mut run = CentralRun::new(deployment, 1, 2);
+        let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
+        let src = run.topo.owner_engine(inst);
+        let dst = 1 - src;
+        run.migrate_instance_at(inst, dst, 3);
+        run.run();
+        assert_eq!(run.statuses().get(&inst), Some(&InstanceStatus::Committed));
+        assert_eq!(run.engine(src).migrations_out, 1);
+        assert_eq!(run.engine(dst).migrations_in, 1);
+        assert!(
+            run.engine(src).forwarded_msgs >= 1,
+            "in-flight agent results must chase the instance"
+        );
+        assert!(
+            run.engine(dst).terminal_times.contains_key(&inst),
+            "completion is recorded at the target"
+        );
+        assert!(
+            !run.engine(src).statuses.contains_key(&inst),
+            "the source forgets the instance"
+        );
+    }
+
+    #[test]
+    fn stale_migrate_request_forwards_to_current_host() {
+        // After src → dst, a second order addressed to the placement owner
+        // (src) must chase the instance to dst, which then exports it back.
+        let deployment = Deployment::new([linear(1, 6)]);
+        let mut run = CentralRun::new(deployment, 1, 2);
+        let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
+        let src = run.topo.owner_engine(inst);
+        let dst = 1 - src;
+        run.migrate_instance_at(inst, dst, 3);
+        run.migrate_instance_at(inst, src, 7);
+        run.run();
+        assert_eq!(run.statuses().get(&inst), Some(&InstanceStatus::Committed));
+        assert_eq!(run.engine(src).migrations_out, 1);
+        assert_eq!(run.engine(src).migrations_in, 1);
+        assert_eq!(run.engine(dst).migrations_out, 1);
+        assert_eq!(run.engine(dst).migrations_in, 1);
+        assert!(
+            run.engine(src).terminal_times.contains_key(&inst),
+            "the instance returned home before committing"
+        );
+    }
+
+    #[test]
+    fn migrating_a_mutex_holder_keeps_exclusion_safe() {
+        // Scan migration ticks until one lands inside the window where the
+        // instance executes S2 holding the mutex — the sim is deterministic
+        // per tick, so the scan is stable; the slow service cost widens the
+        // window.
+        let mut saw_holder_migration = false;
+        for at in 1..60 {
+            let mut deployment = Deployment::new([linear(1, 4)]);
+            deployment.coordination = CoordinationSpec {
+                mutual_exclusions: vec![MutualExclusion {
+                    id: 0,
+                    resource: "booth".into(),
+                    members: vec![SchemaStep::new(SchemaId(1), StepId(2))],
+                }],
+                ..CoordinationSpec::default()
+            };
+            let mut run = CentralRun::new(deployment, 1, 2);
+            run.sim.set_service_cost(run.topo.agent_node(AgentId(0)), 5);
+            let a = run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]);
+            let b = run.start_instance(SchemaId(1), vec![(1, Value::Int(2))]);
+            let src = run.topo.owner_engine(a);
+            let dst = 1 - src;
+            run.migrate_instance_at(a, dst, at);
+            run.run();
+            // Whatever the timing, exclusion safety must hold.
+            let statuses = run.statuses();
+            assert_eq!(
+                statuses.get(&a),
+                Some(&InstanceStatus::Committed),
+                "at {at}"
+            );
+            assert_eq!(
+                statuses.get(&b),
+                Some(&InstanceStatus::Committed),
+                "at {at}"
+            );
+            if run.engine(dst).migrations_in_with_mutex == 1 {
+                saw_holder_migration = true;
+                break;
+            }
+        }
+        assert!(
+            saw_holder_migration,
+            "no migration tick caught the instance holding the mutex"
+        );
+    }
+
+    #[test]
+    fn target_crash_after_migration_recovers_the_instance() {
+        // The MigrateState input record is journaled at the target, so a
+        // crash after the hand-off replays the nested install and the
+        // instance still commits exactly once.
+        let deployment = Deployment::new([linear(1, 6)]);
+        let mut run = CentralRun::new(deployment, 1, 2);
+        let inst = run.start_instance(SchemaId(1), vec![(1, Value::Int(5))]);
+        let src = run.topo.owner_engine(inst);
+        let dst = 1 - src;
+        run.migrate_instance_at(inst, dst, 3);
+        run.sim
+            .schedule_crash(run.topo.engine_node(dst), 7, Some(2));
+        run.run();
+        assert_eq!(run.statuses().get(&inst), Some(&InstanceStatus::Committed));
+        assert_eq!(run.engine(dst).migrations_in, 1);
+        assert!(run.engine(dst).terminal_times.contains_key(&inst));
     }
 
     #[test]

@@ -16,10 +16,11 @@ pub mod builder;
 pub mod codec;
 pub mod engine;
 pub mod msg;
+pub mod tags;
 pub mod topology;
 
 pub use appagent::AppAgent;
 pub use builder::CentralRun;
 pub use engine::Engine;
 pub use msg::{CentralMsg, CoordMsg};
-pub use topology::Topology;
+pub use topology::{PlacementStrategy, Topology};

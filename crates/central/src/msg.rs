@@ -138,6 +138,92 @@ pub enum CentralMsg {
         parent_step: StepId,
         outputs: Vec<Value>,
     },
+
+    // ---- live migration (crew-shard, parallel only) ----
+    /// Balancer → source engine: freeze `instance` and hand it over to
+    /// engine index `target`. Handler atomicity is the freeze: the
+    /// instance's state is exported and dropped before any further message
+    /// can touch it.
+    MigrateRequest {
+        instance: InstanceId,
+        target: u32,
+    },
+    /// Source → target engine: the instance's command-log slice — every
+    /// journaled input that shaped it, as `(from_node, payload)` pairs in
+    /// wire encoding. The target replays them through the normal handlers
+    /// (the WFDB recovery machinery) to rebuild the instance in place.
+    MigrateState {
+        instance: InstanceId,
+        records: Vec<(u32, Vec<u8>)>,
+    },
+    /// Target → source engine: installation complete.
+    MigrateAck {
+        instance: InstanceId,
+    },
+    /// Target → every other engine: routing update so in-flight traffic
+    /// chases the instance with at most one forwarding hop.
+    OwnerChanged {
+        instance: InstanceId,
+        owner: u32,
+    },
+}
+
+impl CentralMsg {
+    /// Every instance this message is addressed *about* — the owner-routing
+    /// key set. [`Classify::instance`] reports one instance for metrics
+    /// attribution; coordination traffic can concern two (both sides of a
+    /// relative order, a parent and child). Migration control and probe
+    /// traffic mention none: they are point-to-point engine messages that
+    /// must never be re-routed through forwarding.
+    pub fn mentions(&self) -> Vec<InstanceId> {
+        match self {
+            CentralMsg::WorkflowStart { instance, .. }
+            | CentralMsg::WorkflowChangeInputs { instance, .. }
+            | CentralMsg::WorkflowAbort { instance }
+            | CentralMsg::WorkflowStatus { instance }
+            | CentralMsg::ExecRequest { instance, .. }
+            | CentralMsg::CompensateRequest { instance, .. }
+            | CentralMsg::ExecResult { instance, .. }
+            | CentralMsg::CompensateResult { instance, .. }
+            | CentralMsg::MigrateRequest { instance, .. } => vec![*instance],
+            CentralMsg::Coord(c) => match c {
+                CoordMsg::RoFirstDone {
+                    claimant, partner, ..
+                } => vec![*claimant, *partner],
+                CoordMsg::RoDecision { a, b, .. } => vec![*a, *b],
+                CoordMsg::RoRelease { lagging, .. } => vec![*lagging],
+                CoordMsg::MutexAcquire { instance, .. }
+                | CoordMsg::MutexGrant { instance, .. }
+                | CoordMsg::MutexRelease { instance, .. }
+                | CoordMsg::RollbackDep { instance, .. } => vec![*instance],
+            },
+            // ChildStart mentions only the child it creates: the parent's
+            // half of the interaction (pending_nested) is rebuilt by the
+            // parent's own command log, and routing is to the child's side.
+            CentralMsg::ChildStart { child, .. } => vec![*child],
+            CentralMsg::ChildDone { parent, .. } => vec![*parent],
+            CentralMsg::StateProbe { .. }
+            | CentralMsg::StateProbeReply { .. }
+            | CentralMsg::MigrateState { .. }
+            | CentralMsg::MigrateAck { .. }
+            | CentralMsg::OwnerChanged { .. } => vec![],
+        }
+    }
+
+    /// Whether this message is addressed to a per-requirement *manager*
+    /// engine (`req % e`) rather than to an instance's owner. The manager
+    /// role is placement-independent and never migrates, so these must
+    /// never be forwarded even when every instance they mention has moved.
+    pub fn manager_bound(&self) -> bool {
+        matches!(
+            self,
+            CentralMsg::Coord(
+                CoordMsg::RoFirstDone { .. }
+                    | CoordMsg::MutexAcquire { .. }
+                    | CoordMsg::MutexRelease { .. }
+            )
+        )
+    }
 }
 
 impl Classify for CentralMsg {
@@ -164,6 +250,10 @@ impl Classify for CentralMsg {
             },
             CentralMsg::ChildStart { .. } => "ChildStart",
             CentralMsg::ChildDone { .. } => "ChildDone",
+            CentralMsg::MigrateRequest { .. } => "MigrateRequest",
+            CentralMsg::MigrateState { .. } => "MigrateState",
+            CentralMsg::MigrateAck { .. } => "MigrateAck",
+            CentralMsg::OwnerChanged { .. } => "OwnerChanged",
         }
     }
 
@@ -189,6 +279,10 @@ impl Classify for CentralMsg {
             }
             CentralMsg::Coord(CoordMsg::RollbackDep { .. }) => Mechanism::FailureHandling,
             CentralMsg::Coord(_) => Mechanism::CoordinatedExecution,
+            CentralMsg::MigrateRequest { .. }
+            | CentralMsg::MigrateState { .. }
+            | CentralMsg::MigrateAck { .. }
+            | CentralMsg::OwnerChanged { .. } => Mechanism::Control,
         }
     }
 
@@ -213,6 +307,10 @@ impl Classify for CentralMsg {
             },
             CentralMsg::ChildStart { child, .. } => Some(*child),
             CentralMsg::ChildDone { parent, .. } => Some(*parent),
+            CentralMsg::MigrateRequest { instance, .. }
+            | CentralMsg::MigrateState { instance, .. }
+            | CentralMsg::MigrateAck { instance }
+            | CentralMsg::OwnerChanged { instance, .. } => Some(*instance),
             CentralMsg::StateProbe { .. } | CentralMsg::StateProbeReply { .. } => None,
         }
     }

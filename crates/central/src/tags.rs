@@ -1,0 +1,100 @@
+//! The wire-tag space of the centralized/parallel codec.
+//!
+//! Every [`crate::CentralMsg`] / [`crate::CoordMsg`] variant owns exactly
+//! one `u8` discriminant on the wire, allocated here (in the style of
+//! `crew-distributed`'s central tag registry) so additions cannot collide
+//! silently: the uniqueness test below fails the build-time suite on any
+//! duplicate, and the codec round-trip proptests exercise each one.
+
+/// `CentralMsg` discriminants.
+pub mod central {
+    pub const WORKFLOW_START: u8 = 0;
+    pub const WORKFLOW_CHANGE_INPUTS: u8 = 1;
+    pub const WORKFLOW_ABORT: u8 = 2;
+    pub const WORKFLOW_STATUS: u8 = 3;
+    pub const EXEC_REQUEST: u8 = 4;
+    pub const STATE_PROBE: u8 = 5;
+    pub const COMPENSATE_REQUEST: u8 = 6;
+    pub const EXEC_RESULT: u8 = 7;
+    pub const STATE_PROBE_REPLY: u8 = 8;
+    pub const COMPENSATE_RESULT: u8 = 9;
+    pub const COORD: u8 = 10;
+    pub const CHILD_START: u8 = 11;
+    pub const CHILD_DONE: u8 = 12;
+    // Live-migration protocol (crew-shard).
+    pub const MIGRATE_REQUEST: u8 = 13;
+    pub const MIGRATE_STATE: u8 = 14;
+    pub const MIGRATE_ACK: u8 = 15;
+    pub const OWNER_CHANGED: u8 = 16;
+
+    /// Every allocated `CentralMsg` tag, for exhaustiveness checks.
+    pub const ALL: [u8; 17] = [
+        WORKFLOW_START,
+        WORKFLOW_CHANGE_INPUTS,
+        WORKFLOW_ABORT,
+        WORKFLOW_STATUS,
+        EXEC_REQUEST,
+        STATE_PROBE,
+        COMPENSATE_REQUEST,
+        EXEC_RESULT,
+        STATE_PROBE_REPLY,
+        COMPENSATE_RESULT,
+        COORD,
+        CHILD_START,
+        CHILD_DONE,
+        MIGRATE_REQUEST,
+        MIGRATE_STATE,
+        MIGRATE_ACK,
+        OWNER_CHANGED,
+    ];
+}
+
+/// `CoordMsg` discriminants (nested under [`central::COORD`]).
+pub mod coord {
+    pub const RO_FIRST_DONE: u8 = 0;
+    pub const RO_DECISION: u8 = 1;
+    pub const RO_RELEASE: u8 = 2;
+    pub const MUTEX_ACQUIRE: u8 = 3;
+    pub const MUTEX_GRANT: u8 = 4;
+    pub const MUTEX_RELEASE: u8 = 5;
+    pub const ROLLBACK_DEP: u8 = 6;
+
+    /// Every allocated `CoordMsg` tag, for exhaustiveness checks.
+    pub const ALL: [u8; 7] = [
+        RO_FIRST_DONE,
+        RO_DECISION,
+        RO_RELEASE,
+        MUTEX_ACQUIRE,
+        MUTEX_GRANT,
+        MUTEX_RELEASE,
+        ROLLBACK_DEP,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_unique(tags: &[u8]) -> bool {
+        let set: std::collections::BTreeSet<u8> = tags.iter().copied().collect();
+        set.len() == tags.len()
+    }
+
+    #[test]
+    fn tag_spaces_have_no_collisions() {
+        assert!(all_unique(&central::ALL));
+        assert!(all_unique(&coord::ALL));
+    }
+
+    #[test]
+    fn tags_are_dense_from_zero() {
+        // Dense allocation keeps the BadTag error range meaningful: any
+        // byte >= ALL.len() is provably unassigned.
+        for (i, t) in central::ALL.iter().enumerate() {
+            assert_eq!(*t as usize, i);
+        }
+        for (i, t) in coord::ALL.iter().enumerate() {
+            assert_eq!(*t as usize, i);
+        }
+    }
+}

@@ -4,7 +4,22 @@
 //! control is the `e = 1` special case (Figure 6a vs 6b).
 
 use crew_model::{AgentId, InstanceId};
+use crew_shard::Ring;
 use crew_simnet::NodeId;
+
+/// How new instances are assigned to engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// The paper's static assignment: `hash(instance) mod e`.
+    Modulo,
+    /// Seeded consistent-hash ring with `vnodes` virtual nodes per engine
+    /// (crew-shard): resizing the fleet remaps only `~1/e` of the
+    /// instance space, and placement composes with live migration.
+    ConsistentHash {
+        /// Virtual nodes per engine (clamped by the ring's slot budget).
+        vnodes: u16,
+    },
+}
 
 /// Node layout and instance-ownership function.
 #[derive(Debug, Clone, Copy)]
@@ -13,12 +28,43 @@ pub struct Topology {
     pub agents: u32,
     /// Number of engines (`e`; 1 = centralized).
     pub engines: u32,
+    /// Consistent-hash ring, when placement is not the static modulo.
+    ring: Option<Ring>,
 }
 
 impl Topology {
     pub fn new(agents: u32, engines: u32) -> Self {
         assert!(engines >= 1, "at least one engine");
-        Topology { agents, engines }
+        Topology {
+            agents,
+            engines,
+            ring: None,
+        }
+    }
+
+    /// A topology using the given placement strategy. `seed` feeds the
+    /// ring layout so placement is deterministic per deployment.
+    pub fn with_placement(
+        agents: u32,
+        engines: u32,
+        strategy: PlacementStrategy,
+        seed: u64,
+    ) -> Self {
+        let mut topo = Topology::new(agents, engines);
+        if let PlacementStrategy::ConsistentHash { vnodes } = strategy {
+            topo.ring = Some(Ring::new(engines, seed, vnodes));
+        }
+        topo
+    }
+
+    /// The active placement strategy.
+    pub fn placement(&self) -> PlacementStrategy {
+        match self.ring {
+            None => PlacementStrategy::Modulo,
+            Some(r) => PlacementStrategy::ConsistentHash {
+                vnodes: (r.slot_count() / self.engines as usize) as u16,
+            },
+        }
     }
 
     /// Node hosting an application agent.
@@ -34,10 +80,15 @@ impl Topology {
     }
 
     /// The engine owning an instance: "Each workflow instance ... is
-    /// controlled by only one workflow engine" (§6).
+    /// controlled by only one workflow engine" (§6). This is the
+    /// *placement* owner — under live migration an instance may currently
+    /// be hosted elsewhere, in which case the placement owner forwards.
     pub fn owner_engine(&self, instance: InstanceId) -> u32 {
         if self.engines == 1 {
             return 0;
+        }
+        if let Some(ring) = &self.ring {
+            return ring.owner(instance);
         }
         let h =
             crew_exec::hash::combine(0xE17A, &[instance.schema.0 as u64, instance.serial as u64]);
@@ -88,5 +139,38 @@ mod tests {
             seen.insert(e);
         }
         assert_eq!(seen.len(), 4, "all engines get instances");
+    }
+
+    #[test]
+    fn consistent_hash_placement_spreads_and_differs_from_modulo() {
+        let modulo = Topology::new(3, 4);
+        let ring =
+            Topology::with_placement(3, 4, PlacementStrategy::ConsistentHash { vnodes: 32 }, 42);
+        assert_eq!(
+            ring.placement(),
+            PlacementStrategy::ConsistentHash { vnodes: 32 }
+        );
+        assert_eq!(modulo.placement(), PlacementStrategy::Modulo);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut differs = false;
+        for n in 0..200 {
+            let i = InstanceId::new(SchemaId(1), n);
+            let e = ring.owner_engine(i);
+            assert!(e < 4);
+            seen.insert(e);
+            differs |= e != modulo.owner_engine(i);
+        }
+        assert_eq!(seen.len(), 4, "all engines get instances");
+        assert!(differs, "ring layout is a genuinely different assignment");
+    }
+
+    #[test]
+    fn ring_placement_is_deterministic_per_seed() {
+        let a = Topology::with_placement(1, 8, PlacementStrategy::ConsistentHash { vnodes: 16 }, 7);
+        let b = Topology::with_placement(1, 8, PlacementStrategy::ConsistentHash { vnodes: 16 }, 7);
+        for n in 0..300 {
+            let i = InstanceId::new(SchemaId(3), n);
+            assert_eq!(a.owner_engine(i), b.owner_engine(i));
+        }
     }
 }

@@ -28,6 +28,8 @@ pub mod system;
 pub use report::{InstanceOutcome, LatencyStats, RunReport};
 pub use system::{Architecture, CrashTarget, CrashWindow, Scenario, WorkflowSystem};
 
+pub use crew_central::PlacementStrategy;
+pub use crew_shard::{BalancerConfig, EngineLoad};
 pub use crew_simnet::{LinkCut, NetFaultPlan, RetransmitConfig, TransportStats};
 
 pub use crew_analysis as analysis;
@@ -36,5 +38,6 @@ pub use crew_distributed as distributed;
 pub use crew_exec as exec;
 pub use crew_model as model;
 pub use crew_rules as rules;
+pub use crew_shard as shard;
 pub use crew_simnet as simnet;
 pub use crew_storage as storage;

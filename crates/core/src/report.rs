@@ -3,6 +3,7 @@
 //! message counts per instance, busiest-node and per-pool loads).
 
 use crew_model::InstanceId;
+use crew_shard::EngineLoad;
 use crew_simnet::{Mechanism, Metrics, NodeId, TransportStats};
 use std::collections::BTreeMap;
 
@@ -41,6 +42,10 @@ pub struct RunReport {
     /// notification under distributed control). Stalled instances are
     /// absent.
     pub completion_ticks: BTreeMap<InstanceId, u64>,
+    /// Final per-engine load sample (central/parallel control only;
+    /// empty under distributed control): live instances, delivered
+    /// messages, WAL appends, forwarding and migration counters.
+    pub engine_loads: Vec<EngineLoad>,
 }
 
 /// Completion-latency summary over the terminal instances of one run, in
@@ -176,6 +181,18 @@ impl RunReport {
             .values()
             .any(|o| *o == InstanceOutcome::Stalled)
     }
+
+    /// Total live migrations completed during the run (sum of the
+    /// engines' `migrations_in` counters).
+    pub fn migrations(&self) -> u64 {
+        self.engine_loads.iter().map(|l| l.migrations_in).sum()
+    }
+
+    /// Measured end-of-run load skew across the engines (max/mean
+    /// pressure); 1.0 when there are no engine samples.
+    pub fn engine_skew(&self) -> f64 {
+        crew_shard::measured_skew(&self.engine_loads)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +217,7 @@ mod tests {
             virtual_time: 50,
             arrival_ticks: BTreeMap::from([(i1, 5)]),
             completion_ticks: BTreeMap::from([(i1, 45)]),
+            engine_loads: Vec::new(),
         };
         assert_eq!(report.messages_per_instance(Mechanism::Normal), 1.0);
         assert_eq!(report.scheduler_load_per_instance(), 100.0);

@@ -21,10 +21,11 @@
 //! ```
 
 use crate::report::{InstanceOutcome, RunReport};
-use crew_central::CentralRun;
+use crew_central::{CentralRun, PlacementStrategy};
 use crew_distributed::{DistConfig, DistRun, Outcome};
 use crew_exec::Deployment;
 use crew_model::{InstanceId, SchemaId, Value, WorkflowSchema, RUN_HORIZON_TICKS};
+use crew_shard::BalancerConfig;
 use crew_simnet::NetFaultPlan;
 use crew_storage::InstanceStatus;
 use std::collections::BTreeMap;
@@ -203,6 +204,19 @@ pub struct WorkflowSystem {
     /// Network fault plan; `Some` routes all traffic through the
     /// WAL-backed reliable channels with these faults injected.
     pub net_faults: Option<NetFaultPlan>,
+    /// Instance-placement strategy for central/parallel control (ignored
+    /// by distributed control).
+    pub placement: PlacementStrategy,
+    /// Auto-balancer: `Some((interval, config))` samples per-engine load
+    /// every `interval` virtual ticks and migrates instances off hot
+    /// engines when the measured skew diverges from the §7 uniform
+    /// prediction. Parallel control only.
+    pub balancer: Option<(u64, BalancerConfig)>,
+    /// Per-engine message service cost in virtual ticks, `(engine,
+    /// ticks)` — models heterogeneous or degraded engine hardware.
+    /// Engines absent from the list handle messages instantly.
+    /// Central/parallel control only.
+    pub engine_service_costs: Vec<(u32, u64)>,
 }
 
 impl WorkflowSystem {
@@ -217,6 +231,9 @@ impl WorkflowSystem {
             architecture,
             dist_config: DistConfig::default(),
             net_faults: None,
+            placement: PlacementStrategy::Modulo,
+            balancer: None,
+            engine_service_costs: Vec::new(),
         }
     }
 
@@ -227,6 +244,9 @@ impl WorkflowSystem {
             architecture,
             dist_config: DistConfig::default(),
             net_faults: None,
+            placement: PlacementStrategy::Modulo,
+            balancer: None,
+            engine_service_costs: Vec::new(),
         }
     }
 
@@ -235,6 +255,26 @@ impl WorkflowSystem {
     /// reorders, and partitions the wire underneath them.
     pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
         self.net_faults = Some(plan);
+        self
+    }
+
+    /// Choose the instance-placement strategy (central/parallel control).
+    pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enable the auto-balancer with a sampling `interval` (virtual
+    /// ticks) and tuning `config` (parallel control only).
+    pub fn with_balancer(mut self, interval: u64, config: BalancerConfig) -> Self {
+        self.balancer = Some((interval, config));
+        self
+    }
+
+    /// Give engine `n` a per-message service cost of `ticks` (see
+    /// [`WorkflowSystem::engine_service_costs`]).
+    pub fn with_engine_service_cost(mut self, engine: u32, ticks: u64) -> Self {
+        self.engine_service_costs.push((engine, ticks));
         self
     }
 
@@ -326,12 +366,13 @@ impl WorkflowSystem {
             arrival_ticks,
             completion_ticks,
             metrics: run.sim.metrics.clone(),
+            engine_loads: Vec::new(),
         }
     }
 
     fn run_central(&self, scenario: Scenario, agents: u32, engines: u32) -> RunReport {
         let deployment = self.linked_deployment(&scenario);
-        let mut run = CentralRun::new(deployment, agents, engines);
+        let mut run = CentralRun::new_with_placement(deployment, agents, engines, self.placement);
         for w in &scenario.crashes {
             let node = match w.target {
                 CrashTarget::Agent(n) => {
@@ -353,6 +394,11 @@ impl WorkflowSystem {
         }
         if let Some(plan) = &self.net_faults {
             run.sim.enable_net_faults(plan.clone());
+        }
+        for &(e, ticks) in &self.engine_service_costs {
+            if e < engines {
+                run.sim.set_service_cost(run.topo.engine_node(e), ticks);
+            }
         }
         let mut ids = Vec::new();
         let mut arrival_ticks = BTreeMap::new();
@@ -379,7 +425,14 @@ impl WorkflowSystem {
         // the cap turns "waits for the failed node" into a terminating run
         // reported as Stalled instead of an unbounded loop.
         run.sim.max_events = 50_000_000;
-        let events = run.sim.run_until(RUN_HORIZON_TICKS);
+        let events = match self.balancer {
+            Some((interval, cfg)) if engines > 1 => {
+                let p = crew_analysis::Params::paper_mean();
+                run.run_balanced_until(RUN_HORIZON_TICKS, interval, &cfg, &p);
+                run.sim.delivered()
+            }
+            _ => run.sim.run_until(RUN_HORIZON_TICKS),
+        };
         let completion_ticks = run.completion_times();
         let statuses = run.statuses();
         let outcomes: BTreeMap<InstanceId, InstanceOutcome> = ids
@@ -402,6 +455,7 @@ impl WorkflowSystem {
             arrival_ticks,
             completion_ticks,
             metrics: run.sim.metrics.clone(),
+            engine_loads: run.engine_loads(),
         }
     }
 }
@@ -491,6 +545,29 @@ mod tests {
                 "{arch:?}: latency is per-instance, not absolute time"
             );
         }
+    }
+
+    #[test]
+    fn consistent_hash_placement_commits_and_reports_engine_loads() {
+        let system = WorkflowSystem::new(
+            [two_step_schema()],
+            Architecture::Parallel {
+                agents: 2,
+                engines: 4,
+            },
+        )
+        .with_placement(PlacementStrategy::ConsistentHash { vnodes: 16 })
+        .with_balancer(8, BalancerConfig::default());
+        let mut scenario = Scenario::new();
+        for i in 0..12 {
+            scenario.start_at(SchemaId(1), vec![(1, Value::Int(i))], (i as u64) * 3);
+        }
+        let report = system.run(scenario);
+        assert_eq!(report.committed(), 12);
+        assert!(report.all_terminal());
+        assert_eq!(report.engine_loads.len(), 4);
+        assert!(report.engine_loads.iter().any(|l| l.delivered_msgs > 0));
+        assert!(report.engine_skew() >= 1.0 || report.engine_loads.is_empty());
     }
 
     #[test]

@@ -13,22 +13,65 @@
 use crew_central::CentralRun;
 use crew_exec::Deployment;
 
-pub use crew_central::{AppAgent, CentralMsg, CoordMsg, Engine, Topology};
+pub use crew_central::{AppAgent, CentralMsg, CoordMsg, Engine, PlacementStrategy, Topology};
+
+/// Rejected parallel-deployment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelConfigError {
+    /// Parallel control needs `engines >= 2`; use `crew-central` for the
+    /// centralized (`e = 1`) case so architecture choices stay explicit
+    /// in harness code.
+    NotEnoughEngines {
+        /// The rejected engine count.
+        engines: u32,
+    },
+}
+
+impl std::fmt::Display for ParallelConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelConfigError::NotEnoughEngines { engines } => write!(
+                f,
+                "parallel control needs at least two engines, got {engines}; \
+                 use crew-central for e = 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParallelConfigError {}
 
 /// A parallel-control deployment: `engines >= 2` central-style engines.
 pub struct ParallelRun;
 
 impl ParallelRun {
-    /// Build a parallel run with `engines` engines (panics if `engines <
-    /// 2`; use `crew-central` for the centralized case so architecture
-    /// choices stay explicit in harness code).
+    /// Build a parallel run with `engines` engines. Returns
+    /// [`ParallelConfigError::NotEnoughEngines`] for `engines < 2` rather
+    /// than panicking, so harnesses sweeping `e` can handle the
+    /// degenerate case.
     #[allow(clippy::new_ret_no_self)] // deliberately returns the shared run type
-    pub fn new(deployment: Deployment, agents: u32, engines: u32) -> CentralRun {
-        assert!(
-            engines >= 2,
-            "parallel control needs at least two engines; use crew-central for e = 1"
-        );
-        CentralRun::new(deployment, agents, engines)
+    pub fn new(
+        deployment: Deployment,
+        agents: u32,
+        engines: u32,
+    ) -> Result<CentralRun, ParallelConfigError> {
+        Self::with_placement(deployment, agents, engines, PlacementStrategy::Modulo)
+    }
+
+    /// Like [`ParallelRun::new`] with an explicit instance-placement
+    /// strategy (the deployment seed feeds the consistent-hash ring).
+    pub fn with_placement(
+        deployment: Deployment,
+        agents: u32,
+        engines: u32,
+        strategy: PlacementStrategy,
+    ) -> Result<CentralRun, ParallelConfigError> {
+        if engines < 2 {
+            return Err(ParallelConfigError::NotEnoughEngines { engines });
+        }
+        Ok(CentralRun::new_with_placement(
+            deployment, agents, engines, strategy,
+        ))
     }
 }
 
@@ -57,16 +100,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two engines")]
-    fn rejects_single_engine() {
+    fn rejects_single_engine_with_typed_error() {
         let deployment = Deployment::new([linear_schema(1, 2)]);
-        let _ = ParallelRun::new(deployment, 2, 1);
+        let err = ParallelRun::new(deployment, 2, 1).err().expect("rejected");
+        assert_eq!(err, ParallelConfigError::NotEnoughEngines { engines: 1 });
+        assert!(err.to_string().contains("at least two engines"));
+        let deployment = Deployment::new([linear_schema(1, 2)]);
+        let err = ParallelRun::new(deployment, 2, 0).err().expect("rejected");
+        assert_eq!(err, ParallelConfigError::NotEnoughEngines { engines: 0 });
+    }
+
+    #[test]
+    fn consistent_hash_placement_commits_across_engines() {
+        let deployment = Deployment::new([linear_schema(1, 3)]);
+        let mut run = ParallelRun::with_placement(
+            deployment,
+            2,
+            4,
+            PlacementStrategy::ConsistentHash { vnodes: 16 },
+        )
+        .expect("e >= 2");
+        let instances: Vec<_> = (0..8)
+            .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
+            .collect();
+        run.run();
+        let statuses = run.statuses();
+        for i in &instances {
+            assert_eq!(statuses.get(i), Some(&InstanceStatus::Committed), "{i}");
+        }
     }
 
     #[test]
     fn instances_spread_and_commit() {
         let deployment = Deployment::new([linear_schema(1, 3)]);
-        let mut run = ParallelRun::new(deployment, 2, 4);
+        let mut run = ParallelRun::new(deployment, 2, 4).expect("e >= 2");
         let instances: Vec<_> = (0..8)
             .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
             .collect();
@@ -94,7 +161,7 @@ mod tests {
             }],
             ..CoordinationSpec::default()
         };
-        let mut run = ParallelRun::new(deployment, 2, 4);
+        let mut run = ParallelRun::new(deployment, 2, 4).expect("e >= 2");
         let instances: Vec<_> = (0..6)
             .map(|_| run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]))
             .collect();
@@ -124,7 +191,7 @@ mod tests {
             }],
             ..CoordinationSpec::default()
         };
-        let mut run = ParallelRun::new(deployment, 2, 4);
+        let mut run = ParallelRun::new(deployment, 2, 4).expect("e >= 2");
         run.sim
             .enable_net_faults(crew_simnet::NetFaultPlan::probabilistic(
                 3, 0.06, 0.06, 0.10,
@@ -173,7 +240,7 @@ mod tests {
             crew_model::InstanceId::new(SchemaId(1), 1),
             crew_model::InstanceId::new(SchemaId(1), 2),
         );
-        let mut run = ParallelRun::new(deployment, 2, 3);
+        let mut run = ParallelRun::new(deployment, 2, 3).expect("e >= 2");
         let a = run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]);
         let b = run.start_instance(SchemaId(1), vec![(1, Value::Int(2))]);
         run.run();

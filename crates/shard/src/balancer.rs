@@ -1,0 +1,187 @@
+//! Analysis-driven auto-balancing policy.
+//!
+//! The §7 analysis predicts that parallel control spreads the navigation
+//! load uniformly: each of the `e` engines carries `1/e` of the total
+//! (Table 5 divides every load term by `e`). That prediction is the
+//! balancer's reference point — as long as the measured per-engine
+//! pressure stays within a tolerance band of uniform, the fleet matches
+//! the model and migration would be pure overhead. When the measured skew
+//! *diverges* from the analytic prediction (hot schemas, bursty arrival
+//! mixes, a drained engine rejoining), the policy emits migration orders
+//! that move instances from the hottest engines to the coldest until the
+//! predicted balance is plausible again.
+//!
+//! The policy is pure: samples in, orders out. The runtime driver turns
+//! each order into `count` live `MigrateRequest`s for concrete instances.
+
+use crate::load::{measured_skew, EngineLoad};
+use crew_analysis::{cost, Architecture, Criterion, Params, Profile};
+
+/// One planned move: `count` instances from engine `from` to engine `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationOrder {
+    /// Source engine (the hot one).
+    pub from: u32,
+    /// Destination engine (the cold one).
+    pub to: u32,
+    /// Instances to move this round.
+    pub count: u32,
+}
+
+/// Balancer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancerConfig {
+    /// Trigger when measured skew (max/mean pressure) exceeds the analytic
+    /// prediction (1.0, uniform) by this factor.
+    pub skew_threshold: f64,
+    /// Cap on instances moved per planning round, to keep hand-off traffic
+    /// a bounded fraction of the fleet's work.
+    pub max_moves_per_round: u32,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            skew_threshold: 1.5,
+            max_moves_per_round: 8,
+        }
+    }
+}
+
+/// The analytic per-engine load share parallel control predicts: Table 5's
+/// per-instance engine load at `p`, i.e. `1/e` of the total navigation
+/// work. Exposed so drivers can report predicted-vs-measured divergence.
+pub fn predicted_engine_share(p: &Params) -> f64 {
+    cost(
+        Architecture::Parallel,
+        Profile::Normal,
+        Criterion::LoadAtNode,
+        p,
+    )
+}
+
+/// Plan migrations for one observation round.
+///
+/// Returns an empty plan while the measured skew stays within
+/// `cfg.skew_threshold` of the analytic uniform prediction. Otherwise
+/// pairs the hottest engines with the coldest and sizes each move by the
+/// instance surplus above the fleet mean.
+pub fn plan_migrations(
+    loads: &[EngineLoad],
+    p: &Params,
+    cfg: &BalancerConfig,
+) -> Vec<MigrationOrder> {
+    if loads.len() < 2 {
+        return Vec::new();
+    }
+    // Divergence trigger: measured skew vs the model's uniform share. The
+    // predicted share only rescales the tolerance band; uniformity itself
+    // is the prediction (max/mean == 1).
+    let skew = measured_skew(loads);
+    if skew <= cfg.skew_threshold || predicted_engine_share(p) <= 0.0 {
+        return Vec::new();
+    }
+    let mean_live = loads.iter().map(|l| l.live_instances).sum::<u64>() as f64 / loads.len() as f64;
+    // Only engines whose backlog exceeds the mean by the full tolerance
+    // factor shed. A healthy engine momentarily above the mean drains on
+    // its own; migrating from it is churn that taxes the fleet (freeze,
+    // hand-off traffic, ownership broadcasts) for zero steady-state gain.
+    let mut hot: Vec<&EngineLoad> = loads
+        .iter()
+        .filter(|l| (l.live_instances as f64) > mean_live * cfg.skew_threshold)
+        .collect();
+    let mut cold: Vec<&EngineLoad> = loads
+        .iter()
+        .filter(|l| (l.live_instances as f64) < mean_live)
+        .collect();
+    // Hottest first / coldest first, engine index as the deterministic tie
+    // break.
+    hot.sort_by(|a, b| {
+        b.pressure()
+            .partial_cmp(&a.pressure())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.engine.cmp(&b.engine))
+    });
+    cold.sort_by(|a, b| {
+        a.pressure()
+            .partial_cmp(&b.pressure())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.engine.cmp(&b.engine))
+    });
+    let mut budget = cfg.max_moves_per_round;
+    let mut orders = Vec::new();
+    for (h, c) in hot.iter().zip(cold.iter()) {
+        if budget == 0 {
+            break;
+        }
+        let surplus = (h.live_instances as f64 - mean_live).floor() as u64;
+        let deficit = (mean_live - c.live_instances as f64).ceil() as u64;
+        let count = surplus.min(deficit).min(budget as u64) as u32;
+        if count == 0 {
+            continue;
+        }
+        budget -= count;
+        orders.push(MigrationOrder {
+            from: h.engine,
+            to: c.engine,
+            count,
+        });
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(live: &[u64]) -> Vec<EngineLoad> {
+        live.iter()
+            .enumerate()
+            .map(|(e, &l)| EngineLoad {
+                engine: e as u32,
+                live_instances: l,
+                ..EngineLoad::default()
+            })
+            .collect()
+    }
+
+    fn params() -> Params {
+        Params::paper_mean()
+    }
+
+    #[test]
+    fn balanced_fleet_yields_no_orders() {
+        let orders = plan_migrations(&fleet(&[10, 10, 10, 10]), &params(), &Default::default());
+        assert!(orders.is_empty());
+    }
+
+    #[test]
+    fn mild_skew_stays_within_the_analytic_band() {
+        // max/mean = 1.2: the model tolerates this without migration churn.
+        let orders = plan_migrations(&fleet(&[12, 10, 9, 9]), &params(), &Default::default());
+        assert!(orders.is_empty());
+    }
+
+    #[test]
+    fn hot_engine_sheds_to_the_coldest() {
+        let orders = plan_migrations(&fleet(&[40, 10, 10, 0]), &params(), &Default::default());
+        assert_eq!(orders.len(), 1);
+        let o = orders[0];
+        assert_eq!(o.from, 0);
+        assert_eq!(o.to, 3);
+        assert!(o.count >= 1);
+        assert!(o.count <= 8, "round budget respected");
+    }
+
+    #[test]
+    fn orders_are_deterministic() {
+        let a = plan_migrations(&fleet(&[40, 0, 10, 0]), &params(), &Default::default());
+        let b = plan_migrations(&fleet(&[40, 0, 10, 0]), &params(), &Default::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predicted_share_is_positive_at_paper_mean() {
+        assert!(predicted_engine_share(&params()) > 0.0);
+    }
+}

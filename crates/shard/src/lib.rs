@@ -1,0 +1,32 @@
+//! # crew-shard
+//!
+//! Scale-out support for the parallel control architecture (§6): the
+//! pieces that turn a *static* partition of instances over `e` engines
+//! into a managed sharding layer.
+//!
+//! - [`ring`]: seeded consistent-hash placement with virtual nodes, so
+//!   adding or removing an engine remaps only `~1/e` of the instance
+//!   space (the static `hash mod e` assignment remaps almost all of it).
+//! - [`load`]: the per-engine load sample exported by the runtime —
+//!   live instances, delivered messages, WFDB write pressure.
+//! - [`balancer`]: an analysis-driven policy that compares the measured
+//!   load spread against the paper's §7 prediction (uniform `1/e` of the
+//!   parallel-control load) and emits migration orders from the hottest
+//!   to the coldest engines when the divergence exceeds a threshold.
+//!
+//! The crate is deliberately runtime-free: it depends on the model, the
+//! hash, and the closed-form analysis, never on an engine implementation.
+//! `crew-central` consumes the ring for placement; its driver consumes
+//! the balancer's orders and turns them into live `MigrateRequest`s.
+
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod load;
+pub mod ring;
+
+pub use balancer::{plan_migrations, predicted_engine_share, BalancerConfig, MigrationOrder};
+pub use load::{measured_skew, EngineLoad};
+pub use ring::Ring;
+
+pub use crew_analysis::Params;

@@ -1,0 +1,169 @@
+//! Seeded consistent-hash ring with virtual nodes.
+//!
+//! Placement must be (a) deterministic under the deployment seed — every
+//! engine computes the same owner for the same instance with no shared
+//! state, which is what lets the simulation replay bit-identically — and
+//! (b) stable under fleet resizing: growing from `e` to `e + 1` engines
+//! moves only the keys that land on the new engine's virtual nodes,
+//! `~1/(e+1)` of the space, instead of reshuffling nearly everything the
+//! way `hash mod e` does.
+//!
+//! The ring is a `Copy` value with a fixed slot budget so it can live
+//! inside `crew-central`'s `Topology` (also `Copy`) without allocation:
+//! `vnodes` per engine are clamped so `engines * vnodes <= MAX_SLOTS`.
+
+use crew_model::InstanceId;
+
+/// Total virtual-node budget across all engines.
+pub const MAX_SLOTS: usize = 256;
+
+/// Salt mixed into the deployment seed for ring positions, so placement
+/// hashing never collides with the work-assignment hashing that shares
+/// the seed.
+const RING_SALT: u64 = 0x51A2_D00F;
+
+/// Salt for hashing instance ids onto the ring.
+const KEY_SALT: u64 = 0xC0FF_EE11;
+
+/// A consistent-hash ring over `engines` engines.
+#[derive(Debug, Clone, Copy)]
+pub struct Ring {
+    engines: u32,
+    len: u16,
+    /// `(position, engine)` sorted by position.
+    slots: [(u64, u32); MAX_SLOTS],
+}
+
+impl Ring {
+    /// Build the ring for `engines` engines with (up to) `vnodes` virtual
+    /// nodes each, deterministically from `seed`.
+    pub fn new(engines: u32, seed: u64, vnodes: u16) -> Self {
+        assert!(engines >= 1, "at least one engine");
+        assert!(
+            engines as usize <= MAX_SLOTS,
+            "engine count exceeds ring budget"
+        );
+        let per_engine = (MAX_SLOTS / engines as usize).min(vnodes.max(1) as usize);
+        let mut slots = [(0u64, 0u32); MAX_SLOTS];
+        let mut len = 0usize;
+        for e in 0..engines {
+            for v in 0..per_engine {
+                let pos = crew_exec::hash::combine(seed ^ RING_SALT, &[e as u64, v as u64]);
+                slots[len] = (pos, e);
+                len += 1;
+            }
+        }
+        slots[..len].sort_unstable();
+        Ring {
+            engines,
+            len: len as u16,
+            slots,
+        }
+    }
+
+    /// Number of engines on the ring.
+    pub fn engines(&self) -> u32 {
+        self.engines
+    }
+
+    /// Virtual nodes actually placed.
+    pub fn slot_count(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The engine owning an arbitrary key: the first virtual node at or
+    /// after the key's position, wrapping at the top of the space.
+    pub fn owner_of_key(&self, key: u64) -> u32 {
+        let slots = &self.slots[..self.len as usize];
+        let idx = slots.partition_point(|&(pos, _)| pos < key);
+        if idx == slots.len() {
+            slots[0].1
+        } else {
+            slots[idx].1
+        }
+    }
+
+    /// The engine owning a workflow instance.
+    pub fn owner(&self, instance: InstanceId) -> u32 {
+        let key = crew_exec::hash::combine(
+            KEY_SALT,
+            &[instance.schema.0 as u64, instance.serial as u64],
+        );
+        self.owner_of_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crew_model::SchemaId;
+
+    fn keys(n: u64) -> impl Iterator<Item = u64> {
+        (0..n).map(|i| crew_exec::hash::combine(7, &[i]))
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Ring::new(8, 42, 16);
+        let b = Ring::new(8, 42, 16);
+        for k in keys(1000) {
+            assert_eq!(a.owner_of_key(k), b.owner_of_key(k));
+        }
+        let c = Ring::new(8, 43, 16);
+        let diverges = keys(1000).any(|k| a.owner_of_key(k) != c.owner_of_key(k));
+        assert!(diverges, "a different seed lays out a different ring");
+    }
+
+    #[test]
+    fn covers_all_engines_roughly_evenly() {
+        let ring = Ring::new(8, 42, 16);
+        let mut counts = [0u64; 8];
+        for k in keys(8000) {
+            counts[ring.owner_of_key(k) as usize] += 1;
+        }
+        for (e, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "engine {e} owns nothing");
+            // 16 vnodes/engine keeps the spread well inside 4x of fair.
+            assert!(c < 4000, "engine {e} owns {c} of 8000 keys");
+        }
+    }
+
+    #[test]
+    fn growth_remaps_a_bounded_fraction() {
+        // The consistent-hashing contract: e -> e+1 moves ~1/(e+1) of the
+        // keys; modulo placement would move ~e/(e+1) of them.
+        let before = Ring::new(8, 42, 16);
+        let after = Ring::new(9, 42, 16);
+        let total = 10_000u64;
+        let moved = keys(total)
+            .filter(|&k| before.owner_of_key(k) != after.owner_of_key(k))
+            .count() as u64;
+        assert!(
+            moved < total / 3,
+            "{moved}/{total} keys moved; consistent hashing should move ~1/9"
+        );
+        let modulo_moved = keys(total).filter(|&k| k % 8 != k % 9).count() as u64;
+        assert!(
+            moved < modulo_moved / 2,
+            "ring ({moved}) must beat modulo ({modulo_moved}) by a wide margin"
+        );
+    }
+
+    #[test]
+    fn instance_owner_is_stable_and_in_range() {
+        let ring = Ring::new(4, 42, 32);
+        for serial in 0..500 {
+            let inst = InstanceId::new(SchemaId(2), serial);
+            let e = ring.owner(inst);
+            assert!(e < 4);
+            assert_eq!(e, ring.owner(inst));
+        }
+    }
+
+    #[test]
+    fn vnode_budget_is_clamped() {
+        let ring = Ring::new(200, 1, 64);
+        assert!(ring.slot_count() <= MAX_SLOTS);
+        assert_eq!(ring.slot_count(), 200); // 256/200 -> 1 vnode each
+    }
+}

@@ -58,6 +58,15 @@ enum EventKind<M> {
     NetRetry {
         node: NodeId,
     },
+    /// Deferred handling of an already-accepted message at a node with a
+    /// service-time model: the server was busy on arrival, so the message
+    /// waits in the node's queue until this tick (only with
+    /// [`Simulation::set_service_cost`] in effect).
+    Handle {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
 }
 
 struct Event<M> {
@@ -167,6 +176,13 @@ pub struct Simulation<M> {
     /// Lossy network + reliable channels; `None` = the default perfectly
     /// reliable substrate.
     transport: Option<Transport<M>>,
+    /// Per-node service cost in ticks per handled message. Empty (the
+    /// default) means handling is instantaneous, which keeps every
+    /// pre-existing run bit-identical; a node with a cost becomes a FIFO
+    /// single server and queueing delay shows up in virtual time.
+    service: std::collections::BTreeMap<NodeId, u64>,
+    /// Tick until which each service-modelled node's server is occupied.
+    busy_until: std::collections::BTreeMap<NodeId, u64>,
 }
 
 impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
@@ -187,6 +203,20 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             max_events: 10_000_000,
             delivered: 0,
             transport: None,
+            service: std::collections::BTreeMap::new(),
+            busy_until: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Model `node` as a FIFO single server taking `ticks` of virtual time
+    /// per handled message (0 removes the model). With no model installed
+    /// — the default — handling stays instantaneous and runs are
+    /// bit-identical to the unmodelled simulator.
+    pub fn set_service_cost(&mut self, node: NodeId, ticks: u64) {
+        if ticks == 0 {
+            self.service.remove(&node);
+        } else {
+            self.service.insert(node, ticks);
         }
     }
 
@@ -596,6 +626,17 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
                 EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
                 EventKind::Frame { from, to, frame } => self.on_frame(from, to, frame),
                 EventKind::NetRetry { node } => self.on_net_retry(node),
+                EventKind::Handle { from, to, msg } => {
+                    // The server slot was reserved at acceptance; if the
+                    // node crashed in between, queue the work like any
+                    // other message caught by a crash.
+                    let slot = &mut self.nodes[to.index()];
+                    if slot.crashed {
+                        slot.buffered.push_back((from, msg));
+                        continue;
+                    }
+                    self.handle_now(from, to, msg);
+                }
                 EventKind::Timer { node, id } => {
                     let slot = &mut self.nodes[node.index()];
                     if slot.crashed {
@@ -612,6 +653,8 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
                     if !slot.crashed {
                         slot.crashed = true;
                         slot.node.on_crash();
+                        // In-progress service is abandoned with the node.
+                        self.busy_until.remove(&node);
                         if let Some(t) = self.transport.as_mut() {
                             // Volatile channel state dies with the node;
                             // the WAL (if any) survives for recovery.
@@ -696,6 +739,23 @@ impl<M: Classify + Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
     /// channel funnel through here, so a logical message is counted exactly
     /// once no matter how many wire frames carried it.
     fn accept(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if let Some(&cost) = self.service.get(&to) {
+            // Reserve the node's single server: handling starts when the
+            // server frees up, and occupies it for `cost` ticks. Arrival
+            // order is preserved (reservations are monotone), and metrics
+            // are recorded once, at handling time.
+            let start = self.now.max(self.busy_until.get(&to).copied().unwrap_or(0));
+            self.busy_until.insert(to, start + cost);
+            if start > self.now {
+                self.push(start, EventKind::Handle { from, to, msg });
+                return;
+            }
+        }
+        self.handle_now(from, to, msg);
+    }
+
+    /// Dispatch an accepted message to its handler immediately.
+    fn handle_now(&mut self, from: NodeId, to: NodeId, msg: M) {
         // Injected external traffic (user → front end) is not an
         // inter-node message; the §6 counts cover system messages only.
         if from != NodeId::EXTERNAL {
@@ -1126,6 +1186,56 @@ mod tests {
         );
         assert!(sim.metrics.transport.retransmissions >= 2);
         assert_eq!(sim.metrics.total_messages, 2);
+    }
+
+    #[test]
+    fn service_cost_serializes_handling_and_counts_once() {
+        let mut sim = Simulation::new(1).with_latency(LatencyModel { base: 1, jitter: 0 });
+        let c = sim.add_node(Ponger { seen: 0 });
+        let s = sim.add_node(Starter { peer: None });
+        sim.set_service_cost(c, 10);
+        // Three messages leave s at t=0 and arrive back-to-back; the
+        // 10-tick server handles them at t≈1, 11, 21.
+        struct Burst3 {
+            peer: NodeId,
+        }
+        impl Node<Ping> for Burst3 {
+            fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
+                ctx.send(self.peer, Ping::Ping(0));
+                ctx.send(self.peer, Ping::Ping(0));
+                ctx.send(self.peer, Ping::Ping(0));
+            }
+            fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Ctx<Ping>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let _ = s;
+        let _b = sim.add_node(Burst3 { peer: c });
+        sim.run();
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.node_as::<Ponger>(c).unwrap().seen, 3);
+        assert_eq!(sim.metrics.total_messages, 3, "metrics recorded once");
+        assert!(
+            sim.now() >= 21,
+            "queueing delay visible in virtual time (now = {})",
+            sim.now()
+        );
+    }
+
+    #[test]
+    fn no_service_model_keeps_runs_identical() {
+        let run = |model: bool| {
+            let mut sim = Simulation::new(7);
+            let b = sim.add_node(Ponger { seen: 0 });
+            let _a = sim.add_node(Starter { peer: Some(b) });
+            if model {
+                sim.set_service_cost(b, 0); // zero cost = no model
+            }
+            sim.run();
+            (sim.now(), sim.metrics.total_messages, sim.delivered())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -288,6 +288,182 @@ fn engine_crash_matches_fault_free_outcomes() {
     }
 }
 
+// ---- live migration under chaos (crew-shard) -------------------------------
+
+use crew_central::CentralRun;
+use crew_exec::Deployment;
+use crew_model::{CoordinationSpec, InstanceId, MutualExclusion, SchemaStep, StepId};
+use crew_parallel::ParallelRun;
+use crew_storage::InstanceStatus;
+
+/// Three-engine fleet of four slow 6-step instances, one of which is
+/// ordered migrated mid-flight at tick 8. `make_net` sees `(src, dst)`
+/// engine node ids so partition cases can cut exactly the hand-off link.
+fn run_migration_fleet(
+    crash_target: Option<(u64, u64)>,
+    make_net: impl FnOnce(crew_simnet::NodeId, crew_simnet::NodeId) -> Option<NetFaultPlan>,
+) -> (CentralRun, ExecLog, Vec<InstanceId>, u32, u32) {
+    let log = ExecLog::new();
+    let mut deployment = Deployment::new([linear_logged_schema(1, 6, 2, "log")]);
+    log.register(&mut deployment.registry, "log");
+    let mut run = ParallelRun::new(deployment, 2, 3).expect("e >= 2");
+    // Slow agents widen the execution window, so the migration order
+    // lands mid-flight under every fault seed.
+    for a in 0..2 {
+        run.sim.set_service_cost(run.topo.agent_node(AgentId(a)), 5);
+    }
+    let insts: Vec<InstanceId> = (0..4)
+        .map(|k| run.start_instance(SchemaId(1), vec![(1, Value::Int(k))]))
+        .collect();
+    let src = run.topo.owner_engine(insts[0]);
+    let dst = (src + 1) % 3;
+    run.migrate_instance_at(insts[0], dst, 8);
+    if let Some(plan) = make_net(run.topo.engine_node(src), run.topo.engine_node(dst)) {
+        run.sim.enable_net_faults(plan);
+    }
+    if let Some((at, down)) = crash_target {
+        run.sim
+            .schedule_crash(run.topo.engine_node(dst), at, Some(down));
+    }
+    run.run();
+    (run, log, insts, src, dst)
+}
+
+/// Mid-flight migration under drop/dup/reorder, under a target-engine
+/// crash during the hand-off, and under a healing partition of the
+/// hand-off link: every variant reaches the fault-free outcomes with the
+/// fault-free per-(instance, step) execution counts — exactly once.
+#[test]
+fn migration_under_chaos_matches_fault_free_exactly_once() {
+    let (base_run, base_log, insts, _, base_dst) = run_migration_fleet(None, |_, _| None);
+    let base_statuses = base_run.statuses();
+    for inst in &insts {
+        assert_eq!(
+            base_statuses.get(inst),
+            Some(&InstanceStatus::Committed),
+            "baseline {inst}"
+        );
+    }
+    assert_eq!(
+        base_run.engine(base_dst).migrations_in,
+        1,
+        "baseline migration completed"
+    );
+
+    type NetFn = fn(crew_simnet::NodeId, crew_simnet::NodeId) -> Option<NetFaultPlan>;
+    type Variant = (&'static str, Option<(u64, u64)>, NetFn);
+    let variants: [Variant; 3] = [
+        ("lossy network", None, |_, _| {
+            Some(NetFaultPlan::probabilistic(
+                chaos_seed(31),
+                0.06,
+                0.06,
+                0.12,
+            ))
+        }),
+        ("target crash during hand-off", Some((9, 20)), |_, _| {
+            Some(NetFaultPlan::probabilistic(
+                chaos_seed(31),
+                0.04,
+                0.04,
+                0.08,
+            ))
+        }),
+        ("hand-off link partitioned", None, |src, dst| {
+            Some(NetFaultPlan::probabilistic(chaos_seed(31), 0.03, 0.03, 0.06).cut(src, dst, 6, 80))
+        }),
+    ];
+    for (name, crash, make_net) in variants {
+        let (run, log, insts2, _, dst) = run_migration_fleet(crash, make_net);
+        assert_eq!(insts2, insts, "{name}: same fleet");
+        assert_eq!(run.statuses(), base_statuses, "{name}: outcomes diverged");
+        assert_eq!(
+            run.engine(dst).migrations_in,
+            1,
+            "{name}: the migration still lands"
+        );
+        for inst in &insts {
+            for step in 1..=6u32 {
+                let step = StepId(step);
+                assert_eq!(
+                    log.count(*inst, step),
+                    base_log.count(*inst, step),
+                    "{name}: {inst} {step:?} diverged from the fault-free count"
+                );
+                assert_eq!(
+                    log.count(*inst, step),
+                    1,
+                    "{name}: {inst} {step:?} must execute exactly once"
+                );
+            }
+        }
+    }
+}
+
+/// A mutex holder migrated mid-critical-section while the network drops,
+/// duplicates and reorders: exclusion stays safe, both contenders commit,
+/// and every step still executes exactly once. The tick scan finds the
+/// critical-section window for whatever timing the fault seed produces.
+#[test]
+fn migrating_a_mutex_holder_under_chaos_stays_exactly_once() {
+    let mut saw_holder_migration = false;
+    for at in 1..80 {
+        let log = ExecLog::new();
+        let mut deployment = Deployment::new([linear_logged_schema(1, 4, 1, "log")]);
+        deployment.coordination = CoordinationSpec {
+            mutual_exclusions: vec![MutualExclusion {
+                id: 0,
+                resource: "booth".into(),
+                members: vec![SchemaStep::new(SchemaId(1), StepId(2))],
+            }],
+            ..CoordinationSpec::default()
+        };
+        log.register(&mut deployment.registry, "log");
+        let mut run = ParallelRun::new(deployment, 1, 2).expect("e >= 2");
+        run.sim.set_service_cost(run.topo.agent_node(AgentId(0)), 5);
+        let a = run.start_instance(SchemaId(1), vec![(1, Value::Int(1))]);
+        let b = run.start_instance(SchemaId(1), vec![(1, Value::Int(2))]);
+        let src = run.topo.owner_engine(a);
+        let dst = 1 - src;
+        run.migrate_instance_at(a, dst, at);
+        run.sim.enable_net_faults(NetFaultPlan::probabilistic(
+            chaos_seed(17),
+            0.05,
+            0.05,
+            0.10,
+        ));
+        run.run();
+        let statuses = run.statuses();
+        assert_eq!(
+            statuses.get(&a),
+            Some(&InstanceStatus::Committed),
+            "at {at}"
+        );
+        assert_eq!(
+            statuses.get(&b),
+            Some(&InstanceStatus::Committed),
+            "at {at}"
+        );
+        for inst in [a, b] {
+            for step in 1..=4u32 {
+                assert_eq!(
+                    log.count(inst, StepId(step)),
+                    1,
+                    "at {at}: {inst} S{step} must execute exactly once"
+                );
+            }
+        }
+        if run.engine(dst).migrations_in_with_mutex == 1 {
+            saw_holder_migration = true;
+            break;
+        }
+    }
+    assert!(
+        saw_holder_migration,
+        "no migration tick caught the instance holding the mutex"
+    );
+}
+
 /// Same seed, same crash windows ⇒ bit-identical runs, engine crashes
 /// included: outcomes, virtual time, events, message totals, transport.
 #[test]
